@@ -1,0 +1,98 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+* FKR similarity chaining vs plain length-sort (intra-group ordering),
+* LRE levels (kernel-only vs kernel+filter),
+* GA tuner vs pure random search at equal budget,
+* pattern-set size sweep beyond the paper's 6/8/12.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.bench.perf_experiments import _cost_model, _pruned_unique_layer
+from repro.bench.reporting import ResultTable
+from repro.compiler.compile import OptLevel, compile_layer, warp_divergence_factor
+from repro.compiler.lre import count_register_loads
+from repro.compiler.reorder import filter_kernel_reorder
+from repro.compiler.storage import FKWLayer
+from repro.compiler.tuner import GATuner, Schedule, ScheduleSpace
+from repro.utils.rng import make_rng
+
+
+def test_ablation_fkr_similarity_vs_sort(benchmark):
+    """Greedy similarity chaining should align wavefronts at least as
+    well as a plain signature sort."""
+    spec, w, assignment, ps = _pruned_unique_layer("L4")
+    benchmark(filter_kernel_reorder, assignment, 256)
+
+    greedy = filter_kernel_reorder(assignment, greedy_limit=512)
+    sorted_only = filter_kernel_reorder(assignment, greedy_limit=0)
+    div_greedy = warp_divergence_factor(greedy, wavefront=64)
+    div_sorted = warp_divergence_factor(sorted_only, wavefront=64)
+
+    table = ResultTable("Ablation — FKR intra-group ordering", ["method", "warp divergence"])
+    table.add("greedy similarity chain", f"{div_greedy:.2f}")
+    table.add("signature sort only", f"{div_sorted:.2f}")
+    emit(table)
+    assert div_greedy <= div_sorted * 1.05
+
+
+def test_ablation_lre_levels(benchmark):
+    """Filter-level elimination must add savings on top of kernel-level."""
+    spec, w, assignment, ps = _pruned_unique_layer("L6")
+    fkw = FKWLayer.from_pruned(w, assignment, ps)
+    loads = benchmark(count_register_loads, fkw, spec.out_hw)
+
+    table = ResultTable("Ablation — LRE levels (L6)", ["level", "loads", "vs no-LRE"])
+    table.add("none", loads.no_lre, "1.00x")
+    table.add("kernel", loads.kernel_lre, f"{loads.no_lre / loads.kernel_lre:.2f}x")
+    table.add("kernel+filter", loads.filter_lre, f"{loads.no_lre / loads.filter_lre:.2f}x")
+    emit(table)
+    assert loads.filter_lre < loads.kernel_lre < loads.no_lre
+
+
+def test_ablation_ga_vs_random(benchmark):
+    """At an equal evaluation budget the GA should match or beat random
+    search (it exploits structure; random only explores)."""
+    spec, w, assignment, ps = _pruned_unique_layer("L8")
+    cm = _cost_model("cpu")
+    cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+    space = ScheduleSpace.for_layer(spec.out_channels, spec.out_hw)
+    tuner = GATuner(cm, population=16, generations=8, seed=11)
+    result = benchmark(tuner.tune, cl.workload, space)
+
+    rng = make_rng(12)
+    budget = 16 * 9
+    random_best = min(
+        cm.estimate(cl.workload, space.random(rng).to_sched_params()).total_ms for _ in range(budget)
+    )
+    table = ResultTable("Ablation — tuner search strategy (L8)", ["strategy", "best ms"])
+    table.add("GA (16x8)", f"{result.best_ms:.3f}")
+    table.add(f"random ({budget})", f"{random_best:.3f}")
+    emit(table)
+    assert result.best_ms <= random_best * 1.02
+
+
+def test_ablation_pattern_set_size_sweep(benchmark):
+    """Extend Table 7 beyond the paper: k in 4..56."""
+    from repro.bench.perf_experiments import _pruned_unique_layer as layer_for
+
+    cm = _cost_model("cpu")
+    table = ResultTable(
+        "Ablation — pattern count sweep (L6, estimated latency)",
+        ["k", "latency ms", "distortion proxy"],
+    )
+    results = {}
+    for k in (4, 6, 8, 12, 16, 56):
+        spec, w, assignment, ps = layer_for("L6", num_patterns=k)
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        # distortion proxy: energy lost by projection from the raw weights
+        raw = spec.make_weights(make_rng(1))
+        lost = 1.0 - float((w**2).sum() / (raw**2).sum())
+        results[k] = cl.estimated_ms
+        table.add(k, f"{cl.estimated_ms:.3f}", f"{lost:.3f}")
+    emit(table)
+    benchmark(lambda: compile_layer(*layer_for("L6", num_patterns=8)[:4], cm, OptLevel.LRE))
+    assert results[56] > results[8], "huge pattern sets must pay the i-cache cliff"
+    assert results[8] <= results[4] * 1.4

@@ -1,0 +1,54 @@
+"""Ablation — uniform vs sensitivity-allocated connectivity budgets.
+
+The paper uses a uniform rate per layer (§4.2); this bench measures what
+per-layer sensitivity allocation buys at the same global compression.
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import ResultTable
+from repro.bench.trainutil import clone_pretrained, pretrained_workbench
+from repro.core.masking import MaskedRetrainer, extract_masks
+from repro.core.sensitivity import (
+    allocate_connectivity,
+    apply_connectivity_budgets,
+    measure_sensitivity,
+)
+
+
+def test_ablation_sensitivity_allocation(benchmark):
+    wb, state = pretrained_workbench()
+    base = clone_pretrained(wb, state)
+    base_acc = wb.accuracy(base) * 100
+    rate = 3.0
+
+    # Uniform budgets (the paper's heuristic), with light retraining.
+    uniform = clone_pretrained(wb, state)
+    masks = extract_masks(uniform, None, connectivity_rate=rate)
+    MaskedRetrainer(uniform, masks).train(wb.loader, epochs=4)
+    uniform_acc = wb.accuracy(uniform) * 100
+
+    # Sensitivity-allocated budgets at the same global rate.
+    allocated = clone_pretrained(wb, state)
+    sens = benchmark.pedantic(
+        measure_sensitivity,
+        args=(allocated, wb.test.images, wb.test.labels),
+        kwargs={"rates": (2.0, 4.0)},
+        rounds=1,
+        iterations=1,
+    )
+    budgets = allocate_connectivity(sens, global_rate=rate)
+    masks = apply_connectivity_budgets(allocated, budgets)
+    MaskedRetrainer(allocated, masks).train(wb.loader, epochs=4)
+    allocated_acc = wb.accuracy(allocated) * 100
+
+    table = ResultTable(
+        f"Ablation — connectivity budget allocation at {rate}x",
+        ["scheme", "accuracy %"],
+    )
+    table.add("dense baseline", f"{base_acc:.1f}")
+    table.add("uniform rate (paper heuristic)", f"{uniform_acc:.1f}")
+    table.add("sensitivity-allocated", f"{allocated_acc:.1f}")
+    emit(table)
+    # Allocation must not be materially worse than uniform.
+    assert allocated_acc >= uniform_acc - 6.0

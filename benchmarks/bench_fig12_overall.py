@@ -1,0 +1,41 @@
+"""Figure 12 — overall latency: PatDNN vs TFLite/TVM/MNN.
+
+Expected shape: PatDNN fastest everywhere; TFLite slowest on CPU;
+TFLite cannot run VGG/ImageNet on GPU; CPU speedups over TFLite in the
+double digits, single digits over TVM/MNN.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench import paper
+from repro.bench.perf_experiments import _latency, fig12_overall
+from repro.frameworks import get_engine
+from repro.hardware import SNAPDRAGON_855
+from repro.models import get_spec
+
+
+@pytest.mark.parametrize("dataset", ["imagenet", "cifar10"])
+def test_fig12_overall(benchmark, dataset):
+    table = fig12_overall(dataset)  # cached — runs once
+
+    # Characteristic kernel: a dense engine preparation (cost estimate).
+    spec = get_spec("mobilenet_v2", dataset)
+    engine = get_engine("mnn", SNAPDRAGON_855, "cpu")
+    benchmark(engine.prepare, spec)
+
+    emit(table)
+    for row in table.rows:
+        model, unit = row[0], row[1]
+        pat = float(row[5])
+        for col, name in ((2, "tflite"), (3, "tvm"), (4, "mnn")):
+            if row[col] == "N/A":
+                assert name == "tflite" and unit == "gpu" and model == "VGG"
+                continue
+            assert float(row[col]) > pat, f"{name} beat PatDNN on {model}/{unit}"
+
+    if dataset == "imagenet":
+        vgg_cpu = next(r for r in table.rows if r[0] == "VGG" and r[1] == "cpu")
+        speedup = float(vgg_cpu[2]) / float(vgg_cpu[5])
+        lo, hi = paper.FIG12_SPEEDUP_RANGES[("tflite", "cpu")]
+        assert paper.within(speedup, lo, hi, slack=0.5), f"VGG CPU speedup {speedup:.1f}x"

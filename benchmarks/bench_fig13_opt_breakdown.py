@@ -1,0 +1,37 @@
+"""Figure 13 — per-optimization speedup breakdown on VGG L1..L9.
+
+Expected shape (paper): reorder 1.6-3.0x (CPU) / 2.7-6.1x (GPU), LRE
+1.6-2.8x / 1.5-3.3x, tuning 1.2-1.9x / 1.4-3.8x — each multiplicative
+over No-opt, larger layers gaining more.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench import paper
+from repro.bench.perf_experiments import _cost_model, _pruned_unique_layer, fig13_breakdown
+from repro.compiler.compile import OptLevel, compile_layer
+
+
+@pytest.mark.parametrize("unit", ["cpu", "gpu"])
+def test_fig13_breakdown(benchmark, unit):
+    table = fig13_breakdown(unit)  # cached
+
+    spec, w, assignment, ps = _pruned_unique_layer("L4")
+    cm = _cost_model(unit)
+    benchmark(compile_layer, spec, w, assignment, ps, cm, OptLevel.LRE)
+
+    emit(table)
+    # Check the big layers (L4+) land within the paper ranges with slack.
+    for row in table.rows[3:]:
+        reorder = float(row[2].rstrip("x"))
+        lre = float(row[3].rstrip("x"))
+        tune = float(row[4].rstrip("x"))
+        total = float(row[5].rstrip("x"))
+        lo, hi = paper.FIG13_RANGES[(unit, "reorder")]
+        assert paper.within(reorder, lo, hi, slack=0.45), f"{row[0]} reorder {reorder}"
+        lo, hi = paper.FIG13_RANGES[(unit, "lre")]
+        assert paper.within(lre, lo, hi, slack=0.45), f"{row[0]} lre {lre}"
+        lo, hi = paper.FIG13_RANGES[(unit, "tune")]
+        assert paper.within(tune, lo, hi, slack=0.45), f"{row[0]} tune {tune}"
+        assert total > 2.0

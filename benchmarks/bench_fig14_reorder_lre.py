@@ -1,0 +1,30 @@
+"""Figure 14 — FKR length grouping (a) and LRE load reduction (b)."""
+
+from conftest import emit
+
+from repro.bench.perf_experiments import _pruned_unique_layer, fig14a_filter_lengths, fig14b_register_loads
+from repro.compiler.lre import count_register_loads
+from repro.compiler.reorder import filter_kernel_reorder
+from repro.compiler.storage import FKWLayer
+
+
+def test_fig14a_filter_length_distribution(benchmark):
+    spec, w, assignment, ps = _pruned_unique_layer("L4")
+    benchmark(filter_kernel_reorder, assignment)
+    table = fig14a_filter_lengths("L4")
+    emit(table)
+    values = dict(zip(table.column("metric"), zip(table.column("before"), table.column("after"))))
+    before_frac = float(values["adjacent-equal fraction"][0])
+    after_frac = float(values["adjacent-equal fraction"][1])
+    assert after_frac > before_frac + 0.3, "FKR must cluster equal-length filters"
+
+
+def test_fig14b_register_load_counts(benchmark):
+    spec, w, assignment, ps = _pruned_unique_layer("L4")
+    fkw = FKWLayer.from_pruned(w, assignment, ps)
+    benchmark(count_register_loads, fkw, spec.out_hw)
+    table = fig14b_register_loads()
+    emit(table)
+    for row in table.rows:
+        reduction = float(row[3].rstrip("x"))
+        assert reduction > 1.8, f"{row[0]}: LRE reduction only {reduction}x"

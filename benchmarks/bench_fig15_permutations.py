@@ -1,0 +1,29 @@
+"""Figure 15 — GFLOPS across loop permutations and blocking.
+
+Expected shape: blocked+unrolled schedules dominate their unblocked
+counterparts on every layer; best configuration differs per layer,
+which is the argument for per-layer auto-tuning.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench.perf_experiments import _cost_model, _pruned_unique_layer, fig15_permutations
+from repro.compiler.compile import OptLevel, compile_layer
+from repro.hardware.cost_model import SchedParams
+
+
+@pytest.mark.parametrize("dataset", ["imagenet", "cifar10"])
+def test_fig15_permutations(benchmark, dataset):
+    spec, w, assignment, ps = _pruned_unique_layer("L6")
+    cm = _cost_model("cpu")
+    cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+    benchmark(cm.estimate, cl.workload, SchedParams(blocked=True, unroll_oc=4))
+
+    table = fig15_permutations(dataset)
+    emit(table)
+    for row in table.rows:
+        cocihw, cohwci = float(row[1]), float(row[2])
+        cocihw_b, cohwci_b = float(row[3]), float(row[4])
+        assert cocihw_b >= cocihw, f"{row[0]}: blocking should not hurt CoCiHW"
+        assert cohwci_b >= cohwci, f"{row[0]}: blocking should not hurt CoHWCi"

@@ -1,0 +1,31 @@
+"""Figure 16 — FKW vs CSR extra-structure overhead at 8x/12x/18x.
+
+Expected shape: FKW's index structures are a small fraction of CSR's
+(paper: 6.6-12.1% depending on rate; kernel-level vs weight-level
+indexing is the mechanism).
+"""
+
+from conftest import emit
+
+from repro.bench.perf_experiments import _pruned_unique_layer, fig16_fkw_vs_csr
+from repro.compiler.storage import CSRLayer, FKWLayer
+
+
+def test_fig16_fkw_vs_csr(benchmark):
+    spec, w, assignment, ps = _pruned_unique_layer("L8")
+
+    def pack_both():
+        FKWLayer.from_pruned(w, assignment, ps)
+        CSRLayer.from_dense(w)
+
+    benchmark(pack_both)
+
+    table = fig16_fkw_vs_csr()
+    emit(table)
+    all_row = table.rows[-1]
+    for cell in all_row[1:]:
+        ratio = float(cell.rstrip("%"))
+        assert ratio < 25.0, f"aggregate FKW/CSR ratio {ratio}% too high"
+    # Large layers must beat 20%.
+    l8 = next(r for r in table.rows if r[0] == "L8")
+    assert float(l8[1].rstrip("%")) < 20.0

@@ -1,0 +1,44 @@
+"""Figure 17 — GFLOPS analysis: dense baseline quality and pattern vs dense.
+
+Expected shape: (a) PatDNN's dense kernels beat MNN by 1.1-1.6x with
+Winograd off; (b) pattern execution reaches dense-class GFLOPS on CPU
+and wins on GPU.
+"""
+
+from conftest import emit
+
+from repro.bench import paper
+from repro.bench.perf_experiments import (
+    _cost_model,
+    _pruned_unique_layer,
+    fig17_dense_vs_mnn,
+    fig17_pattern_vs_dense,
+)
+from repro.hardware.cost_model import ConvWorkload
+
+
+def test_fig17a_dense_vs_mnn(benchmark):
+    spec, w, assignment, ps = _pruned_unique_layer("L7")
+    cm = _cost_model("cpu")
+    benchmark(cm.estimate, ConvWorkload.dense(spec, winograd=False))
+
+    table = fig17_dense_vs_mnn()
+    emit(table)
+    for row in table.rows:
+        advantage = float(row[3].rstrip("x"))
+        lo, hi = paper.DENSE_ADVANTAGE
+        assert paper.within(advantage, lo, hi, slack=0.35), f"{row[0]} advantage {advantage}"
+
+
+def test_fig17b_pattern_vs_dense_gflops(benchmark):
+    spec, w, assignment, ps = _pruned_unique_layer("L7")
+    cm = _cost_model("gpu")
+    benchmark(cm.estimate, ConvWorkload.dense(spec, winograd=False))
+
+    table = fig17_pattern_vs_dense()
+    emit(table)
+    for row in table.rows[3:]:  # big layers carry the claim
+        cpu_dense, cpu_pat = float(row[1]), float(row[2])
+        gpu_dense, gpu_pat = float(row[3]), float(row[4])
+        assert cpu_pat > 0.4 * cpu_dense, f"{row[0]}: CPU pattern GFLOPS collapsed"
+        assert gpu_pat > 0.8 * gpu_dense, f"{row[0]}: GPU pattern should be dense-class or better"

@@ -1,0 +1,36 @@
+"""Figure 18 — portability across Snapdragon 855/845 and Kirin 980.
+
+Expected shape: baselines degrade sharply on the Mali GPU (Kirin 980)
+while PatDNN's latency stays within a small factor of its Snapdragon
+855 value (§6.5).
+"""
+
+from conftest import emit
+
+from repro.bench.perf_experiments import fig18_portability
+from repro.frameworks import get_engine
+from repro.hardware import KIRIN_980
+from repro.models import get_spec
+from repro.models.spec import ConvSpec, ModelSpec
+
+
+def test_fig18_portability(benchmark):
+    table = fig18_portability()  # cached
+
+    tiny = ModelSpec("tiny", "synthetic", [ConvSpec("c", 16, 32, 3, padding=1, in_hw=16)], total_layers=1)
+    engine = get_engine("tvm", KIRIN_980, "gpu")
+    benchmark(engine.prepare, tiny)
+
+    emit(table)
+    rows = {(r[0], r[1]): r for r in table.rows}
+    base = rows[("snapdragon855", "gpu")]
+    kirin = rows[("kirin980", "gpu")]
+    tvm_ratio = float(kirin[3]) / float(base[3])
+    pat_ratio = float(kirin[5]) / float(base[5])
+    assert tvm_ratio > 2.5, f"TVM should degrade sharply on Mali (got {tvm_ratio:.2f}x)"
+    assert pat_ratio < 1.6, f"PatDNN should stay stable (got {pat_ratio:.2f}x)"
+    # PatDNN remains the fastest engine on every device/unit.
+    for (device, unit), row in rows.items():
+        pat = float(row[5])
+        others = [float(c) for c in row[2:5] if c != "N/A"]
+        assert pat < min(others), f"PatDNN not fastest on {device}/{unit}"

@@ -1,0 +1,16 @@
+"""Table 1 — framework optimization-knob matrix."""
+
+from conftest import emit
+
+from repro.bench.registry import EXPERIMENTS
+from repro.frameworks import feature_matrix
+
+
+def test_table1_feature_matrix(benchmark):
+    benchmark(feature_matrix)
+    table = EXPERIMENTS["table1"].run()
+    emit(table)
+    # PatDNN must be the only engine with the six sparse-stack knobs.
+    sparse_rows = [r for r in table.rows if r[0].startswith(("sparse", "pattern", "connectivity", "filter", "opt_sparse"))]
+    for row in sparse_rows:
+        assert row[1:4] == ["N", "N", "N"] and row[4] == "Y"

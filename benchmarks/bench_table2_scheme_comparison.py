@@ -1,0 +1,38 @@
+"""Table 2 — pruning-scheme comparison at equal rate.
+
+Expected shape (paper Table 2): non-structured keeps the highest
+accuracy, pattern-based pruning stays close, whole-filter/channel
+structured pruning loses the most.
+"""
+
+from conftest import emit
+
+from repro.bench.accuracy_experiments import table2_scheme_comparison
+from repro.core.projections import project_filters, project_magnitude
+from repro.models import build_small_cnn
+
+
+def test_table2_scheme_comparison(benchmark):
+    # The characteristic kernel: one structured vs one magnitude projection.
+    model = build_small_cnn(channels=(16, 32), in_size=12)
+    w = None
+    for _, m in model.named_modules():
+        if hasattr(m, "weight") and m.weight is not None and m.weight.data.ndim == 4:
+            w = m.weight.data
+            break
+
+    def projections():
+        project_filters(w, max(1, w.shape[0] // 4))
+        project_magnitude(w, max(1, w.size // 4))
+
+    benchmark(projections)
+
+    table = table2_scheme_comparison(fast=True)
+    emit(table)
+    acc = {row[0]: float(row[1]) for row in table.rows}
+    # Fine-grained schemes must not fall below the structured ones by a
+    # wide margin (the paper's qualitative ordering, with small-sample
+    # noise tolerance).
+    fine = max(acc["non-structured"], acc["pattern + connectivity"])
+    coarse = max(acc["filter (structured)"], acc["channel (structured)"])
+    assert fine >= coarse - 5.0

@@ -1,0 +1,30 @@
+"""Table 3 — accuracy vs pattern-set size (kernel pattern pruning only).
+
+Expected shape: pruning every kernel to a 4-entry pattern (2.25× fewer
+conv weights) keeps accuracy near the dense baseline for k in 6/8/12.
+"""
+
+from conftest import emit
+
+from repro.bench.accuracy_experiments import table3_pattern_accuracy
+from repro.core.patterns import mine_pattern_set
+from repro.core.projections import project_kernel_pattern
+from repro.models import build_small_cnn
+
+
+def test_table3_pattern_accuracy(benchmark):
+    model = build_small_cnn(channels=(16, 32), in_size=12)
+    tensors = [
+        m.weight.data
+        for _, m in model.named_modules()
+        if hasattr(m, "weight") and m.weight is not None and m.weight.data.ndim == 4
+    ]
+    ps = mine_pattern_set(tensors, k=8)
+    benchmark(project_kernel_pattern, tensors[-1], ps)
+
+    table = table3_pattern_accuracy(fast=True)
+    emit(table)
+    acc = {row[0]: float(row[1]) for row in table.rows}
+    base = acc["original"]
+    for k in (6, 8, 12):
+        assert acc[f"{k}-pattern"] > base - 12.0, f"{k}-pattern collapsed vs baseline"

@@ -1,0 +1,15 @@
+"""Table 5 — model characteristics vs the paper."""
+
+from conftest import emit
+
+from repro.bench.registry import EXPERIMENTS
+from repro.models import get_spec
+
+
+def test_table5_model_zoo(benchmark):
+    benchmark(get_spec, "resnet50", "imagenet")
+    table = EXPERIMENTS["table5"].run()
+    emit(table)
+    for row in table.rows:
+        measured, expected = float(row[4]), float(row[5])
+        assert abs(measured - expected) / expected < 0.08, row

@@ -1,0 +1,14 @@
+"""Table 6 — VGG-16 unique CONV layer shapes."""
+
+from conftest import emit
+
+from repro.bench.registry import EXPERIMENTS
+from repro.models.vgg import unique_layer_spec
+
+
+def test_table6_vgg_layers(benchmark):
+    benchmark(unique_layer_spec, "L8")
+    table = EXPERIMENTS["table6"].run()
+    emit(table)
+    for row in table.rows:
+        assert row[1] == row[2], f"shape mismatch for {row[0]}"

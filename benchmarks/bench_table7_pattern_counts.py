@@ -1,0 +1,22 @@
+"""Table 7 — pattern-count impact on latency (and accuracy shape).
+
+Expected shape: latency grows mildly from 6 to 8 patterns and sharply at
+12 (instruction-cache pressure); accuracy improves only slightly.
+"""
+
+from conftest import emit
+
+from repro.bench.perf_experiments import _latency, table7_latency
+
+
+def test_table7_pattern_counts(benchmark):
+    table = table7_latency()  # heavy part cached before timing
+
+    benchmark(_latency, "patdnn", "vgg16", "imagenet", "cpu", "snapdragon855", "pattern", 8)
+
+    emit(table)
+    cpu = {int(row[0]): float(row[1]) for row in table.rows}
+    gpu = {int(row[0]): float(row[2]) for row in table.rows}
+    for lat in (cpu, gpu):
+        assert lat[8] < 1.25 * lat[6], "6->8 should be a mild increase"
+        assert lat[12] > 1.3 * lat[8], "12 patterns should hit the latency cliff"

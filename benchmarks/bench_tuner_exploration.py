@@ -1,0 +1,27 @@
+"""§5.5 — auto-tuner exploration speed and estimator quality.
+
+The paper reports GA exploration completing in 3-5 ms for a large DNN's
+layer; here the benchmark fixture times one GA generation-equivalent
+(a batch of cost evaluations) and the table reports search quality.
+"""
+
+from conftest import emit
+
+from repro.bench.perf_experiments import _cost_model, _pruned_unique_layer, tuner_exploration
+from repro.compiler.compile import OptLevel, compile_layer
+from repro.compiler.tuner import GATuner
+
+
+def test_tuner_exploration(benchmark):
+    spec, w, assignment, ps = _pruned_unique_layer("L6")
+    cm = _cost_model("cpu")
+    cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+    tuner = GATuner(cm, population=8, generations=2, seed=0)
+    benchmark(tuner.tune, cl.workload)
+
+    table = tuner_exploration("L6")
+    emit(table)
+    vals = dict(zip(table.column("method"), (float(v) for v in table.column("latency ms"))))
+    assert vals["GA (24x12)"] <= vals["default schedule"]
+    assert vals["GA (24x12)"] <= vals["random search (288 samples)"] * 1.05
+    assert vals["estimator-predicted pick (64 candidates)"] <= vals["default schedule"] * 1.1

@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module reproduces one table or figure of the paper:
+the experiment itself runs once (cached in :mod:`repro.bench`), its
+result table is printed to the terminal, and the ``benchmark`` fixture
+times the experiment's characteristic kernel so `pytest-benchmark`
+reports a meaningful, stable measurement.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(table) -> None:
+    """Print an experiment's result table beneath the bench output."""
+    print()
+    print(table.to_text())
+
+
+@pytest.fixture(autouse=True)
+def _show_tables(capsys):
+    """Let result tables reach the terminal even without -s."""
+    yield
+    out, _ = capsys.readouterr()
+    if out:
+        with capsys.disabled():
+            print(out, end="")

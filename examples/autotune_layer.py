@@ -1,0 +1,65 @@
+"""Auto-tune one pruned VGG layer with the GA explorer (§5.5).
+
+Shows the tuner's moving parts: the schedule space, GA convergence per
+generation, the trained MLP performance estimator, and a cross-device
+warm start (predicting good Snapdragon 845 schedules from 855 history).
+
+Run:  python examples/autotune_layer.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ResultTable
+from repro.compiler.compile import OptLevel, compile_layer, prune_spec_layer
+from repro.compiler.tuner import GATuner, PerformanceEstimator, Schedule, ScheduleSpace
+from repro.core.patterns import mine_pattern_set
+from repro.hardware import SNAPDRAGON_845, SNAPDRAGON_855
+from repro.hardware.cost_model import ConvCostModel
+from repro.models.vgg import unique_layer_spec
+from repro.utils.rng import make_rng
+
+
+def main():
+    spec = unique_layer_spec("L6")
+    w0 = spec.make_weights(make_rng(0))
+    pattern_set = mine_pattern_set([w0], k=8)
+    weights, assignment = prune_spec_layer(spec, pattern_set, 3.6, weights=w0)
+
+    cm855 = ConvCostModel(SNAPDRAGON_855, "cpu", utilization=0.42, sparse_efficiency=0.7)
+    layer = compile_layer(spec, weights, assignment, pattern_set, cm855, OptLevel.LRE)
+    space = ScheduleSpace.for_layer(spec.out_channels, spec.out_hw)
+    print(f"layer {spec.name}: schedule space has {space.size():,} configurations")
+    default_ms = cm855.estimate(layer.workload, Schedule.default().to_sched_params()).total_ms
+    print(f"default schedule: {default_ms:.3f} ms")
+
+    print("\n== GA exploration (population 24) ==")
+    tuner = GATuner(cm855, population=24, generations=12, seed=7)
+    result = tuner.tune(layer.workload, space)
+    per_gen = [
+        min(ms for _, ms in result.history[g * 24 : (g + 1) * 24])
+        for g in range(result.generations)
+    ]
+    for g, best in enumerate(per_gen):
+        print(f"  gen {g:2d}: best {best:.3f} ms")
+    print(f"GA best: {result.best_ms:.3f} ms  ({default_ms / result.best_ms:.2f}x over default)")
+    print(f"best schedule: {result.best}")
+
+    print("\n== MLP performance estimator ==")
+    estimator = PerformanceEstimator(seed=3)
+    rmse = estimator.fit(result.history, layer.workload)
+    print(f"fit on {len(result.history)} samples, RMSE {rmse:.3f} (log-ms)")
+
+    print("\n== warm start on a new device (Snapdragon 845) ==")
+    cm845 = ConvCostModel(SNAPDRAGON_845, "cpu", utilization=0.42, sparse_efficiency=0.7)
+    rng = make_rng(9)
+    candidates = [space.random(rng) for _ in range(64)]
+    pick = estimator.best_of(candidates, layer.workload)
+    table = ResultTable("845 schedules (no new search)", ["schedule", "actual ms on 845"])
+    table.add("default", f"{cm845.estimate(layer.workload, Schedule.default().to_sched_params()).total_ms:.3f}")
+    table.add("estimator pick", f"{cm845.estimate(layer.workload, pick.to_sched_params()).total_ms:.3f}")
+    table.add("855-tuned best", f"{cm845.estimate(layer.workload, result.best.to_sched_params()).total_ms:.3f}")
+    print(table.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Portability across SoCs (Figure 18) plus a storage-format report.
+
+Prints VGG-16 latency for every engine on Snapdragon 855 / 845 and
+Kirin 980, then the FKW-vs-CSR storage comparison (Figure 16) for the
+same compiled model.
+
+Run:  python examples/portability_report.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.perf_experiments import fig16_fkw_vs_csr, fig18_portability
+from repro.utils.misc import human_bytes
+
+
+def main():
+    table = fig18_portability()
+    print(table.to_text())
+
+    print()
+    print(fig16_fkw_vs_csr().to_text())
+
+    # Whole-model storage numbers.
+    from repro.frameworks import get_engine
+    from repro.hardware import SNAPDRAGON_855
+    from repro.models import get_spec
+
+    spec = get_spec("vgg16", "imagenet")
+    prepared = get_engine("patdnn", SNAPDRAGON_855, "cpu").prepare(spec)
+    compiled = prepared.compiled
+    dense_bytes = spec.conv_weight_count * 4
+    fkw_bytes = sum(l.fkw.total_bytes() for l in compiled.layers)
+    overhead = sum(l.fkw.overhead_bytes() for l in compiled.layers)
+    print("\n== whole-model conv storage ==")
+    print(f"dense fp32:        {human_bytes(dense_bytes)}")
+    print(f"FKW (weights+idx): {human_bytes(fkw_bytes)}  ({dense_bytes / fkw_bytes:.1f}x smaller)")
+    print(f"  of which index:  {human_bytes(overhead)} ({overhead / fkw_bytes:.1%})")
+
+
+if __name__ == "__main__":
+    main()

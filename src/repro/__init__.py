@@ -1,0 +1,28 @@
+"""repro — a reproduction of PatDNN (ASPLOS 2020).
+
+PatDNN achieves real-time DNN inference on mobile devices by combining
+**pattern-based weight pruning** (fine-grained 4-entry kernel patterns +
+connectivity pruning, trained with an extended ADMM framework) with a
+**compiler stack** that recovers structured-pruning efficiency: filter
+kernel reorder (FKR), the FKW compressed weight format, register-level
+load redundancy elimination (LRE), and GA-based parameter auto-tuning.
+
+Package map (see ``DESIGN.md`` for the full inventory):
+
+======================  ====================================================
+``repro.autograd``      numpy reverse-mode autodiff (training substrate)
+``repro.nn``            layer library (Conv2d, BatchNorm2d, ...)
+``repro.optim``         SGD / Adam / schedulers
+``repro.data``          synthetic ImageNet/CIFAR-10 stand-ins
+``repro.models``        VGG-16 / ResNet-50 / MobileNet-V2 specs + trainables
+``repro.core``          pattern-based pruning: patterns, ADMM, projections
+``repro.graph``         computational-graph IR + optimization passes
+``repro.compiler``      LR, FKR, FKW storage, LRE, codegen, auto-tuner
+``repro.hardware``      mobile SoC models + execution cost model
+``repro.frameworks``    emulated TFLite / TVM / MNN baselines + PatDNN engine
+``repro.runtime``       functional executor for compiled models
+``repro.bench``         experiment registry + reporting for the benchmarks
+======================  ====================================================
+"""
+
+__version__ = "1.0.0"

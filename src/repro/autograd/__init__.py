@@ -1,0 +1,33 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This package is the training substrate for the whole reproduction: the
+paper trains its pattern-pruned networks with PyTorch; we provide an
+equivalent, self-contained engine.  The design follows the classic
+define-by-run tape:
+
+* :class:`~repro.autograd.tensor.Tensor` wraps a ``numpy.ndarray`` and
+  records the :class:`~repro.autograd.engine.Function` that produced it.
+* calling :meth:`Tensor.backward` topologically sorts the recorded graph
+  and accumulates gradients into every tensor with ``requires_grad``.
+
+Only float32 is used throughout, matching the paper's mobile setting
+(16-bit floats on GPU are modelled at the cost-model level instead).
+"""
+
+from repro.autograd.engine import Function, no_grad, is_grad_enabled
+from repro.autograd.tensor import Tensor, tensor, zeros, ones, randn, arange
+from repro.autograd.grad_check import numerical_grad, check_gradients
+
+__all__ = [
+    "Function",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "arange",
+    "no_grad",
+    "is_grad_enabled",
+    "numerical_grad",
+    "check_gradients",
+]

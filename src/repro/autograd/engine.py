@@ -1,0 +1,139 @@
+"""Autograd core: the Function node and the backward traversal.
+
+A ``Function`` is one recorded operation in the tape.  It keeps references
+to its parent tensors and whatever intermediate arrays the backward pass
+needs.  ``backward_graph`` walks the tape in reverse topological order and
+routes each output gradient to the matching parent.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.autograd.tensor import Tensor
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd tape."""
+    return _grad_enabled
+
+
+class Function:
+    """One differentiable operation in the recorded graph.
+
+    Subclasses implement :meth:`forward` (numpy in / numpy out) and
+    :meth:`backward` (gradient of the output in, tuple of gradients for
+    each parent tensor out, ``None`` for non-differentiable parents).
+    """
+
+    def __init__(self, *parents: "Tensor") -> None:
+        self.parents = parents
+        self.saved: tuple[Any, ...] = ()
+
+    def save_for_backward(self, *items: Any) -> None:
+        """Stash arrays (or any values) needed by :meth:`backward`."""
+        self.saved = items
+
+    def forward(self, *args: Any, **kwargs: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args: Any, **kwargs: Any) -> "Tensor":
+        """Run forward, and record the node if any input requires grad."""
+        from repro.autograd.tensor import Tensor
+
+        tensor_args = tuple(a for a in args if isinstance(a, Tensor))
+        fn = cls(*tensor_args)
+        raw = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = np.asarray(fn.forward(*raw, **kwargs))
+        requires = _grad_enabled and any(t.requires_grad for t in tensor_args)
+        out = Tensor(out_data, requires_grad=requires, dtype=out_data.dtype)
+        if requires:
+            out._ctx = fn
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+def backward_graph(root: "Tensor", grad: np.ndarray) -> None:
+    """Backpropagate ``grad`` from ``root`` through the recorded tape.
+
+    Gradients are accumulated (``+=``) into every reachable tensor whose
+    ``requires_grad`` flag is set, which makes repeated ``backward`` calls
+    and shared sub-expressions behave like PyTorch's default semantics.
+    """
+    topo: list[Tensor] = []
+    visited: set[int] = set()
+
+    def visit(t: "Tensor") -> None:
+        if id(t) in visited or t._ctx is None:
+            return
+        visited.add(id(t))
+        for parent in t._ctx.parents:
+            visit(parent)
+        topo.append(t)
+
+    visit(root)
+
+    grads: dict[int, np.ndarray] = {id(root): grad}
+    for t in reversed(topo):
+        g_out = grads.pop(id(t), None)
+        if g_out is None:
+            continue
+        parent_grads = t._ctx.backward(g_out)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        if len(parent_grads) != len(t._ctx.parents):
+            raise RuntimeError(
+                f"{type(t._ctx).__name__}.backward returned "
+                f"{len(parent_grads)} grads for {len(t._ctx.parents)} parents"
+            )
+        for parent, g in zip(t._ctx.parents, parent_grads):
+            if g is None or not parent.requires_grad:
+                continue
+            # note: not ascontiguousarray — that would promote 0-d to 1-d
+            g = np.asarray(g, dtype=parent.data.dtype)
+            if g.shape != parent.data.shape:
+                raise RuntimeError(
+                    f"gradient shape {g.shape} != tensor shape "
+                    f"{parent.data.shape} from {type(t._ctx).__name__}"
+                )
+            if parent._ctx is None:
+                # Leaf: accumulate into .grad
+                if parent.grad is None:
+                    parent.grad = g.copy()
+                else:
+                    parent.grad += g
+            else:
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + g
+                else:
+                    grads[key] = g
+                if parent.retains_grad:
+                    if parent.grad is None:
+                        parent.grad = g.copy()
+                    else:
+                        parent.grad += g

@@ -1,0 +1,76 @@
+"""im2col / col2im utilities for convolution lowering.
+
+These are shared by the autograd conv op, the reference executor, and the
+compiler's dense baseline kernels.  ``im2col_view`` uses stride tricks to
+avoid a copy until the final reshape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size: "
+            f"input={size}, kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col_view(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Strided sliding-window view of shape (N, C, KH, KW, Ho, Wo).
+
+    ``x`` must already be padded.  The view aliases ``x``; callers must not
+    write through it.
+    """
+    n, c, h, w = x.shape
+    ho = (h - kh) // stride + 1
+    wo = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, kh, kw, ho, wo)
+    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
+    """Lower NCHW input to columns of shape (N, C*KH*KW, Ho*Wo).
+
+    Returns the column matrix and the output spatial dims.
+    """
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c, h, w = x.shape
+    ho = (h - kh) // stride + 1
+    wo = (w - kw) // stride + 1
+    view = im2col_view(x, kh, kw, stride)
+    col = np.ascontiguousarray(view).reshape(n, c * kh * kw, ho * wo)
+    return col, ho, wo
+
+
+def col2im(
+    col: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add columns back to an NCHW gradient (inverse of im2col)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    ho = (hp - kh) // stride + 1
+    wo = (wp - kw) // stride + 1
+    col = col.reshape(n, c, kh, kw, ho, wo)
+    out = np.zeros((n, c, hp, wp), dtype=col.dtype)
+    for i in range(kh):
+        i_end = i + stride * ho
+        for j in range(kw):
+            j_end = j + stride * wo
+            out[:, :, i:i_end:stride, j:j_end:stride] += col[:, :, i, j]
+    if padding:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return np.ascontiguousarray(out)

@@ -1,0 +1,130 @@
+"""Convolution and pooling autograd operations (NCHW layout).
+
+Conv2d supports grouped convolution (``groups > 1``) because
+MobileNet-V2's depthwise layers need it; the im2col lowering is applied
+per group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.engine import Function
+from repro.autograd.im2col import col2im, im2col, im2col_view
+
+
+class Conv2d(Function):
+    """2-D convolution: x (N,C,H,W) * w (F,C/g,KH,KW) -> (N,F,Ho,Wo)."""
+
+    def forward(self, x, w, bias=None, stride: int = 1, padding: int = 0, groups: int = 1):
+        n, c, h, ww = x.shape
+        f, c_per_group, kh, kw = w.shape
+        if c != c_per_group * groups:
+            raise ValueError(f"channel mismatch: input C={c}, weight expects {c_per_group * groups}")
+        if f % groups:
+            raise ValueError(f"filters ({f}) not divisible by groups ({groups})")
+
+        cols = []
+        outs = []
+        f_per_group = f // groups
+        for g in range(groups):
+            xg = x[:, g * c_per_group : (g + 1) * c_per_group]
+            wg = w[g * f_per_group : (g + 1) * f_per_group]
+            col, ho, wo = im2col(xg, kh, kw, stride, padding)
+            w_mat = wg.reshape(f_per_group, -1)
+            out = np.einsum("fk,nkl->nfl", w_mat, col, optimize=True)
+            cols.append(col)
+            outs.append(out)
+        out = np.concatenate(outs, axis=1).reshape(n, f, ho, wo)
+        if bias is not None:
+            out += bias.reshape(1, f, 1, 1)
+        self.save_for_backward(x.shape, w, cols, bias is not None, stride, padding, groups)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out):
+        x_shape, w, cols, has_bias, stride, padding, groups = self.saved
+        n, c, h, ww = x_shape
+        f, c_per_group, kh, kw = w.shape
+        f_per_group = f // groups
+        ho, wo = grad_out.shape[2], grad_out.shape[3]
+        grad_flat = grad_out.reshape(n, f, ho * wo)
+
+        grad_x_groups = []
+        grad_w = np.empty_like(w)
+        for g in range(groups):
+            go = grad_flat[:, g * f_per_group : (g + 1) * f_per_group]
+            col = cols[g]
+            wg = w[g * f_per_group : (g + 1) * f_per_group].reshape(f_per_group, -1)
+            grad_w_mat = np.einsum("nfl,nkl->fk", go, col, optimize=True)
+            grad_w[g * f_per_group : (g + 1) * f_per_group] = grad_w_mat.reshape(
+                f_per_group, c_per_group, kh, kw
+            )
+            grad_col = np.einsum("fk,nfl->nkl", wg, go, optimize=True)
+            grad_x_groups.append(
+                col2im(grad_col, (n, c_per_group, h, ww), kh, kw, stride, padding)
+            )
+        grad_x = np.concatenate(grad_x_groups, axis=1)
+        grads = [grad_x, grad_w]
+        if has_bias:
+            grads.append(grad_out.sum(axis=(0, 2, 3)))
+        return tuple(grads)
+
+
+class MaxPool2d(Function):
+    """Max pooling with square window; stride defaults to kernel size."""
+
+    def forward(self, x, kernel: int, stride: int | None = None, padding: int = 0):
+        stride = stride or kernel
+        if padding:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                constant_values=-np.inf,
+            )
+        view = im2col_view(x, kernel, kernel, stride)  # (N,C,KH,KW,Ho,Wo)
+        n, c, kh, kw, ho, wo = view.shape
+        windows = np.ascontiguousarray(view).reshape(n, c, kh * kw, ho, wo)
+        argmax = windows.argmax(axis=2)
+        out = np.take_along_axis(windows, argmax[:, :, None], axis=2)[:, :, 0]
+        self.save_for_backward(x.shape, kernel, stride, padding, argmax)
+        return out
+
+    def backward(self, grad_out):
+        padded_shape, kernel, stride, padding, argmax = self.saved
+        n, c, hp, wp = padded_shape
+        ho, wo = grad_out.shape[2], grad_out.shape[3]
+        grad_padded = np.zeros(padded_shape, dtype=grad_out.dtype)
+        # Scatter each window's gradient to the argmax position.
+        ki, kj = np.divmod(argmax, kernel)
+        oh = np.arange(ho)[None, None, :, None]
+        ow = np.arange(wo)[None, None, None, :]
+        rows = oh * stride + ki
+        cols = ow * stride + kj
+        nn = np.arange(n)[:, None, None, None]
+        cc = np.arange(c)[None, :, None, None]
+        np.add.at(grad_padded, (nn, cc, rows, cols), grad_out)
+        if padding:
+            grad_padded = grad_padded[:, :, padding:-padding, padding:-padding]
+        return (grad_padded,)
+
+
+class AvgPool2d(Function):
+    """Average pooling with square window; stride defaults to kernel size."""
+
+    def forward(self, x, kernel: int, stride: int | None = None):
+        stride = stride or kernel
+        view = im2col_view(x, kernel, kernel, stride)
+        out = view.mean(axis=(2, 3), dtype=x.dtype)
+        self.save_for_backward(x.shape, kernel, stride)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out):
+        x_shape, kernel, stride = self.saved
+        n, c, h, w = x_shape
+        ho, wo = grad_out.shape[2], grad_out.shape[3]
+        grad = np.zeros(x_shape, dtype=grad_out.dtype)
+        share = grad_out / (kernel * kernel)
+        for i in range(kernel):
+            for j in range(kernel):
+                grad[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += share
+        return (grad,)

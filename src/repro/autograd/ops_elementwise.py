@@ -1,0 +1,173 @@
+"""Elementwise differentiable operations (binary with broadcasting, unary)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.engine import Function
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum away extra leading axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were size-1 in the original.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Add(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad_out):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad_out, a_shape), unbroadcast(grad_out, b_shape)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad_out):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad_out, a_shape), unbroadcast(-grad_out, b_shape)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad_out):
+        a, b = self.saved
+        return unbroadcast(grad_out * b, a.shape), unbroadcast(grad_out * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad_out):
+        a, b = self.saved
+        grad_a = grad_out / b
+        grad_b = -grad_out * a / (b * b)
+        return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad_out):
+        return (-grad_out,)
+
+
+class Pow(Function):
+    def forward(self, a, exponent: float):
+        self.save_for_backward(a, exponent)
+        return a**exponent
+
+    def backward(self, grad_out):
+        a, exponent = self.saved
+        return (grad_out * exponent * a ** (exponent - 1.0),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out):
+        (out,) = self.saved
+        return (grad_out * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad_out):
+        (a,) = self.saved
+        return (grad_out / a,)
+
+
+class Sqrt(Function):
+    def forward(self, a):
+        out = np.sqrt(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out):
+        (out,) = self.saved
+        return (grad_out / (2.0 * out),)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out):
+        (out,) = self.saved
+        return (grad_out * (1.0 - out * out),)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out):
+        (out,) = self.saved
+        return (grad_out * out * (1.0 - out),)
+
+
+class ReLU(Function):
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad_out):
+        (mask,) = self.saved
+        return (grad_out * mask,)
+
+
+class Clip(Function):
+    """Clamp to [low, high]; gradient passes only inside the interval.
+
+    Used for ReLU6 in MobileNet-V2.
+    """
+
+    def forward(self, a, low: float, high: float):
+        mask = (a > low) & (a < high)
+        self.save_for_backward(mask)
+        return np.clip(a, low, high)
+
+    def backward(self, grad_out):
+        (mask,) = self.saved
+        return (grad_out * mask,)
+
+
+class Abs(Function):
+    def forward(self, a):
+        self.save_for_backward(np.sign(a))
+        return np.abs(a)
+
+    def backward(self, grad_out):
+        (sign,) = self.saved
+        return (grad_out * sign,)

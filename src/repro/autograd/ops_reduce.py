@@ -1,0 +1,63 @@
+"""Reduction operations (sum / mean / max) with axis + keepdims support."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.engine import Function
+
+
+def _restore_axes(grad: np.ndarray, in_shape, axis, keepdims: bool) -> np.ndarray:
+    """Reshape a reduced gradient so it broadcasts back over ``in_shape``."""
+    if axis is None:
+        return np.broadcast_to(grad, in_shape)
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(a % len(in_shape) for a in axes)
+        shape = [1 if i in axes else s for i, s in enumerate(in_shape)]
+        grad = grad.reshape(shape)
+    return np.broadcast_to(grad, in_shape)
+
+
+class Sum(Function):
+    def forward(self, a, axis=None, keepdims=False):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.sum(axis=axis, keepdims=keepdims, dtype=a.dtype)
+
+    def backward(self, grad_out):
+        in_shape, axis, keepdims = self.saved
+        return (_restore_axes(grad_out, in_shape, axis, keepdims).copy(),)
+
+
+class Mean(Function):
+    def forward(self, a, axis=None, keepdims=False):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.mean(axis=axis, keepdims=keepdims, dtype=a.dtype)
+
+    def backward(self, grad_out):
+        in_shape, axis, keepdims = self.saved
+        if axis is None:
+            count = int(np.prod(in_shape))
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([in_shape[a % len(in_shape)] for a in axes]))
+        grad = _restore_axes(grad_out, in_shape, axis, keepdims)
+        return (grad / count,)
+
+
+class Max(Function):
+    """Max reduction; gradient splits evenly among tied maxima."""
+
+    def forward(self, a, axis=None, keepdims=False):
+        out = a.max(axis=axis, keepdims=True)
+        mask = (a == out).astype(a.dtype)
+        mask /= mask.sum(axis=axis, keepdims=True)
+        self.save_for_backward(a.shape, axis, keepdims, mask)
+        if not keepdims:
+            out = a.max(axis=axis, keepdims=False)
+        return out
+
+    def backward(self, grad_out):
+        in_shape, axis, keepdims, mask = self.saved
+        grad = _restore_axes(grad_out, in_shape, axis, keepdims)
+        return (grad * mask,)

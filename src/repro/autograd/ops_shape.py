@@ -1,0 +1,83 @@
+"""Shape-manipulation operations: reshape, permute, slice, pad, broadcast."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.engine import Function
+from repro.autograd.ops_elementwise import unbroadcast
+
+
+class Reshape(Function):
+    def forward(self, a, shape):
+        self.save_for_backward(a.shape)
+        return a.reshape(shape)
+
+    def backward(self, grad_out):
+        (in_shape,) = self.saved
+        return (grad_out.reshape(in_shape),)
+
+
+class Permute(Function):
+    def forward(self, a, axes):
+        self.save_for_backward(axes)
+        return np.ascontiguousarray(np.transpose(a, axes))
+
+    def backward(self, grad_out):
+        (axes,) = self.saved
+        inverse = np.argsort(axes)
+        return (np.transpose(grad_out, inverse),)
+
+
+class Slice(Function):
+    """Basic and advanced indexing; gradients scatter-add back."""
+
+    def forward(self, a, index):
+        self.save_for_backward(a.shape, index)
+        return a[index]
+
+    def backward(self, grad_out):
+        in_shape, index = self.saved
+        grad = np.zeros(in_shape, dtype=grad_out.dtype)
+        np.add.at(grad, index, grad_out)
+        return (grad,)
+
+
+class Pad2d(Function):
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+
+    def forward(self, a, padding: int):
+        self.save_for_backward(padding)
+        if padding == 0:
+            return a.copy()
+        pad = [(0, 0)] * (a.ndim - 2) + [(padding, padding), (padding, padding)]
+        return np.pad(a, pad)
+
+    def backward(self, grad_out):
+        (p,) = self.saved
+        if p == 0:
+            return (grad_out,)
+        return (grad_out[..., p:-p, p:-p],)
+
+
+class BroadcastTo(Function):
+    def forward(self, a, shape):
+        self.save_for_backward(a.shape)
+        return np.broadcast_to(a, shape).copy()
+
+    def backward(self, grad_out):
+        (in_shape,) = self.saved
+        return (unbroadcast(grad_out, in_shape),)
+
+
+class Concat(Function):
+    """Concatenate tensors along an axis (used by ResNet downsampling)."""
+
+    def forward(self, *arrays, axis: int = 0):
+        self.save_for_backward(axis, [a.shape[axis] for a in arrays])
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad_out):
+        axis, sizes = self.saved
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.ascontiguousarray(g) for g in np.split(grad_out, splits, axis=axis))

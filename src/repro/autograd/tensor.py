@@ -1,0 +1,311 @@
+"""The Tensor type: a numpy array plus an autograd tape entry.
+
+All arithmetic delegates to :class:`~repro.autograd.engine.Function`
+subclasses defined in the ``ops_*`` modules; this module only hosts the
+user-facing type, constructors, and operator sugar.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd import engine
+from repro.autograd.engine import Function, backward_graph
+
+_DEFAULT_DTYPE = np.float32
+
+
+def _as_array(data: Any, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype == dtype:
+            return data
+        return data.astype(dtype)
+    return np.asarray(data, dtype=dtype)
+
+
+class Tensor:
+    """A differentiable n-dimensional array.
+
+    Attributes:
+        data: the underlying ``numpy.ndarray`` (float32 unless constructed
+            otherwise).
+        grad: accumulated gradient, same shape as ``data`` (or ``None``).
+        requires_grad: whether operations on this tensor are recorded.
+        retains_grad: if set on a non-leaf, its gradient is kept during
+            backward (mirrors ``Tensor.retain_grad`` in PyTorch).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "retains_grad", "_ctx")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data: Any, requires_grad: bool = False, dtype=_DEFAULT_DTYPE):
+        self.data = _as_array(data, dtype)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self.retains_grad = False
+        self._ctx: Function | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_tag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw array (shared memory, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    # ------------------------------------------------------------------
+    # Autograd controls
+    # ------------------------------------------------------------------
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def retain_grad(self) -> "Tensor":
+        self.retains_grad = True
+        return self
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Args:
+            grad: seed gradient; defaults to ones (required implicitly for
+                scalar outputs, allowed explicitly for any shape).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad, self.data.dtype)
+        if self._ctx is None:
+            # Leaf used directly as the loss (degenerate but legal).
+            self.grad = grad.copy() if self.grad is None else self.grad + grad
+            return
+        backward_graph(self, grad)
+
+    # ------------------------------------------------------------------
+    # Operator sugar — implementations live in repro.autograd.ops_*
+    # ------------------------------------------------------------------
+    def _binop(self, op_name: str, other: Any, reverse: bool = False) -> "Tensor":
+        from repro.autograd import ops_elementwise as ops
+
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other, self.data.dtype))
+        a, b = (other_t, self) if reverse else (self, other_t)
+        return getattr(ops, op_name).apply(a, b)
+
+    def __add__(self, other):
+        return self._binop("Add", other)
+
+    def __radd__(self, other):
+        return self._binop("Add", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binop("Sub", other)
+
+    def __rsub__(self, other):
+        return self._binop("Sub", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._binop("Mul", other)
+
+    def __rmul__(self, other):
+        return self._binop("Mul", other, reverse=True)
+
+    def __truediv__(self, other):
+        return self._binop("Div", other)
+
+    def __rtruediv__(self, other):
+        return self._binop("Div", other, reverse=True)
+
+    def __neg__(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Neg.apply(self)
+
+    def __pow__(self, exponent: float):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Pow.apply(self, exponent=float(exponent))
+
+    def __matmul__(self, other):
+        from repro.autograd import ops_matmul as ops
+
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        return ops.MatMul.apply(self, other_t)
+
+    def __getitem__(self, index):
+        from repro.autograd import ops_shape as ops
+
+        return ops.Slice.apply(self, index=index)
+
+    # Elementwise unary
+    def exp(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Exp.apply(self)
+
+    def log(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Log.apply(self)
+
+    def sqrt(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Sqrt.apply(self)
+
+    def tanh(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Tanh.apply(self)
+
+    def sigmoid(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Sigmoid.apply(self)
+
+    def relu(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.ReLU.apply(self)
+
+    def clip(self, low: float, high: float):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Clip.apply(self, low=float(low), high=float(high))
+
+    def abs(self):
+        from repro.autograd import ops_elementwise as ops
+
+        return ops.Abs.apply(self)
+
+    # Reductions
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops_reduce as ops
+
+        return ops.Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops_reduce as ops
+
+        return ops.Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims: bool = False):
+        """Biased variance (matches BatchNorm's training statistics)."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops_reduce as ops
+
+        return ops.Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def argmax(self, axis=None) -> np.ndarray:
+        return np.argmax(self.data, axis=axis)
+
+    # Shape ops
+    def reshape(self, *shape):
+        from repro.autograd import ops_shape as ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.Reshape.apply(self, shape=shape)
+
+    def flatten(self, start_dim: int = 0):
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, axis0: int | None = None, axis1: int | None = None):
+        from repro.autograd import ops_shape as ops
+
+        if axis0 is None and axis1 is None:
+            axes = tuple(reversed(range(self.ndim)))
+        else:
+            axes = list(range(self.ndim))
+            axes[axis0], axes[axis1] = axes[axis1], axes[axis0]
+            axes = tuple(axes)
+        return ops.Permute.apply(self, axes=axes)
+
+    def permute(self, *axes):
+        from repro.autograd import ops_shape as ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.Permute.apply(self, axes=tuple(axes))
+
+    def pad2d(self, padding: int):
+        from repro.autograd import ops_shape as ops
+
+        return ops.Pad2d.apply(self, padding=int(padding))
+
+    def broadcast_to(self, shape):
+        from repro.autograd import ops_shape as ops
+
+        return ops.BroadcastTo.apply(self, shape=tuple(shape))
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def tensor(data: Any, requires_grad: bool = False) -> Tensor:
+    """Build a Tensor from array-like data (float32)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def randn(*shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
+    from repro.utils.rng import make_rng
+
+    rng = rng or make_rng()
+    return Tensor(rng.standard_normal(shape).astype(_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def arange(n: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(n, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+# re-export for convenience
+no_grad = engine.no_grad

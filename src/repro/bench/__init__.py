@@ -1,0 +1,16 @@
+"""Benchmark harness: experiment registry, reporting, paper comparisons.
+
+Every table and figure of the paper's evaluation maps to a function in
+:mod:`repro.bench.perf_experiments` or
+:mod:`repro.bench.accuracy_experiments`; :mod:`repro.bench.registry`
+indexes them by experiment id (``table3``, ``fig13``, ...).  The
+``benchmarks/`` tree contains thin pytest-benchmark wrappers around
+these functions, and EXPERIMENTS.md is generated from the same results
+via :mod:`repro.bench.paper` expectations.
+"""
+
+from repro.bench.reporting import ResultTable
+from repro.bench.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.bench import paper
+
+__all__ = ["ResultTable", "EXPERIMENTS", "get_experiment", "list_experiments", "paper"]

@@ -1,0 +1,187 @@
+"""Accuracy-side experiments: Tables 2, 3, 4, and 7's accuracy columns.
+
+Each function returns a :class:`~repro.bench.reporting.ResultTable` and
+is deterministic given its arguments.  ``fast=True`` (the default used
+by tests) shrinks epochs; benchmarks run the same settings so results
+in test logs and EXPERIMENTS.md agree.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bench import paper
+from repro.bench.reporting import ResultTable
+from repro.bench.trainutil import clone_pretrained, pretrained_workbench
+from repro.core import (
+    ADMMConfig,
+    PatDNNPruner,
+    PruningConfig,
+    compression_rate,
+)
+from repro.core.baselines import (
+    ADMMUnstructuredPruner,
+    GrowPrunePruner,
+    MagnitudePruner,
+    StructuredPruner,
+)
+from repro.core.masking import MaskedRetrainer
+
+
+def _admm_config(fast: bool) -> ADMMConfig:
+    return ADMMConfig(
+        iterations=4 if fast else 8,
+        epochs_per_iteration=3,
+        rho=0.1,
+        lr=3e-3,
+    )
+
+
+def _prune_with_patterns(wb, state, num_patterns: int, connectivity_rate: float | None, fast: bool):
+    model = clone_pretrained(wb, state)
+    # Joint pattern+connectivity restricts a much smaller feasible set
+    # than free magnitude pruning, so it gets a correspondingly longer
+    # masked fine-tune (the paper spends up to 120 epochs total).
+    cfg = PruningConfig(
+        num_patterns=num_patterns,
+        connectivity_rate=connectivity_rate,
+        retrain_epochs=(6 if connectivity_rate is None else 10) if fast else 16,
+        admm=_admm_config(fast),
+    )
+    result = PatDNNPruner(cfg).fit(model, wb.loader)
+    return model, result
+
+
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=2)
+def _table3_cached(fast: bool = True) -> ResultTable:
+    wb, state = pretrained_workbench()
+    base = clone_pretrained(wb, state)
+    base_acc = wb.accuracy(base) * 100
+    table = ResultTable(
+        "Table 3 — accuracy vs pattern count (kernel pattern pruning only)",
+        ["setting", "accuracy %", "paper (VGG top-5 %)"],
+    )
+    table.add("original", f"{base_acc:.1f}", paper.TABLE3["vgg16"]["original"])
+    for k in (6, 8, 12):
+        model, _ = _prune_with_patterns(wb, state, k, None, fast)
+        acc = wb.accuracy(model) * 100
+        table.add(f"{k}-pattern", f"{acc:.1f}", paper.TABLE3["vgg16"][k])
+    table.note(
+        "scaled CNN on synthetic CIFAR; the reproduced claim is the *shape*: "
+        "pattern pruning at 2.25x costs little-to-no accuracy at any k in 6..12"
+    )
+    return table
+
+
+def table3_pattern_accuracy(fast: bool = True) -> ResultTable:
+    """Accuracy with 6/8/12-pattern kernel pruning vs the dense baseline."""
+    return _table3_cached(fast)
+
+
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=2)
+def _table4_cached(fast: bool = True) -> ResultTable:
+    wb, state = pretrained_workbench()
+    table = ResultTable(
+        "Table 4 — joint pattern+connectivity vs baseline pruning schemes",
+        ["method", "accuracy %", "conv compression", "paper (acc%, rate)"],
+    )
+    base_acc = wb.accuracy(clone_pretrained(wb, state)) * 100
+    table.add("dense baseline", f"{base_acc:.1f}", "1.0x", "(91.7, 1.0)")
+
+    retrain = 6 if fast else 12
+    runs = [
+        ("deep compression (magnitude)", MagnitudePruner(rate=3.5, steps=2, retrain_epochs=retrain), "deep_compression"),
+        ("NeST (grow-prune)", GrowPrunePruner(rate=6.5, rounds=1 if fast else 2, retrain_epochs=retrain), "nest"),
+        ("ADMM-NN (non-structured)", ADMMUnstructuredPruner(rate=8.0, iterations=4 if fast else 6, epochs_per_iteration=3, retrain_epochs=retrain, rho=0.1, lr=3e-3), "admm_nn"),
+    ]
+    for label, pruner, key in runs:
+        model = clone_pretrained(wb, state)
+        pruner.prune(model, wb.loader)
+        acc = wb.accuracy(model) * 100
+        rate = compression_rate(model)
+        table.add(label, f"{acc:.1f}", f"{rate:.1f}x", str(paper.TABLE4["vgg16"][key]))
+
+    model, _ = _prune_with_patterns(wb, state, 8, 3.6, fast)
+    acc = wb.accuracy(model) * 100
+    rate = compression_rate(model)
+    table.add("ours (8-pattern + connectivity)", f"{acc:.1f}", f"{rate:.1f}x", str(paper.TABLE4["vgg16"]["ours"]))
+    table.note(
+        "claim reproduced when 'ours' matches ADMM-NN's compression ballpark "
+        "at equal-or-better accuracy and beats the heuristic baselines"
+    )
+    return table
+
+
+def table4_compression(fast: bool = True) -> ResultTable:
+    """Compression-rate / accuracy comparison against baseline pruners."""
+    return _table4_cached(fast)
+
+
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=2)
+def _table2_cached(fast: bool = True) -> ResultTable:
+    wb, state = pretrained_workbench()
+    rate = 4.0
+    retrain = 6 if fast else 12
+    table = ResultTable(
+        "Table 2 — pruning schemes at equal 4x rate (accuracy / hw-friendliness)",
+        ["scheme", "accuracy %", "hardware speedup rank (paper)"],
+    )
+    # Non-structured (highest accuracy, minor speedup).
+    m = clone_pretrained(wb, state)
+    ADMMUnstructuredPruner(
+        rate=rate, iterations=4 if fast else 6, epochs_per_iteration=3,
+        retrain_epochs=retrain, rho=0.1, lr=3e-3,
+    ).prune(m, wb.loader)
+    table.add("non-structured", f"{wb.accuracy(m) * 100:.1f}", "minor")
+    # Filter pruning (highest loss, highest speedup).
+    m = clone_pretrained(wb, state)
+    StructuredPruner(rate=rate, granularity="filter", retrain_epochs=retrain).prune(m, wb.loader)
+    table.add("filter (structured)", f"{wb.accuracy(m) * 100:.1f}", "highest")
+    # Channel pruning.
+    m = clone_pretrained(wb, state)
+    StructuredPruner(rate=rate, granularity="channel", retrain_epochs=retrain).prune(m, wb.loader)
+    table.add("channel (structured)", f"{wb.accuracy(m) * 100:.1f}", "highest")
+    # Pattern (minor loss, high speedup): 2.25x pattern + ~1.8x connectivity.
+    m, _ = _prune_with_patterns(wb, state, 8, rate / 2.25, fast)
+    table.add("pattern + connectivity", f"{wb.accuracy(m) * 100:.1f}", "high/moderate")
+    table.note("expected ordering: non-structured >= pattern > structured accuracy")
+    return table
+
+
+def table2_scheme_comparison(fast: bool = True) -> ResultTable:
+    """Qualitative Table 2 with measured accuracies at one pruning rate."""
+    return _table2_cached(fast)
+
+
+# ----------------------------------------------------------------------
+def table7_accuracy(fast: bool = True) -> dict[int, float]:
+    """Accuracy at 6/8/12 patterns with 3.6x connectivity (Table 7)."""
+    wb, state = pretrained_workbench()
+    out: dict[int, float] = {}
+    for k in (6, 8, 12):
+        model, _ = _prune_with_patterns(wb, state, k, 3.6, fast)
+        out[k] = wb.accuracy(model) * 100
+    return out
+
+
+def masked_retraining_recovers(fast: bool = True) -> ResultTable:
+    """Ablation: accuracy directly after hard projection vs after retraining."""
+    wb, state = pretrained_workbench()
+    model = clone_pretrained(wb, state)
+    cfg = PruningConfig(num_patterns=8, connectivity_rate=3.6, retrain_epochs=0, admm=_admm_config(fast))
+    result = PatDNNPruner(cfg).fit(model, wb.loader)
+    acc_before = wb.accuracy(model) * 100
+    MaskedRetrainer(model, result.masks).train(wb.loader, epochs=4 if fast else 8)
+    acc_after = wb.accuracy(model) * 100
+    table = ResultTable(
+        "Ablation — masked retraining after hard projection",
+        ["stage", "accuracy %"],
+    )
+    table.add("hard projection only", f"{acc_before:.1f}")
+    table.add("+ masked retraining", f"{acc_after:.1f}")
+    return table

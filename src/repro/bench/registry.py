@@ -1,0 +1,60 @@
+"""Experiment registry: id → (description, callable).
+
+The per-experiment index of DESIGN.md resolves here; ``repro-bench``
+style tooling, the benchmarks, and EXPERIMENTS.md generation all look
+experiments up by the paper's table/figure ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.bench import accuracy_experiments as acc
+from repro.bench import perf_experiments as perf
+from repro.bench.reporting import ResultTable
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper experiment."""
+
+    exp_id: str
+    description: str
+    run: Callable[[], ResultTable]
+    kind: str  # 'accuracy' | 'performance'
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.exp_id: e
+    for e in [
+        Experiment("table1", "framework optimization-knob matrix", perf.table1_features, "performance"),
+        Experiment("table2", "pruning-scheme accuracy/speedup comparison", acc.table2_scheme_comparison, "accuracy"),
+        Experiment("table3", "accuracy vs pattern count", acc.table3_pattern_accuracy, "accuracy"),
+        Experiment("table4", "compression-rate comparison", acc.table4_compression, "accuracy"),
+        Experiment("table5", "model characteristics", perf.table5_model_zoo, "performance"),
+        Experiment("table6", "VGG unique conv layers", perf.table6_vgg_layers, "performance"),
+        Experiment("table7", "pattern count vs latency", perf.table7_latency, "performance"),
+        Experiment("fig12", "overall latency vs TFLite/TVM/MNN", perf.fig12_overall, "performance"),
+        Experiment("fig13", "per-optimization speedup breakdown", perf.fig13_breakdown, "performance"),
+        Experiment("fig14a", "FKR filter-length distribution", perf.fig14a_filter_lengths, "performance"),
+        Experiment("fig14b", "LRE register-load counts", perf.fig14b_register_loads, "performance"),
+        Experiment("fig15", "loop permutation / tiling sweep", perf.fig15_permutations, "performance"),
+        Experiment("fig16", "FKW vs CSR storage overhead", perf.fig16_fkw_vs_csr, "performance"),
+        Experiment("fig17a", "dense PatDNN vs MNN (no Winograd)", perf.fig17_dense_vs_mnn, "performance"),
+        Experiment("fig17b", "GFLOPS pattern vs dense", perf.fig17_pattern_vs_dense, "performance"),
+        Experiment("fig18", "portability across devices", perf.fig18_portability, "performance"),
+        Experiment("tuner", "GA exploration + MLP estimator", perf.tuner_exploration, "performance"),
+        Experiment("ablation-retrain", "masked retraining recovery", acc.masked_retraining_recovers, "accuracy"),
+    ]
+}
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {list_experiments()}")
+    return EXPERIMENTS[exp_id]

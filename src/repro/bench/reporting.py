@@ -1,0 +1,56 @@
+"""Result tables for experiment output (text + markdown)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.misc import sizeof_fmt_table
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results.
+
+    Attributes:
+        title: experiment id + short description.
+        headers: column names.
+        rows: row values (stringified on render).
+        notes: free-form caveats appended under the table.
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(f"row has {len(values)} cells, expected {len(self.headers)}")
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def to_text(self) -> str:
+        body = sizeof_fmt_table(self.rows, self.headers)
+        parts = [f"== {self.title} ==", body]
+        parts.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join(self.headers) + " |"
+        sep = "|" + "|".join("---" for _ in self.headers) + "|"
+        lines = [f"### {self.title}", "", header, sep]
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        for n in self.notes:
+            lines.append(f"\n> {n}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def column(self, name: str) -> list[Any]:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]

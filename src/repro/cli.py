@@ -1,0 +1,116 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro experiments                 # list registered experiments
+    python -m repro experiments table3          # run one and print its table
+    python -m repro devices                     # device catalog
+    python -m repro latency vgg16 --unit gpu    # engine comparison for a model
+    python -m repro compile vgg16 --layer L4    # compile one layer, show artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.registry import EXPERIMENTS, get_experiment
+
+    if not args.exp_id:
+        for exp_id, exp in EXPERIMENTS.items():
+            print(f"{exp_id:18s} [{exp.kind}] {exp.description}")
+        return 0
+    table = get_experiment(args.exp_id).run()
+    print(table.to_text())
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.hardware import DEVICES
+
+    for name, dev in DEVICES.items():
+        print(
+            f"{name:15s} cpu: {dev.cpu.cores}c @ {dev.cpu.freq_ghz:.2f} GHz "
+            f"({dev.cpu.peak_gflops:.0f} GFLOPS peak)   "
+            f"gpu: {dev.gpu.arch} {dev.gpu.peak_gflops_fp32:.0f} GFLOPS fp32, "
+            f"{dev.gpu.dram_bw_gbs:.0f} GB/s"
+        )
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.frameworks import UnsupportedModelError, get_engine
+    from repro.hardware import get_device
+    from repro.models import get_spec
+
+    spec = get_spec(args.model, args.dataset)
+    device = get_device(args.device)
+    print(f"{spec} on {device.name}/{args.unit}")
+    for engine in ("tflite", "tvm", "mnn"):
+        try:
+            ms = get_engine(engine, device, args.unit).prepare(spec).latency_ms
+            print(f"  {engine:8s} {ms:9.1f} ms")
+        except UnsupportedModelError as err:
+            print(f"  {engine:8s}       N/A  ({err})")
+    for mode in ("dense", "csr", "pattern"):
+        ms = get_engine("patdnn", device, args.unit, mode=mode).prepare(spec).latency_ms
+        print(f"  patdnn-{mode:8s} {ms:7.1f} ms")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.bench.perf_experiments import _cost_model, _pruned_unique_layer
+    from repro.compiler.codegen import generate_source
+    from repro.compiler.compile import OptLevel, compile_layer
+
+    spec, w, assignment, ps = _pruned_unique_layer(args.layer)
+    cm = _cost_model(args.unit, args.device)
+    layer = compile_layer(spec, w, assignment, ps, cm, OptLevel.TUNE)
+    print(f"== {args.layer}: {spec.filter_shape}, {layer.fkw.num_kernels} kernels, {layer.fkw.nnz} weights ==")
+    print(f"estimated latency: {layer.estimated_ms:.3f} ms on {args.device}/{args.unit}")
+    print(f"register loads (no/kernel/filter LRE): {layer.loads.no_lre} / "
+          f"{layer.loads.kernel_lre} / {layer.loads.filter_lre}")
+    print("\n-- layerwise representation --")
+    print(layer.lr.to_yaml())
+    if args.source:
+        print("\n-- generated source --")
+        print(generate_source(layer.fkw, "lre"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description="PatDNN reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="list or run paper experiments")
+    p.add_argument("exp_id", nargs="?", help="experiment id (e.g. table3, fig13)")
+    p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("devices", help="show the device catalog")
+    p.set_defaults(fn=_cmd_devices)
+
+    p = sub.add_parser("latency", help="engine latency comparison for a model")
+    p.add_argument("model", help="vgg16 | resnet50 | mobilenet_v2")
+    p.add_argument("--dataset", default="imagenet", choices=["imagenet", "cifar10"])
+    p.add_argument("--unit", default="cpu", choices=["cpu", "gpu"])
+    p.add_argument("--device", default="snapdragon855")
+    p.set_defaults(fn=_cmd_latency)
+
+    p = sub.add_parser("compile", help="compile one VGG unique layer and show artifacts")
+    p.add_argument("--layer", default="L4", help="L1..L9")
+    p.add_argument("--unit", default="cpu", choices=["cpu", "gpu"])
+    p.add_argument("--device", default="snapdragon855")
+    p.add_argument("--source", action="store_true", help="print generated source")
+    p.set_defaults(fn=_cmd_compile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""End-to-end compilation drivers.
+
+``compile_layer`` takes one pruned conv layer (weights + pattern
+assignment) and produces a :class:`CompiledLayer`: FKW storage, LR
+entry, register-load counts, an executable kernel, a tuned schedule, and
+the cost-model workload the engines use for latency.
+
+``compile_model`` maps that over a model spec at a given opt level —
+the unit the Figure 12/13 benches sweep.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.codegen import KernelFn, generate_kernel
+from repro.compiler.lr import LayerwiseRepresentation
+from repro.compiler.lre import LoadCounts, count_register_loads, loads_without_patterns
+from repro.compiler.reorder import FKRResult, filter_kernel_reorder, identity_reorder
+from repro.compiler.storage import FKWLayer
+from repro.compiler.tuner import GATuner, Schedule
+from repro.core.patterns import Pattern, PatternSet
+from repro.core.projections import (
+    connectivity_budget,
+    project_connectivity,
+    project_kernel_pattern,
+)
+from repro.hardware.cost_model import ConvCostModel, ConvWorkload
+from repro.models.spec import ConvSpec, ModelSpec
+from repro.utils.rng import make_rng
+
+
+def warp_divergence_factor(fkr: FKRResult, wavefront: int = 64) -> float:
+    """Expected serialized switch paths per wavefront step (GPU).
+
+    Wavefront lanes process adjacent filters in lockstep, each walking
+    its own kernel list position by position; at every step the distinct
+    pattern ids across lanes are serialized by the hardware.  Before FKR
+    the kernel lists are channel-ordered (patterns effectively random →
+    many paths); after FKR the lists are pattern-sorted and similar
+    filters sit in the same wavefront, so lanes stay aligned (→ ≈ 1).
+    """
+    orders = fkr.kernel_orders
+    f = len(orders)
+    weighted: list[tuple[float, int]] = []
+    for start in range(0, f, wavefront):
+        block = orders[start : start + wavefront]
+        max_len = max((len(o) for o in block), default=0)
+        for t in range(max_len):
+            ids = {int(o[t, 1]) for o in block if len(o) > t}
+            if ids:
+                weighted.append((float(len(ids)), 1))
+    if not weighted:
+        return 1.0
+    return float(np.mean([w for w, _ in weighted]))
+
+
+class OptLevel(enum.IntEnum):
+    """Cumulative optimization levels of Figure 13."""
+
+    NO_OPT = 0  # sparse execution, no compiler help
+    REORDER = 1  # + filter kernel reorder (and FKW storage)
+    LRE = 2  # + load redundancy elimination
+    TUNE = 3  # + auto-tuned schedule
+
+    @property
+    def codegen_level(self) -> str:
+        return {0: "no-opt", 1: "reorder", 2: "lre", 3: "lre"}[int(self)]
+
+
+@dataclass
+class CompiledLayer:
+    """All compiler artifacts for one conv layer."""
+
+    spec: ConvSpec
+    fkw: FKWLayer
+    fkr: FKRResult
+    lr: LayerwiseRepresentation
+    loads: LoadCounts
+    schedule: Schedule
+    opt_level: OptLevel
+    workload: ConvWorkload
+    estimated_ms: float = 0.0
+    _kernel: KernelFn | None = field(default=None, repr=False)
+
+    def kernel(self) -> KernelFn:
+        """Executable conv function (built lazily, cached)."""
+        if self._kernel is None:
+            self._kernel = generate_kernel(
+                self.fkw, self.spec.stride, self.spec.padding, self.opt_level.codegen_level
+            )
+        return self._kernel
+
+
+@dataclass
+class CompiledModel:
+    """A compiled network: per-layer artifacts plus totals."""
+
+    name: str
+    device_unit: str
+    layers: list[CompiledLayer]
+    opt_level: OptLevel
+
+    @property
+    def total_ms(self) -> float:
+        return sum(l.estimated_ms for l in self.layers)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(l.fkw.total_bytes() for l in self.layers)
+
+    def lr_document(self) -> str:
+        from repro.compiler.lr import model_lr
+
+        return model_lr([l.lr for l in self.layers], self.device_unit, self.name)
+
+
+def prune_spec_layer(
+    spec: ConvSpec,
+    pattern_set: PatternSet,
+    connectivity_rate: float | None = 3.6,
+    rng: np.random.Generator | None = None,
+    weights: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise pruned weights + assignment for a full-scale spec layer.
+
+    Full-scale compiler experiments don't train ImageNet models; they
+    need structurally-faithful pruned tensors.  Kaiming-random weights
+    are pattern-projected and connectivity-pruned exactly like trained
+    ones (the compiler and cost model only see structure, not values).
+    """
+    rng = rng or make_rng(0)
+    w = weights if weights is not None else spec.make_weights(rng)
+    if spec.kernel_size == 3 and spec.groups == 1:
+        w, assignment = project_kernel_pattern(w, pattern_set)
+    else:
+        # 1×1 / depthwise layers: connectivity only; treat each kernel as
+        # "pattern 1" (single dense micro-kernel) for storage purposes.
+        assignment = np.ones(w.shape[:2], dtype=np.int32)
+    if connectivity_rate is not None and spec.groups == 1:
+        keep = connectivity_budget(w.shape, connectivity_rate)
+        w, keep_mask = project_connectivity(w, keep)
+        assignment = assignment * keep_mask
+    return w, assignment
+
+
+def full_pattern_set(kernel_size: int) -> PatternSet:
+    """Degenerate single-pattern set keeping the whole kernel.
+
+    1×1 (pointwise) and depthwise layers are not kernel-pattern pruned
+    (§4.3); packing them as one 'full' pattern lets FKW/FKR/codegen
+    treat every layer uniformly while the pattern machinery is a no-op.
+    """
+    return PatternSet([Pattern(kernel_size, tuple(range(kernel_size * kernel_size)))])
+
+
+def compile_layer(
+    spec: ConvSpec,
+    weights: np.ndarray,
+    assignment: np.ndarray,
+    pattern_set: PatternSet,
+    cost_model: ConvCostModel,
+    opt_level: OptLevel = OptLevel.TUNE,
+    tuner: GATuner | None = None,
+) -> CompiledLayer:
+    """Compile one pruned layer at a given optimization level."""
+    if spec.kernel_size != pattern_set.kernel_size or spec.groups != 1:
+        pattern_set = full_pattern_set(spec.kernel_size)
+    use_fkr = opt_level >= OptLevel.REORDER
+    fkr = filter_kernel_reorder(assignment) if use_fkr else identity_reorder(assignment)
+    fkw = FKWLayer.from_pruned(weights, assignment, pattern_set, fkr)
+
+    simd = cost_model.device.cpu.simd_lanes_fp32 if cost_model.unit == "cpu" else 4
+    loads = count_register_loads(fkw, spec.out_hw, simd_width=simd)
+    if opt_level >= OptLevel.LRE:
+        register_loads = loads.filter_lre
+    else:
+        # Without the LRE pass, loads stay per-entry (no register reuse);
+        # the pattern switch itself is still vectorisable code.
+        register_loads = loads.no_lre
+
+    elem = 2 if cost_model.fp16 else 4
+    weight_bytes = fkw.overhead_bytes() + fkw.nnz * elem
+    wavefront = cost_model.device.gpu.wavefront
+    work = ConvWorkload(
+        spec=spec,
+        nnz_weights=fkw.nnz,
+        nonzero_kernels=fkw.num_kernels,
+        filter_lengths=fkr.lengths_after,
+        pattern_runs_per_filter=fkr.pattern_runs_per_filter(),
+        branchy=opt_level < OptLevel.REORDER,
+        register_loads=register_loads,
+        weight_bytes=weight_bytes,
+        winograd=False,
+        fused_activation=True,
+        sparse=True,
+        warp_divergence=warp_divergence_factor(fkr, wavefront),
+        code_versions=len(pattern_set),
+    )
+
+    if opt_level >= OptLevel.TUNE:
+        tuner = tuner or GATuner(cost_model, population=16, generations=8, seed=17)
+        result = tuner.tune(work)
+        schedule = result.best
+        estimated = result.best_ms
+    else:
+        schedule = Schedule.default()
+        estimated = cost_model.estimate(work, schedule.to_sched_params()).total_ms
+
+    lr = LayerwiseRepresentation.from_layer(
+        name=spec.name,
+        assignment=assignment,
+        device=cost_model.unit,
+        tuning=schedule.to_lr_tuning() if opt_level >= OptLevel.TUNE else {},
+        stride=spec.stride,
+        kernel_size=spec.kernel_size,
+        storage="tight" if use_fkr else "loose",
+    )
+    return CompiledLayer(
+        spec=spec,
+        fkw=fkw,
+        fkr=fkr,
+        lr=lr,
+        loads=loads,
+        schedule=schedule,
+        opt_level=opt_level,
+        workload=work,
+        estimated_ms=estimated,
+    )
+
+
+def compile_model(
+    spec: ModelSpec,
+    pattern_set: PatternSet,
+    cost_model: ConvCostModel,
+    connectivity_rate: float | None = 3.6,
+    opt_level: OptLevel = OptLevel.TUNE,
+    seed: int = 0,
+) -> CompiledModel:
+    """Prune (structurally) and compile every conv layer of a spec."""
+    rng = make_rng(seed)
+    layers = []
+    for conv in spec.convs:
+        w, assignment = prune_spec_layer(conv, pattern_set, connectivity_rate, rng)
+        layers.append(
+            compile_layer(conv, w, assignment, pattern_set, cost_model, opt_level)
+        )
+    return CompiledModel(
+        name=f"{spec.name}-{spec.dataset}",
+        device_unit=cost_model.unit,
+        layers=layers,
+        opt_level=opt_level,
+    )

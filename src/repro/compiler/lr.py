@@ -1,0 +1,105 @@
+"""Layerwise Representation — LR (paper §5.1, Figure 8).
+
+The LR is PatDNN's sparsity-aware per-layer IR: it carries the pattern
+and connectivity information (pattern types present, FKW layout), the
+tuning-decided parameters (tile sizes, unroll factors, loop
+permutation), and the basic layer info (strides, dilations).  The
+compiler reads it to drive FKR, LRE, and code generation; we also emit
+the YAML-ish text form shown in Figure 8 for documentation and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class LayerwiseRepresentation:
+    """One CONV layer's LR entry.
+
+    Attributes mirror Figure 8's fields:
+        name: layer name (e.g. ``conv_op1``).
+        device: execution target, ``'cpu'`` or ``'gpu'``.
+        storage: ``'tight'`` when FKW-packed, else ``'dense'``/``'csr'``.
+        pattern_types: sorted pattern ids present in this layer.
+        layout: weight layout tag (``'FKW'``).
+        tuning: dict with ``unroll`` [oc, h, w, ic], ``tile``
+            [oc, oh, ow], ``permute`` (loop order string).
+        info: dict with ``strides``, ``dilations``, kernel size, shapes.
+    """
+
+    name: str
+    device: str = "cpu"
+    storage: str = "tight"
+    pattern_types: list[int] = field(default_factory=list)
+    layout: str = "FKW"
+    tuning: dict[str, Any] = field(default_factory=dict)
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_layer(
+        cls,
+        name: str,
+        assignment: np.ndarray,
+        device: str = "cpu",
+        tuning: dict[str, Any] | None = None,
+        stride: int = 1,
+        kernel_size: int = 3,
+        storage: str = "tight",
+        layout: str = "FKW",
+    ) -> "LayerwiseRepresentation":
+        """Build the LR entry from compiler artifacts."""
+        present = sorted(int(i) for i in np.unique(assignment) if i > 0)
+        return cls(
+            name=name,
+            device=device,
+            storage=storage,
+            pattern_types=present,
+            layout=layout,
+            tuning=dict(tuning or {}),
+            info={
+                "strides": [stride, stride],
+                "dilations": [1, 1],
+                "kernel_size": kernel_size,
+                "filters": int(assignment.shape[0]),
+                "channels": int(assignment.shape[1]),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "storage": self.storage,
+            "pattern": {"type": self.pattern_types, "layout": self.layout},
+            "tuning": dict(self.tuning),
+            "info": dict(self.info),
+        }
+
+    def to_yaml(self) -> str:
+        """Figure 8-style textual LR (hand-rolled, no YAML dependency)."""
+        lines = [
+            f"device: [{self.device.upper()}]",
+            "layers:",
+            f"  - name: \"{self.name}\"",
+            f"    storage: \"{self.storage}\"",
+            f"    pattern: {{\"type\": {self.pattern_types}, \"layout\": {self.layout}}}",
+        ]
+        if self.tuning:
+            parts = ", ".join(f"\"{k}\": {v}" for k, v in self.tuning.items())
+            lines.append(f"    tuning:  {{{parts}}}")
+        parts = ", ".join(f"\"{k}\": {v}" for k, v in self.info.items())
+        lines.append(f"    info:    {{{parts}}}")
+        return "\n".join(lines)
+
+
+def model_lr(layers: list[LayerwiseRepresentation], device: str = "cpu", name: str = "model") -> str:
+    """Whole-model LR document (concatenated layer entries)."""
+    lines = [f"name: {name}", f"device: [{device.upper()}]", "layers:"]
+    for lr in layers:
+        entry = lr.to_yaml().splitlines()[2:]  # drop per-layer device header
+        lines.extend(entry)
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Register-level load redundancy elimination analysis (paper §5.4).
+
+The generated code computes one SIMD vector of output pixels at a time.
+For a kernel with pattern positions {(r, c)}, each surviving weight
+needs the input row segment ``row = oh·s + r``, ``cols = ow·s + c ...``:
+
+* **No LRE** — every weight issues its own vector load, and the column
+  offset makes it unaligned, costing a second (realignment) load: 2 ×
+  ``entries`` loads per kernel per output vector.
+* **Kernel-level LRE** (Figure 11 left) — weights sharing an input *row*
+  reuse the register that already holds it (column shifts are free
+  vector ops): loads = number of *distinct rows* in the pattern.
+* **Filter-level LRE** (Figure 11 right) — after FKR, kernels at the
+  same input channel with the same pattern in the ``unroll_oc`` filters
+  processed together read identical input: the loads are shared across
+  the unroll group.
+
+``count_register_loads`` returns whole-layer totals used by Figure 14b
+and charged as cycles by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.storage import FKWLayer
+from repro.core.patterns import PatternSet
+
+
+@dataclass(frozen=True)
+class LoadCounts:
+    """Register-load totals for one layer under each elimination level."""
+
+    no_lre: int
+    kernel_lre: int
+    filter_lre: int
+
+    @property
+    def kernel_reduction(self) -> float:
+        return self.no_lre / self.kernel_lre if self.kernel_lre else 1.0
+
+    @property
+    def total_reduction(self) -> float:
+        return self.no_lre / self.filter_lre if self.filter_lre else 1.0
+
+
+def _distinct_rows(pattern_positions: tuple[int, ...], kernel_size: int) -> int:
+    return len({p // kernel_size for p in pattern_positions})
+
+
+def count_register_loads(
+    fkw: FKWLayer,
+    out_hw: int,
+    simd_width: int = 4,
+    unroll_oc: int = 4,
+) -> LoadCounts:
+    """Count vector register loads for a whole layer execution.
+
+    Args:
+        fkw: packed layer (provides per-kernel pattern ids and the FKR
+            grouping that filter-level LRE relies on).
+        out_hw: output feature-map side (loads scale with output tiles).
+        simd_width: output pixels per vector.
+        unroll_oc: filters processed together (the filter-LRE window).
+    """
+    k_size = fkw.shape[2]
+    pattern_set = fkw.pattern_set
+    out_vectors = max(1, (out_hw * out_hw) // simd_width)
+
+    rows_table = np.zeros(len(pattern_set) + 1, dtype=np.int64)
+    for pid in range(1, len(pattern_set) + 1):
+        rows_table[pid] = _distinct_rows(pattern_set[pid].positions, k_size)
+
+    pids = fkw.pattern_ids.astype(np.int64)
+    channels = fkw.index.astype(np.int64)
+    no_lre = int(2 * fkw.entries * len(pids))
+    kernel_lre = int(rows_table[pids].sum())
+
+    # Filter-level: within each unroll group of filters, identical
+    # (channel, pattern) slots pay their row loads once.
+    filter_lre = 0
+    f = fkw.shape[0]
+    num_patterns = len(pattern_set) + 1
+    for group_start in range(0, f, unroll_oc):
+        group_end = min(group_start + unroll_oc, f)
+        lo = int(fkw.offset[group_start])
+        hi = int(fkw.offset[group_end])
+        if hi == lo:
+            continue
+        keys = channels[lo:hi] * num_patterns + pids[lo:hi]
+        unique_keys = np.unique(keys)
+        filter_lre += int(rows_table[unique_keys % num_patterns].sum())
+    return LoadCounts(
+        no_lre=no_lre * out_vectors,
+        kernel_lre=kernel_lre * out_vectors,
+        filter_lre=filter_lre * out_vectors,
+    )
+
+
+def loads_without_patterns(nnz_weights: int, out_hw: int) -> int:
+    """Load count of a pattern-oblivious sparse kernel (CSR executor).
+
+    Every non-zero weight needs an indirect column load *and* its input
+    element load, per output pixel — the data-reuse pattern is invisible
+    to the compiler (paper §5.4's "hard to detect" case), and the
+    irregular accesses cannot be vectorised at all.
+    """
+    return 2 * nnz_weights * out_hw * out_hw

@@ -1,0 +1,162 @@
+"""Filter kernel reorder — FKR (paper §5.2, Figure 9).
+
+Two steps:
+
+1. **Filter reorder** groups filters by *length* (number of non-empty
+   kernels); inside each group, filters are greedily chained by
+   *similarity* — the number of positions whose pattern ids match once
+   each filter's kernels are sorted by pattern id.  Similar filters land
+   in the same thread group → balanced threads, no divergence.
+2. **Kernel reorder** sorts each filter's surviving kernels by pattern
+   id so execution visits each pattern exactly once as a contiguous run
+   → the branchless ``+Reorder`` code of Figure 7.
+
+The result is pure metadata (permutations); the FKW storage applies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FKRResult:
+    """Outcome of filter kernel reorder for one layer.
+
+    Attributes:
+        filter_order: (F,) permutation; ``filter_order[i]`` is the
+            original filter index executed at position ``i`` (this is the
+            FKW *reorder array*).
+        groups: [(start, end)) ranges of equal-length filters in the new
+            order — thread-group boundaries.
+        kernel_orders: per *reordered* filter, the surviving kernels as
+            an (n_i, 2) int array of (input_channel, pattern_id), sorted
+            by pattern id then channel.
+        lengths_before / lengths_after: filter lengths in original vs.
+            reordered positions (Figure 14a's distributions).
+    """
+
+    filter_order: np.ndarray
+    groups: list[tuple[int, int]]
+    kernel_orders: list[np.ndarray]
+    lengths_before: np.ndarray
+    lengths_after: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def pattern_runs_per_filter(self) -> float:
+        """Mean count of contiguous same-pattern runs per filter.
+
+        After kernel reorder this equals the number of *distinct*
+        patterns per filter — the branch count of the generated code.
+        """
+        runs = []
+        for order in self.kernel_orders:
+            if len(order) == 0:
+                runs.append(0)
+                continue
+            ids = order[:, 1]
+            runs.append(1 + int(np.count_nonzero(ids[1:] != ids[:-1])))
+        return float(np.mean(runs)) if runs else 0.0
+
+
+def _signature(kernels: np.ndarray) -> tuple:
+    """Hashable per-filter signature: pattern ids sorted, then channels."""
+    return tuple(kernels[:, 1].tolist())
+
+
+def _similarity(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of identical (position → pattern id) slots (paper's metric
+    for same-length filters whose kernels are ordered by pattern id)."""
+    n = min(len(a), len(b))
+    if n == 0:
+        return 0
+    return int(np.count_nonzero(a[:n, 1] == b[:n, 1]))
+
+
+def filter_kernel_reorder(assignment: np.ndarray, greedy_limit: int = 256) -> FKRResult:
+    """Run FKR on an (F, C) pattern-id assignment (0 = empty kernel).
+
+    Greedy similarity chaining is O(n²) per length group; groups larger
+    than ``greedy_limit`` fall back to lexicographic signature sort,
+    which clusters identical pattern sequences just as effectively at
+    O(n log n) (the paper does not fix the intra-group algorithm).
+    """
+    if assignment.ndim != 2:
+        raise ValueError(f"assignment must be (F, C), got shape {assignment.shape}")
+    f, c = assignment.shape
+
+    # Kernel reorder: surviving kernels sorted by (pattern id, channel).
+    per_filter: list[np.ndarray] = []
+    for i in range(f):
+        channels = np.nonzero(assignment[i])[0]
+        ids = assignment[i, channels]
+        order = np.lexsort((channels, ids))
+        per_filter.append(np.stack([channels[order], ids[order]], axis=1).astype(np.int32)
+                          if len(channels) else np.empty((0, 2), dtype=np.int32))
+
+    lengths = np.array([len(k) for k in per_filter], dtype=np.int64)
+
+    # Filter reorder step 1: group by length (descending — long filters
+    # first keeps thread chunks monotone).
+    new_order: list[int] = []
+    groups: list[tuple[int, int]] = []
+    for length in sorted(set(lengths.tolist()), reverse=True):
+        members = [i for i in range(f) if lengths[i] == length]
+        signatures = {i: _signature(per_filter[i]) for i in members}
+        distinct = len(set(signatures.values()))
+        if distinct <= 1 or len(members) > greedy_limit:
+            # Identical or huge group: lexicographic sort clusters equal
+            # signatures adjacently, which is all the wavefront needs.
+            chained = sorted(members, key=lambda i: signatures[i])
+        else:
+            # Step 2: greedy similarity chain inside the group.
+            chained = []
+            remaining = sorted(members, key=lambda i: signatures[i])
+            current = remaining.pop(0)
+            chained.append(current)
+            while remaining:
+                best = max(remaining, key=lambda j: (_similarity(per_filter[current], per_filter[j]), -j))
+                remaining.remove(best)
+                chained.append(best)
+                current = best
+        start = len(new_order)
+        new_order.extend(chained)
+        groups.append((start, len(new_order)))
+
+    filter_order = np.array(new_order, dtype=np.int64)
+    kernel_orders = [per_filter[i] for i in filter_order]
+    return FKRResult(
+        filter_order=filter_order,
+        groups=groups,
+        kernel_orders=kernel_orders,
+        lengths_before=lengths,
+        lengths_after=lengths[filter_order],
+    )
+
+
+def identity_reorder(assignment: np.ndarray) -> FKRResult:
+    """The no-FKR baseline: original filter order, kernels by channel.
+
+    Used by the ``No-opt`` codegen variant and as the Figure 14a
+    'before' distribution.
+    """
+    f, c = assignment.shape
+    per_filter = []
+    for i in range(f):
+        channels = np.nonzero(assignment[i])[0]
+        ids = assignment[i, channels]
+        per_filter.append(np.stack([channels, ids], axis=1).astype(np.int32)
+                          if len(channels) else np.empty((0, 2), dtype=np.int32))
+    lengths = np.array([len(k) for k in per_filter], dtype=np.int64)
+    return FKRResult(
+        filter_order=np.arange(f, dtype=np.int64),
+        groups=[(0, f)],
+        kernel_orders=per_filter,
+        lengths_before=lengths,
+        lengths_after=lengths,
+    )

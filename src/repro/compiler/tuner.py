@@ -1,0 +1,320 @@
+"""Parameter auto-tuning (paper §5.5).
+
+Two cooperating parts, as in the paper:
+
+* :class:`GATuner` — a Genetic-Algorithm explorer over the configuration
+  space (tile sizes, unroll factors, loop permutation, GPU data
+  placement).  Unlike simulated annealing (TVM), a whole population is
+  evaluated per generation, so the search parallelises trivially;
+  fitness is the cost model's estimate.
+* :class:`PerformanceEstimator` — an MLP (+ least-squares readout)
+  trained on the explorer's history; on a *new* device it predicts good
+  configurations and expected latency without re-measuring.
+
+The explored :class:`Schedule` maps 1:1 onto the LR's ``tuning`` field
+and the cost model's :class:`~repro.hardware.cost_model.SchedParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.hardware.cost_model import ConvCostModel, ConvWorkload, SchedParams
+from repro.utils.rng import make_rng
+
+PERMUTATIONS = ("cohwci", "cocihw", "hwcoci", "cihwco")
+_TILES_OC = (8, 16, 32, 64, 128)
+_TILES_HW = (4, 8, 14, 16, 28, 32)
+_UNROLLS = (1, 2, 4, 8)
+_PLACEMENTS = ("buffer", "image2d")  # GPU data placement (§5.5)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One point in the tuning space."""
+
+    tile_oc: int = 32
+    tile_oh: int = 8
+    tile_ow: int = 8
+    unroll_oc: int = 1
+    unroll_ow: int = 1
+    unroll_ic: int = 1
+    permutation: str = "cohwci"
+    blocked: bool = False
+    placement: str = "buffer"
+
+    def to_sched_params(self) -> SchedParams:
+        return SchedParams(
+            tile_oc=self.tile_oc,
+            tile_oh=self.tile_oh,
+            tile_ow=self.tile_ow,
+            unroll_oc=self.unroll_oc,
+            unroll_ow=self.unroll_ow,
+            permutation=self.permutation,
+            blocked=self.blocked,
+        )
+
+    def to_lr_tuning(self) -> dict:
+        """The LR 'tuning' field (Figure 8)."""
+        return {
+            "unroll": [self.unroll_oc, 1, self.unroll_ow, self.unroll_ic],
+            "tile": [self.tile_oc, self.tile_oh, self.tile_ow],
+            "permute": self.permutation,
+        }
+
+    @staticmethod
+    def default() -> "Schedule":
+        """The untuned schedule used by the No-opt/+LRE variants."""
+        return Schedule()
+
+
+@dataclass
+class ScheduleSpace:
+    """Legal values per knob for a given layer/device."""
+
+    tiles_oc: tuple[int, ...]
+    tiles_hw: tuple[int, ...]
+    unrolls: tuple[int, ...]
+    permutations: tuple[str, ...] = PERMUTATIONS
+    placements: tuple[str, ...] = ("buffer",)
+
+    @classmethod
+    def for_layer(cls, out_channels: int, out_hw: int, unit: str = "cpu") -> "ScheduleSpace":
+        return cls(
+            tiles_oc=tuple(t for t in _TILES_OC if t <= max(8, out_channels)),
+            tiles_hw=tuple(t for t in _TILES_HW if t <= max(4, out_hw)),
+            unrolls=_UNROLLS,
+            placements=_PLACEMENTS if unit == "gpu" else ("buffer",),
+        )
+
+    def size(self) -> int:
+        return (
+            len(self.tiles_oc)
+            * len(self.tiles_hw) ** 2
+            * len(self.unrolls) ** 3
+            * len(self.permutations)
+            * 2
+            * len(self.placements)
+        )
+
+    def random(self, rng: np.random.Generator) -> Schedule:
+        return Schedule(
+            tile_oc=int(rng.choice(self.tiles_oc)),
+            tile_oh=int(rng.choice(self.tiles_hw)),
+            tile_ow=int(rng.choice(self.tiles_hw)),
+            unroll_oc=int(rng.choice(self.unrolls)),
+            unroll_ow=int(rng.choice(self.unrolls)),
+            unroll_ic=int(rng.choice(self.unrolls)),
+            permutation=str(rng.choice(self.permutations)),
+            blocked=bool(rng.random() < 0.5),
+            placement=str(rng.choice(self.placements)),
+        )
+
+    def mutate(self, s: Schedule, rng: np.random.Generator) -> Schedule:
+        knob = rng.integers(0, 8)
+        if knob == 0:
+            return replace(s, tile_oc=int(rng.choice(self.tiles_oc)))
+        if knob == 1:
+            return replace(s, tile_oh=int(rng.choice(self.tiles_hw)))
+        if knob == 2:
+            return replace(s, tile_ow=int(rng.choice(self.tiles_hw)))
+        if knob == 3:
+            return replace(s, unroll_oc=int(rng.choice(self.unrolls)))
+        if knob == 4:
+            return replace(s, unroll_ow=int(rng.choice(self.unrolls)))
+        if knob == 5:
+            return replace(s, permutation=str(rng.choice(self.permutations)))
+        if knob == 6:
+            return replace(s, blocked=not s.blocked)
+        return replace(s, placement=str(rng.choice(self.placements)))
+
+    def crossover(self, a: Schedule, b: Schedule, rng: np.random.Generator) -> Schedule:
+        pick = lambda x, y: x if rng.random() < 0.5 else y  # noqa: E731
+        return Schedule(
+            tile_oc=pick(a.tile_oc, b.tile_oc),
+            tile_oh=pick(a.tile_oh, b.tile_oh),
+            tile_ow=pick(a.tile_ow, b.tile_ow),
+            unroll_oc=pick(a.unroll_oc, b.unroll_oc),
+            unroll_ow=pick(a.unroll_ow, b.unroll_ow),
+            unroll_ic=pick(a.unroll_ic, b.unroll_ic),
+            permutation=pick(a.permutation, b.permutation),
+            blocked=pick(a.blocked, b.blocked),
+            placement=pick(a.placement, b.placement),
+        )
+
+
+@dataclass
+class TuneResult:
+    best: Schedule
+    best_ms: float
+    history: list[tuple[Schedule, float]] = field(default_factory=list)
+    generations: int = 0
+
+
+class GATuner:
+    """Genetic-algorithm schedule explorer.
+
+    Args:
+        cost_model: evaluator (framework-calibrated).
+        population: chromosomes per generation (arbitrary — the paper's
+            parallelism argument vs. annealing).
+        generations: evolution steps.
+        elite: survivors copied unchanged.
+        seed: RNG seed (deterministic search).
+    """
+
+    def __init__(
+        self,
+        cost_model: ConvCostModel,
+        population: int = 24,
+        generations: int = 12,
+        elite: int = 4,
+        mutation_rate: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if elite >= population:
+            raise ValueError("elite must be smaller than population")
+        self.cost_model = cost_model
+        self.population = population
+        self.generations = generations
+        self.elite = elite
+        self.mutation_rate = mutation_rate
+        self.rng = make_rng(seed)
+
+    def tune(self, work: ConvWorkload, space: ScheduleSpace | None = None) -> TuneResult:
+        space = space or ScheduleSpace.for_layer(
+            work.spec.out_channels, work.spec.out_hw, self.cost_model.unit
+        )
+        pop = [space.random(self.rng) for _ in range(self.population)]
+        history: list[tuple[Schedule, float]] = []
+
+        def fitness(s: Schedule) -> float:
+            return self.cost_model.estimate(work, s.to_sched_params()).total_ms
+
+        for _gen in range(self.generations):
+            scored = sorted(((fitness(s), s) for s in pop), key=lambda t: t[0])
+            history.extend((s, ms) for ms, s in scored)
+            elite = [s for _, s in scored[: self.elite]]
+            children: list[Schedule] = list(elite)
+            while len(children) < self.population:
+                # Tournament selection from the top half.
+                parents = [scored[int(self.rng.integers(0, max(1, len(scored) // 2)))][1] for _ in range(2)]
+                child = space.crossover(parents[0], parents[1], self.rng)
+                if self.rng.random() < self.mutation_rate:
+                    child = space.mutate(child, self.rng)
+                children.append(child)
+            pop = children
+        final = sorted(((fitness(s), s) for s in pop), key=lambda t: t[0])
+        best_ms, best = final[0]
+        history.extend((s, ms) for ms, s in final)
+        return TuneResult(best=best, best_ms=best_ms, history=history, generations=self.generations)
+
+
+# ----------------------------------------------------------------------
+# Performance estimator (MLP + least-squares readout)
+# ----------------------------------------------------------------------
+def _featurize(s: Schedule, work: ConvWorkload) -> np.ndarray:
+    spec = work.spec
+    return np.array(
+        [
+            np.log2(s.tile_oc),
+            np.log2(s.tile_oh),
+            np.log2(s.tile_ow),
+            np.log2(s.unroll_oc),
+            np.log2(s.unroll_ow),
+            np.log2(s.unroll_ic),
+            float(PERMUTATIONS.index(s.permutation)),
+            1.0 if s.blocked else 0.0,
+            1.0 if s.placement == "image2d" else 0.0,
+            np.log2(max(2, spec.out_channels)),
+            np.log2(max(2, spec.in_channels)),
+            np.log2(max(2, spec.out_hw)),
+            np.log2(max(2, work.nnz_weights)),
+        ],
+        dtype=np.float64,
+    )
+
+
+class PerformanceEstimator:
+    """One-hidden-layer MLP regressor on (schedule, layer) features.
+
+    Trained with Adam on squared error of log-latency; the final linear
+    readout is then refit in closed form (least squares) on the hidden
+    activations — the paper's "Multilayer Perceptron and least square
+    regression loss".
+    """
+
+    def __init__(self, hidden: int = 32, seed: int = 0) -> None:
+        self.hidden = hidden
+        self.rng = make_rng(seed)
+        self._w1: np.ndarray | None = None
+        self._b1: np.ndarray | None = None
+        self._w2: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    def fit(
+        self,
+        samples: list[tuple[Schedule, float]],
+        work: ConvWorkload,
+        epochs: int = 300,
+        lr: float = 1e-2,
+    ) -> float:
+        """Train on explorer history; returns final RMSE in log-ms."""
+        if len(samples) < 8:
+            raise ValueError(f"need at least 8 samples to fit, got {len(samples)}")
+        x = np.stack([_featurize(s, work) for s, _ in samples])
+        y = np.log(np.array([ms for _, ms in samples], dtype=np.float64))
+        self._mu = x.mean(axis=0)
+        self._sigma = x.std(axis=0) + 1e-8
+        xn = (x - self._mu) / self._sigma
+        n, d = xn.shape
+        w1 = self.rng.standard_normal((d, self.hidden)) * np.sqrt(2.0 / d)
+        b1 = np.zeros(self.hidden)
+        w2 = self.rng.standard_normal(self.hidden + 1) * 0.01
+        m = {k: 0.0 for k in ("w1", "b1", "w2")}
+        v = {k: 0.0 for k in ("w1", "b1", "w2")}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for t in range(1, epochs + 1):
+            h = np.tanh(xn @ w1 + b1)
+            hb = np.concatenate([h, np.ones((n, 1))], axis=1)
+            pred = hb @ w2
+            err = pred - y
+            g_w2 = hb.T @ err / n
+            g_h = np.outer(err, w2[:-1]) * (1 - h * h) / n
+            g_w1 = xn.T @ g_h
+            g_b1 = g_h.sum(axis=0)
+            for key, grad in (("w1", g_w1), ("b1", g_b1), ("w2", g_w2)):
+                m[key] = beta1 * m[key] + (1 - beta1) * grad
+                v[key] = beta2 * v[key] + (1 - beta2) * grad * grad
+                m_hat = m[key] / (1 - beta1**t)
+                v_hat = v[key] / (1 - beta2**t)
+                step = lr * m_hat / (np.sqrt(v_hat) + eps)
+                if key == "w1":
+                    w1 -= step
+                elif key == "b1":
+                    b1 -= step
+                else:
+                    w2 -= step
+        # Least-squares readout refit on the learned hidden features.
+        h = np.tanh(xn @ w1 + b1)
+        hb = np.concatenate([h, np.ones((n, 1))], axis=1)
+        w2, *_ = np.linalg.lstsq(hb, y, rcond=None)
+        self._w1, self._b1, self._w2 = w1, b1, w2
+        rmse = float(np.sqrt(np.mean((hb @ w2 - y) ** 2)))
+        return rmse
+
+    def predict(self, schedule: Schedule, work: ConvWorkload) -> float:
+        """Predicted latency in ms."""
+        if self._w1 is None:
+            raise RuntimeError("estimator not fitted")
+        x = (_featurize(schedule, work) - self._mu) / self._sigma
+        h = np.tanh(x @ self._w1 + self._b1)
+        hb = np.concatenate([h, [1.0]])
+        return float(np.exp(hb @ self._w2))
+
+    def best_of(self, candidates: list[Schedule], work: ConvWorkload) -> Schedule:
+        """Pick the predicted-fastest candidate (new-platform warm start)."""
+        return min(candidates, key=lambda s: self.predict(s, work))

@@ -1,0 +1,66 @@
+"""Pattern-based weight pruning — the paper's primary contribution (§3–§4).
+
+Pipeline (Figure 6 of the paper):
+
+1. :func:`~repro.core.patterns.mine_pattern_set` — scan a pre-trained
+   model's kernels, count *natural patterns* (top-4-magnitude entries
+   including the centre), keep the top-k as the candidate set.
+2. :class:`~repro.core.admm.ADMMPruner` — extended ADMM: SGD/Adam on the
+   loss plus proximal terms (subproblem 1), Euclidean projections onto
+   the pattern and connectivity constraint sets (subproblems 2–3), dual
+   updates.
+3. :class:`~repro.core.masking.MaskedRetrainer` — hard-project, freeze
+   the sparsity masks, retrain the surviving weights.
+
+:class:`~repro.core.pruner.PatDNNPruner` wraps all three behind one call.
+Baselines for Table 4 / Table 2 live in :mod:`repro.core.baselines`.
+"""
+
+from repro.core.patterns import (
+    Pattern,
+    PatternSet,
+    enumerate_candidate_patterns,
+    natural_pattern_of,
+    mine_pattern_set,
+)
+from repro.core.projections import (
+    project_kernel_pattern,
+    project_connectivity,
+    project_filters,
+    project_channels,
+    project_magnitude,
+)
+from repro.core.admm import ADMMConfig, ADMMPruner
+from repro.core.masking import extract_masks, apply_masks, MaskedRetrainer
+from repro.core.pruner import PatDNNPruner, PruningResult, PruningConfig
+from repro.core.metrics import (
+    compression_rate,
+    sparsity_report,
+    count_nonzero_kernels,
+    pattern_histogram,
+)
+
+__all__ = [
+    "Pattern",
+    "PatternSet",
+    "enumerate_candidate_patterns",
+    "natural_pattern_of",
+    "mine_pattern_set",
+    "project_kernel_pattern",
+    "project_connectivity",
+    "project_filters",
+    "project_channels",
+    "project_magnitude",
+    "ADMMConfig",
+    "ADMMPruner",
+    "extract_masks",
+    "apply_masks",
+    "MaskedRetrainer",
+    "PatDNNPruner",
+    "PruningResult",
+    "PruningConfig",
+    "compression_rate",
+    "sparsity_report",
+    "count_nonzero_kernels",
+    "pattern_histogram",
+]

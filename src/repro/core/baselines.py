@@ -1,0 +1,209 @@
+"""Baseline pruning schemes the paper compares against (Tables 2 and 4).
+
+* :class:`MagnitudePruner` — iterative magnitude pruning with retraining
+  between steps (Deep Compression [14] style).
+* :class:`GrowPrunePruner` — grow-and-prune (NeST [8] style, simplified):
+  magnitude pruning followed by gradient-driven regrowth of a small
+  fraction of connections, iterated.
+* :class:`ADMMUnstructuredPruner` — ADMM-NN [49]: the same extended ADMM
+  machinery with a *magnitude* projection instead of pattern sets.
+* :class:`StructuredPruner` — filter or channel pruning ([19]/[54]) with
+  one-shot projection + retraining.
+
+All share the interface ``prune(model, loader) -> dict[name, mask]`` so
+Table 4's harness can sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.core.masking import MaskedRetrainer
+from repro.core.projections import (
+    project_channels,
+    project_filters,
+    project_magnitude,
+)
+from repro.data.loader import DataLoader
+from repro.optim import Adam
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+def _conv_layers(model: nn.Module) -> list[tuple[str, nn.Conv2d]]:
+    return [(n, m) for n, m in model.named_modules() if isinstance(m, nn.Conv2d) and m.groups == 1]
+
+
+@dataclass
+class MagnitudePruner:
+    """Iterative magnitude pruning (non-structured, heuristic).
+
+    The target rate is reached over ``steps`` geometric increments, with
+    ``retrain_epochs`` of masked fine-tuning after each (the classic
+    prune–retrain loop of Deep Compression / Han et al.).
+    """
+
+    rate: float = 8.0
+    steps: int = 3
+    retrain_epochs: int = 2
+    lr: float = 1e-3
+
+    def prune(self, model: nn.Module, loader: DataLoader, loss_fn=None) -> dict[str, np.ndarray]:
+        loss_fn = loss_fn or nn.CrossEntropyLoss()
+        masks: dict[str, np.ndarray] = {}
+        for step in range(1, self.steps + 1):
+            step_rate = self.rate ** (step / self.steps)
+            masks = {}
+            for name, module in _conv_layers(model):
+                keep = max(1, int(round(module.weight.data.size / step_rate)))
+                _, mask = project_magnitude(module.weight.data, keep)
+                masks[name] = mask.astype(np.float32)
+            retrainer = MaskedRetrainer(model, masks)
+            retrainer.train(loader, epochs=self.retrain_epochs, loss_fn=loss_fn, lr=self.lr)
+        return masks
+
+
+@dataclass
+class GrowPrunePruner:
+    """Grow-and-prune (NeST-style, simplified to its pruning essence).
+
+    Each round: magnitude-prune slightly below target, retrain, then
+    regrow the connections with the largest gradient magnitude among the
+    pruned ones, and finish with a final prune to the target rate.
+    """
+
+    rate: float = 6.5
+    rounds: int = 2
+    regrow_fraction: float = 0.1
+    retrain_epochs: int = 2
+    lr: float = 1e-3
+
+    def prune(self, model: nn.Module, loader: DataLoader, loss_fn=None) -> dict[str, np.ndarray]:
+        loss_fn = loss_fn or nn.CrossEntropyLoss()
+        masks: dict[str, np.ndarray] = {}
+        for _ in range(self.rounds):
+            # Prune beyond the target so regrowth lands back on it.
+            over_rate = self.rate / (1.0 - self.regrow_fraction)
+            masks = {}
+            for name, module in _conv_layers(model):
+                keep = max(1, int(round(module.weight.data.size / over_rate)))
+                _, mask = project_magnitude(module.weight.data, keep)
+                masks[name] = mask.astype(np.float32)
+            MaskedRetrainer(model, masks).train(loader, epochs=self.retrain_epochs, loss_fn=loss_fn, lr=self.lr)
+            masks = self._regrow(model, loader, loss_fn, masks)
+        # Final exact-rate projection.
+        for name, module in _conv_layers(model):
+            keep = max(1, int(round(module.weight.data.size / self.rate)))
+            _, mask = project_magnitude(module.weight.data, keep)
+            masks[name] = mask.astype(np.float32)
+        MaskedRetrainer(model, masks).train(loader, epochs=self.retrain_epochs, loss_fn=loss_fn, lr=self.lr)
+        return masks
+
+    def _regrow(self, model, loader, loss_fn, masks) -> dict[str, np.ndarray]:
+        """Reactivate pruned weights with the largest gradient magnitude."""
+        model.zero_grad()
+        xb, yb = next(iter(loader))
+        loss = loss_fn(model(Tensor(xb)), yb)
+        loss.backward()
+        grown: dict[str, np.ndarray] = {}
+        for name, module in _conv_layers(model):
+            mask = masks[name].copy()
+            grad = module.weight.grad
+            if grad is None:
+                grown[name] = mask
+                continue
+            pruned = mask == 0
+            budget = int(self.regrow_fraction * mask.sum())
+            if budget and pruned.any():
+                candidates = np.abs(grad) * pruned
+                flat = candidates.reshape(-1)
+                top = np.argpartition(-flat, min(budget, flat.size - 1))[:budget]
+                mask.reshape(-1)[top] = 1.0
+            grown[name] = mask
+        model.zero_grad()
+        return grown
+
+
+@dataclass
+class ADMMUnstructuredPruner:
+    """ADMM-NN: ADMM with per-layer magnitude (cardinality) projection."""
+
+    rate: float = 8.0
+    rho: float = 1e-2
+    iterations: int = 5
+    epochs_per_iteration: int = 2
+    retrain_epochs: int = 3
+    lr: float = 2e-3
+
+    def prune(self, model: nn.Module, loader: DataLoader, loss_fn=None) -> dict[str, np.ndarray]:
+        loss_fn = loss_fn or nn.CrossEntropyLoss()
+        layers = _conv_layers(model)
+        z = {}
+        u = {}
+        keep = {}
+        for name, module in layers:
+            w = module.weight.data
+            keep[name] = max(1, int(round(w.size / self.rate)))
+            z[name], _ = project_magnitude(w, keep[name])
+            u[name] = np.zeros_like(w)
+        optimizer = Adam(model.parameters(), lr=self.lr)
+        model.train()
+        for _ in range(self.iterations):
+            for _ in range(self.epochs_per_iteration):
+                for xb, yb in loader:
+                    optimizer.zero_grad()
+                    loss = loss_fn(model(Tensor(xb)), yb)
+                    loss.backward()
+                    for name, module in layers:
+                        g = module.weight.grad
+                        if g is not None:
+                            g += self.rho * (module.weight.data - z[name] + u[name])
+                    optimizer.step()
+            for name, module in layers:
+                w = module.weight.data
+                z[name], _ = project_magnitude(w + u[name], keep[name])
+                u[name] = u[name] + w - z[name]
+        masks = {}
+        for name, module in layers:
+            _, mask = project_magnitude(module.weight.data, keep[name])
+            masks[name] = mask.astype(np.float32)
+        MaskedRetrainer(model, masks).train(loader, epochs=self.retrain_epochs, loss_fn=loss_fn, lr=self.lr)
+        return masks
+
+
+@dataclass
+class StructuredPruner:
+    """Filter or channel pruning (coarse-grained structured baseline)."""
+
+    rate: float = 3.8
+    granularity: str = "filter"  # 'filter' | 'channel'
+    retrain_epochs: int = 3
+    lr: float = 1e-3
+
+    def prune(self, model: nn.Module, loader: DataLoader, loss_fn=None) -> dict[str, np.ndarray]:
+        if self.granularity not in ("filter", "channel"):
+            raise ValueError(f"granularity must be 'filter' or 'channel', got {self.granularity!r}")
+        loss_fn = loss_fn or nn.CrossEntropyLoss()
+        masks: dict[str, np.ndarray] = {}
+        layers = _conv_layers(model)
+        for i, (name, module) in enumerate(layers):
+            w = module.weight.data
+            # Never structurally prune the 3-channel input layer.
+            if self.granularity == "channel" and i == 0:
+                masks[name] = np.ones_like(w)
+                continue
+            if self.granularity == "filter":
+                keep = max(1, int(round(w.shape[0] / self.rate)))
+                _, m = project_filters(w, keep)
+                masks[name] = np.broadcast_to(m[:, None, None, None], w.shape).astype(np.float32).copy()
+            else:
+                keep = max(1, int(round(w.shape[1] / self.rate)))
+                _, m = project_channels(w, keep)
+                masks[name] = np.broadcast_to(m[None, :, None, None], w.shape).astype(np.float32).copy()
+        MaskedRetrainer(model, masks).train(loader, epochs=self.retrain_epochs, loss_fn=loss_fn, lr=self.lr)
+        return masks

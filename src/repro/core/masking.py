@@ -1,0 +1,117 @@
+"""Masked mapping and retraining (final stage of Figure 6).
+
+After ADMM regularisation the weights are hard-projected onto the
+constraint sets; the resulting zero pattern is frozen as a set of masks
+and the surviving weights are fine-tuned on the task loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.core.patterns import PatternSet
+from repro.core.projections import (
+    connectivity_budget,
+    project_connectivity,
+    project_kernel_pattern,
+)
+from repro.data.loader import DataLoader
+from repro.optim import Adam
+from repro.optim.base import Optimizer
+
+
+def extract_masks(
+    model: nn.Module,
+    pattern_set: PatternSet | None,
+    connectivity_rate: float | None = None,
+    pattern_kernel_size: int = 3,
+) -> dict[str, np.ndarray]:
+    """One-shot hard projection: compute masks directly from the weights.
+
+    This is the non-ADMM path (used by one-shot baselines and tests);
+    :meth:`repro.core.admm.ADMMPruner.hard_masks` is the trained path.
+    """
+    masks: dict[str, np.ndarray] = {}
+    for name, module in model.named_modules():
+        if not isinstance(module, nn.Conv2d):
+            continue
+        w = module.weight.data
+        mask = np.ones_like(w)
+        if (
+            pattern_set is not None
+            and module.kernel_size == pattern_kernel_size
+            and module.groups == 1
+        ):
+            _, assignment = project_kernel_pattern(w, pattern_set)
+            mask *= pattern_set.masks_for(assignment)
+        if connectivity_rate is not None and module.groups == 1:
+            keep = connectivity_budget(w.shape, connectivity_rate)
+            _, keep_mask = project_connectivity(w * mask, keep)
+            mask *= keep_mask[:, :, None, None]
+        masks[name] = mask
+    return masks
+
+
+def apply_masks(model: nn.Module, masks: dict[str, np.ndarray]) -> None:
+    """Zero out masked weights in place."""
+    modules = dict(model.named_modules())
+    for name, mask in masks.items():
+        module = modules[name]
+        module.weight.data = (module.weight.data * mask).astype(module.weight.data.dtype)
+
+
+class MaskedRetrainer:
+    """Fine-tune surviving weights while keeping the masks exact.
+
+    Gradients at masked positions are zeroed before every optimizer step,
+    and the weights are re-masked after the step — so optimizers with
+    momentum/weight-decay cannot resurrect pruned weights.
+    """
+
+    def __init__(self, model: nn.Module, masks: dict[str, np.ndarray]) -> None:
+        self.model = model
+        self.masks = masks
+        modules = dict(model.named_modules())
+        missing = [name for name in masks if name not in modules]
+        if missing:
+            raise KeyError(f"mask names not found in model: {missing}")
+        self._layers = [(modules[name], mask) for name, mask in masks.items()]
+
+    def _mask_gradients(self) -> None:
+        for module, mask in self._layers:
+            if module.weight.grad is not None:
+                module.weight.grad *= mask
+
+    def _mask_weights(self) -> None:
+        for module, mask in self._layers:
+            module.weight.data *= mask
+
+    def train(
+        self,
+        loader: DataLoader,
+        epochs: int,
+        loss_fn: nn.Module | None = None,
+        optimizer: Optimizer | None = None,
+        lr: float = 1e-3,
+    ) -> list[float]:
+        """Run masked fine-tuning; returns per-epoch mean losses."""
+        loss_fn = loss_fn or nn.CrossEntropyLoss()
+        optimizer = optimizer or Adam(self.model.parameters(), lr=lr)
+        history: list[float] = []
+        self.model.train()
+        self._mask_weights()
+        for _ in range(epochs):
+            total, batches = 0.0, 0
+            for xb, yb in loader:
+                optimizer.zero_grad()
+                loss = loss_fn(self.model(Tensor(xb)), yb)
+                loss.backward()
+                self._mask_gradients()
+                optimizer.step()
+                self._mask_weights()
+                total += loss.item()
+                batches += 1
+            history.append(total / max(batches, 1))
+        return history

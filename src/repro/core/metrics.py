@@ -1,0 +1,95 @@
+"""Compression and sparsity accounting (Table 4 / Table 5 quantities)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor, no_grad
+from repro.nn.functional import accuracy
+
+
+def compression_rate(model: nn.Module, conv_only: bool = True) -> float:
+    """Total weights / non-zero weights over (conv) layers.
+
+    The paper's "CONV compression rate" column (Table 4) counts only
+    convolution weights.
+    """
+    total = 0
+    nonzero = 0
+    for _, module in model.named_modules():
+        if isinstance(module, nn.Conv2d) or (not conv_only and isinstance(module, nn.Linear)):
+            w = module.weight.data
+            total += w.size
+            nonzero += int(np.count_nonzero(w))
+    if nonzero == 0:
+        raise ValueError("model has no non-zero weights")
+    return total / nonzero
+
+
+def count_nonzero_kernels(weights: np.ndarray) -> int:
+    """Number of kernels with at least one surviving weight."""
+    f, c = weights.shape[:2]
+    energy = (weights.reshape(f, c, -1) ** 2).sum(axis=2)
+    return int(np.count_nonzero(energy))
+
+
+def pattern_histogram(assignment: np.ndarray) -> dict[int, int]:
+    """Count kernels per pattern id (0 = connectivity-pruned)."""
+    ids, counts = np.unique(assignment, return_counts=True)
+    return {int(i): int(n) for i, n in zip(ids, counts)}
+
+
+@dataclass
+class LayerSparsity:
+    name: str
+    total_weights: int
+    nonzero_weights: int
+    total_kernels: int
+    nonzero_kernels: int
+
+    @property
+    def weight_rate(self) -> float:
+        return self.total_weights / max(self.nonzero_weights, 1)
+
+    @property
+    def kernel_rate(self) -> float:
+        return self.total_kernels / max(self.nonzero_kernels, 1)
+
+
+def sparsity_report(model: nn.Module) -> list[LayerSparsity]:
+    """Per-conv-layer sparsity inventory."""
+    report = []
+    for name, module in model.named_modules():
+        if not isinstance(module, nn.Conv2d):
+            continue
+        w = module.weight.data
+        f, c = w.shape[:2]
+        report.append(
+            LayerSparsity(
+                name=name,
+                total_weights=w.size,
+                nonzero_weights=int(np.count_nonzero(w)),
+                total_kernels=f * c,
+                nonzero_kernels=count_nonzero_kernels(w),
+            )
+        )
+    return report
+
+
+def evaluate_accuracy(model: nn.Module, images: np.ndarray, labels: np.ndarray, topk: int = 1, batch: int = 256) -> float:
+    """Eval-mode top-k accuracy over a dataset array."""
+    model.eval()
+    hits = 0.0
+    seen = 0
+    with no_grad():
+        for start in range(0, len(labels), batch):
+            xb = images[start : start + batch]
+            yb = labels[start : start + batch]
+            logits = model(Tensor(xb)).data
+            hits += accuracy(logits, yb, topk=topk) * len(yb)
+            seen += len(yb)
+    model.train()
+    return hits / max(seen, 1)

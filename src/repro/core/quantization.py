@@ -1,0 +1,113 @@
+"""Weight quantization companions to pattern pruning.
+
+The paper runs all GPU experiments in 16-bit floats (§2.2, §6.1) and
+builds on ADMM-NN, which performs joint pruning *and* quantization; this
+module supplies that companion capability:
+
+* :func:`quantize_fp16` — the paper's GPU numeric format;
+* :func:`quantize_int8` — symmetric per-filter int8 with scales, the
+  standard mobile deployment format (an 'extension' the paper defers to
+  ADMM-NN);
+* :class:`QuantizedFKW` — FKW whose weight array is stored quantized,
+  with byte accounting used by the storage benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.storage import FKWLayer
+
+
+def quantize_fp16(weights: np.ndarray) -> tuple[np.ndarray, float]:
+    """Cast to IEEE fp16; returns (fp16 array, max abs rounding error)."""
+    q = weights.astype(np.float16)
+    err = float(np.max(np.abs(q.astype(np.float32) - weights))) if weights.size else 0.0
+    return q, err
+
+
+def quantize_int8(
+    weights: np.ndarray, axis: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-slice int8 quantization along ``axis``.
+
+    Returns (int8 values, float32 scales) with
+    ``dequantize = values * scales`` broadcast along ``axis``.
+    """
+    if weights.size == 0:
+        return weights.astype(np.int8), np.ones(1, dtype=np.float32)
+    moved = np.moveaxis(weights, axis, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    scales = np.abs(flat).max(axis=1) / 127.0
+    scales[scales == 0] = 1.0
+    q = np.clip(np.round(flat / scales[:, None]), -127, 127).astype(np.int8)
+    q = np.moveaxis(q.reshape(moved.shape), 0, axis)
+    return q, scales.astype(np.float32)
+
+
+def dequantize_int8(values: np.ndarray, scales: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Inverse of :func:`quantize_int8`."""
+    moved = np.moveaxis(values.astype(np.float32), axis, 0)
+    out = moved * scales.reshape((-1,) + (1,) * (moved.ndim - 1))
+    return np.moveaxis(out, 0, axis)
+
+
+@dataclass
+class QuantizedFKW:
+    """An FKW layer with its weight array quantized.
+
+    Per-kernel int8 scales ride alongside the Figure 10 arrays; the
+    index structures are untouched, so the compression stacks with the
+    pruning (4 B → 1 B per surviving weight plus one scale per kernel).
+    """
+
+    fkw: FKWLayer
+    dtype: str  # 'fp16' | 'int8'
+    values: np.ndarray
+    scales: np.ndarray | None = None
+
+    @classmethod
+    def from_fkw(cls, fkw: FKWLayer, dtype: str = "fp16") -> "QuantizedFKW":
+        if dtype == "fp16":
+            values, _ = quantize_fp16(fkw.weights)
+            return cls(fkw=fkw, dtype=dtype, values=values)
+        if dtype == "int8":
+            values, scales = quantize_int8(fkw.weights, axis=0)  # per kernel
+            # fp16 scales: with only `entries` weights per kernel, fp32
+            # scales would cancel half the int8 savings.
+            return cls(fkw=fkw, dtype=dtype, values=values, scales=scales.astype(np.float16))
+        raise ValueError(f"dtype must be 'fp16' or 'int8', got {dtype!r}")
+
+    def dequantized_weights(self) -> np.ndarray:
+        if self.dtype == "fp16":
+            return self.values.astype(np.float32)
+        return dequantize_int8(self.values, self.scales.astype(np.float32), axis=0)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense reconstruction through the dequantized weights."""
+        restored = FKWLayer(
+            shape=self.fkw.shape,
+            entries=self.fkw.entries,
+            offset=self.fkw.offset,
+            reorder=self.fkw.reorder,
+            index=self.fkw.index,
+            stride=self.fkw.stride,
+            weights=self.dequantized_weights(),
+            pattern_set=self.fkw.pattern_set,
+        )
+        return restored.to_dense()
+
+    def weight_bytes(self) -> int:
+        scale_bytes = self.scales.nbytes if self.scales is not None else 0
+        return self.values.nbytes + scale_bytes
+
+    def total_bytes(self) -> int:
+        return self.fkw.overhead_bytes() + self.weight_bytes()
+
+    def max_error(self) -> float:
+        """Max abs weight distortion introduced by quantization."""
+        if self.fkw.weights.size == 0:
+            return 0.0
+        return float(np.max(np.abs(self.dequantized_weights() - self.fkw.weights)))

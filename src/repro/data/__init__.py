@@ -1,0 +1,19 @@
+"""Datasets and loaders.
+
+The environment has no network access, so ImageNet/CIFAR-10 are
+substituted by deterministic synthetic datasets whose classes are
+Gaussian perturbations of per-class image prototypes (see
+``DESIGN.md §2``).  They are hard enough that an untrained net scores at
+chance and a small CNN needs real optimisation to separate them — which
+is what the pruning-accuracy experiments require.
+"""
+
+from repro.data.synthetic import SyntheticImageDataset, make_cifar10_like, make_imagenet_like
+from repro.data.loader import DataLoader
+
+__all__ = [
+    "SyntheticImageDataset",
+    "make_cifar10_like",
+    "make_imagenet_like",
+    "DataLoader",
+]

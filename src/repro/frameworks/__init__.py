@@ -1,0 +1,38 @@
+"""Emulated end-to-end DNN inference frameworks (evaluation baselines).
+
+The paper benchmarks against TFLite, TVM, and MNN binaries on phones.
+With neither phones nor those binaries available, each framework is
+emulated as an :class:`~repro.frameworks.base.InferenceEngine` whose
+behaviour is derived from two things:
+
+1. the **optimization feature matrix of Table 1** (Winograd, fusion,
+   auto-tuning, fp16, sparse support, ...), which gates which cost-model
+   terms apply, and
+2. a small per-engine **sustained-efficiency calibration**
+   (:class:`~repro.frameworks.features.EngineProfile`) standing in for
+   each framework's kernel quality, documented in DESIGN.md §2.
+
+PatDNN itself runs in three modes — ``dense``, ``csr`` (conventional
+sparse), and ``pattern`` (the full compiler pipeline) — reproducing the
+paper's internal comparisons (§6.2, §6.4).
+"""
+
+from repro.frameworks.features import EngineProfile, PROFILES, feature_matrix
+from repro.frameworks.base import InferenceEngine, PreparedModel, UnsupportedModelError
+from repro.frameworks.engines import TFLiteEngine, TVMEngine, MNNEngine, PatDNNEngine, get_engine
+from repro.frameworks.winograd import winograd_conv2d
+
+__all__ = [
+    "EngineProfile",
+    "PROFILES",
+    "feature_matrix",
+    "InferenceEngine",
+    "PreparedModel",
+    "UnsupportedModelError",
+    "TFLiteEngine",
+    "TVMEngine",
+    "MNNEngine",
+    "PatDNNEngine",
+    "get_engine",
+    "winograd_conv2d",
+]

@@ -1,0 +1,109 @@
+"""Inference-engine interface shared by all emulated frameworks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frameworks.features import EngineProfile
+from repro.hardware.cost_model import CostBreakdown, ConvCostModel, ConvWorkload, SchedParams
+from repro.hardware.device import DeviceSpec
+from repro.models.spec import ModelSpec
+
+
+class UnsupportedModelError(RuntimeError):
+    """Raised when an engine cannot run a model (e.g. TFLite GPU + VGG)."""
+
+
+@dataclass
+class PreparedModel:
+    """A model prepared by an engine for a device/unit.
+
+    Attributes:
+        engine_name / model_name / unit: identification.
+        layer_costs: per-conv-layer cost breakdowns.
+        per_op_overhead_ms: dispatch overhead already included per layer.
+    """
+
+    engine_name: str
+    model_name: str
+    unit: str
+    layer_costs: list[CostBreakdown] = field(default_factory=list)
+    layer_names: list[str] = field(default_factory=list)
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end CONV latency (the paper's measured quantity)."""
+        return sum(c.total_ms for c in self.layer_costs)
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate achieved GFLOPS over all conv layers."""
+        total_flops = sum(c.detail.get("true_flops", 0.0) for c in self.layer_costs)
+        secs = self.latency_ms / 1e3
+        return total_flops / secs / 1e9 if secs > 0 else 0.0
+
+
+class InferenceEngine:
+    """Base class: prepare a ModelSpec for a device and report latency."""
+
+    def __init__(self, profile: EngineProfile, device: DeviceSpec, unit: str = "cpu") -> None:
+        if unit not in ("cpu", "gpu"):
+            raise ValueError(f"unit must be 'cpu' or 'gpu', got {unit!r}")
+        self.profile = profile
+        self.device = device
+        self.unit = unit
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def _cost_model(self) -> ConvCostModel:
+        arch = self.device.gpu.arch
+        overhead = (
+            self.profile.per_op_overhead_cpu_ms
+            if self.unit == "cpu"
+            else self.profile.per_op_overhead_gpu_ms
+        )
+        return ConvCostModel(
+            self.device,
+            self.unit,
+            utilization=self.profile.utilization(self.unit, arch),
+            sparse_efficiency=max(1e-6, self.profile.sparse_efficiency(self.unit, arch)),
+            fp16=self.profile.supports_fp16 and self.unit == "gpu",
+            per_op_overhead_ms=overhead,
+        )
+
+    def _dense_schedule(self) -> SchedParams:
+        """Library kernels: tuned engines run blocked/unrolled schedules."""
+        if self.profile.has_tuning or self.profile.hand_optimized_kernels:
+            return SchedParams(tile_oc=32, tile_oh=8, tile_ow=8, unroll_oc=4, unroll_ow=2, blocked=True)
+        return SchedParams(unroll_oc=2, unroll_ow=1, blocked=True)
+
+    def prepare(self, spec: ModelSpec) -> PreparedModel:
+        """Dense preparation path (baselines); PatDNN overrides."""
+        self._check_memory(spec)
+        cm = self._cost_model()
+        sched = self._dense_schedule()
+        prepared = PreparedModel(self.name, f"{spec.name}-{spec.dataset}", self.unit)
+        for conv in spec.convs:
+            work = ConvWorkload.dense(
+                conv,
+                winograd=self.profile.has_winograd,
+                fused_activation=self.profile.has_fusion,
+            )
+            cost = cm.estimate(work, sched)
+            cost.detail["true_flops"] = float(conv.flops)
+            prepared.layer_costs.append(cost)
+            prepared.layer_names.append(conv.name)
+        return prepared
+
+    def _check_memory(self, spec: ModelSpec) -> None:
+        limit = self.profile.gpu_weight_limit_mb
+        if self.unit == "gpu" and limit is not None:
+            elem = 2 if self.profile.supports_fp16 else 4
+            weight_mb = spec.total_weight_count * elem / 1e6
+            if weight_mb > limit:
+                raise UnsupportedModelError(
+                    f"{self.name} cannot run {spec.name}/{spec.dataset} on GPU: "
+                    f"weights {weight_mb:.0f} MB exceed the {limit:.0f} MB limit"
+                )

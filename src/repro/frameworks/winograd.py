@@ -1,0 +1,98 @@
+"""Winograd fast convolution F(2×2, 3×3).
+
+All dense baseline runs in the paper use Winograd (§6.1); the dense
+engines charge its 2.25× multiply reduction in the cost model, and this
+module provides the *functional* algorithm so the claim is backed by a
+correctness-tested implementation (and the Fig. 17 "without Winograd"
+toggle has a concrete meaning).
+
+Transforms (Lavin & Gray, 2016)::
+
+    Y = A^T [ (G g G^T) ⊙ (B^T d B) ] A
+
+with 4×4 input tiles producing 2×2 output tiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_B_T = np.array(
+    [
+        [1, 0, -1, 0],
+        [0, 1, 1, 0],
+        [0, -1, 1, 0],
+        [0, 1, 0, -1],
+    ],
+    dtype=np.float32,
+)
+_G = np.array(
+    [
+        [1, 0, 0],
+        [0.5, 0.5, 0.5],
+        [0.5, -0.5, 0.5],
+        [0, 0, 1],
+    ],
+    dtype=np.float32,
+)
+_A_T = np.array(
+    [
+        [1, 1, 1, 0],
+        [0, 1, -1, -1],
+    ],
+    dtype=np.float32,
+)
+
+
+def winograd_transform_weights(weight: np.ndarray) -> np.ndarray:
+    """(F, C, 3, 3) -> (F, C, 4, 4) transformed filters (G g G^T)."""
+    if weight.shape[-2:] != (3, 3):
+        raise ValueError(f"Winograd F(2,3) needs 3x3 kernels, got {weight.shape}")
+    return np.einsum("ij,fcjk,lk->fcil", _G, weight, _G, optimize=True)
+
+
+def winograd_conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None, padding: int = 1) -> np.ndarray:
+    """Stride-1 3×3 convolution via F(2×2, 3×3) tiles.
+
+    Args:
+        x: (N, C, H, W) input.
+        weight: (F, C, 3, 3) filters.
+
+    Returns:
+        (N, F, Ho, Wo) output, identical (to fp rounding) to direct conv.
+    """
+    n, c, h, w = x.shape
+    f = weight.shape[0]
+    ho, wo = h + 2 * padding - 2, w + 2 * padding - 2
+    # Pad so the tile grid covers the output evenly.
+    tiles_h = (ho + 1) // 2
+    tiles_w = (wo + 1) // 2
+    need_h = 2 * tiles_h + 2
+    need_w = 2 * tiles_w + 2
+    xp = np.pad(
+        x,
+        (
+            (0, 0),
+            (0, 0),
+            (padding, need_h - h - padding),
+            (padding, need_w - w - padding),
+        ),
+    )
+    u = winograd_transform_weights(weight)  # (F, C, 4, 4)
+
+    # Gather all 4x4 input tiles: (N, C, T_h, T_w, 4, 4)
+    sn, sc, sh, sw = xp.strides
+    tiles = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, tiles_h, tiles_w, 4, 4),
+        strides=(sn, sc, 2 * sh, 2 * sw, sh, sw),
+    )
+    v = np.einsum("ij,nctujk,lk->nctuil", _B_T, tiles, _B_T, optimize=True)
+    # Elementwise products summed over channels: (N, F, T_h, T_w, 4, 4)
+    m = np.einsum("fcil,nctuil->nftuil", u, v, optimize=True)
+    y = np.einsum("ij,nftujk,lk->nftuil", _A_T, m, _A_T, optimize=True)  # (..., 2, 2)
+    out = y.transpose(0, 1, 2, 4, 3, 5).reshape(n, f, tiles_h * 2, tiles_w * 2)
+    out = out[:, :, :ho, :wo]
+    if bias is not None:
+        out = out + bias.reshape(1, f, 1, 1)
+    return np.ascontiguousarray(out.astype(np.float32))

@@ -1,0 +1,273 @@
+"""Build graph IR from ``repro.nn`` models or from ``ModelSpec``s.
+
+The module builder walks the model structurally through an *expander
+registry*: leaf layer types map 1:1 to IR nodes, composite blocks
+(ResNet bottleneck, MobileNet inverted residual) register expanders that
+emit their internal dataflow including the residual ADD.  Unknown
+composites raise — the same contract real exporters use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro import nn
+from repro.graph.ir import Graph, Node, OpKind, run_shape_inference
+from repro.models.mobilenet import _InvertedResidual, _MobileNetV2
+from repro.models.resnet import _Bottleneck, _ResNet
+from repro.models.spec import ConvSpec, ModelSpec
+
+
+class _Builder:
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._counter: dict[str, int] = {}
+
+    def fresh(self, kind: str) -> str:
+        i = self._counter.get(kind, 0)
+        self._counter[kind] = i + 1
+        return f"{kind}_{i}"
+
+    def emit(self, op: OpKind, inputs: list[str], attrs=None, params=None, name: str | None = None) -> str:
+        node = Node(
+            name=name or self.fresh(op.value),
+            op=op,
+            inputs=list(inputs),
+            attrs=dict(attrs or {}),
+            params=dict(params or {}),
+        )
+        self.graph.add(node)
+        return node.name
+
+
+# Registry: module type -> expander(builder, module, input_name) -> output_name
+_EXPANDERS: dict[type, Callable[[_Builder, nn.Module, str], str]] = {}
+
+
+def register_expander(module_type: type):
+    """Decorator registering a graph expander for a composite module."""
+
+    def deco(fn):
+        _EXPANDERS[module_type] = fn
+        return fn
+
+    return deco
+
+
+def _expand(b: _Builder, module: nn.Module, x: str) -> str:
+    for mtype, expander in _EXPANDERS.items():
+        if isinstance(module, mtype):
+            return expander(b, module, x)
+    raise TypeError(
+        f"no graph expander for module type {type(module).__name__}; "
+        "register one with repro.graph.builder.register_expander"
+    )
+
+
+# ----------------------------------------------------------------------
+# Leaf expanders
+# ----------------------------------------------------------------------
+@register_expander(nn.Conv2d)
+def _conv(b: _Builder, m: nn.Conv2d, x: str) -> str:
+    params = {"weight": m.weight.data}
+    if m.bias is not None:
+        params["bias"] = m.bias.data
+    return b.emit(
+        OpKind.CONV2D,
+        [x],
+        attrs={
+            "out_channels": m.out_channels,
+            "kernel_size": m.kernel_size,
+            "stride": m.stride,
+            "padding": m.padding,
+            "groups": m.groups,
+        },
+        params=params,
+    )
+
+
+@register_expander(nn.BatchNorm2d)
+def _bn(b: _Builder, m: nn.BatchNorm2d, x: str) -> str:
+    return b.emit(
+        OpKind.BATCHNORM,
+        [x],
+        attrs={"eps": m.eps},
+        params={
+            "gamma": m.weight.data,
+            "beta": m.bias.data,
+            "mean": np.array(m.running_mean),
+            "var": np.array(m.running_var),
+        },
+    )
+
+
+@register_expander(nn.ReLU)
+def _relu(b: _Builder, m: nn.ReLU, x: str) -> str:
+    return b.emit(OpKind.RELU, [x])
+
+
+@register_expander(nn.ReLU6)
+def _relu6(b: _Builder, m: nn.ReLU6, x: str) -> str:
+    return b.emit(OpKind.RELU6, [x])
+
+
+@register_expander(nn.MaxPool2d)
+def _maxpool(b: _Builder, m: nn.MaxPool2d, x: str) -> str:
+    return b.emit(
+        OpKind.MAXPOOL,
+        [x],
+        attrs={"kernel_size": m.kernel_size, "stride": m.stride, "padding": m.padding},
+    )
+
+
+@register_expander(nn.AvgPool2d)
+def _avgpool(b: _Builder, m: nn.AvgPool2d, x: str) -> str:
+    return b.emit(OpKind.AVGPOOL, [x], attrs={"kernel_size": m.kernel_size, "stride": m.stride})
+
+
+@register_expander(nn.GlobalAvgPool2d)
+def _gap(b: _Builder, m, x: str) -> str:
+    return b.emit(OpKind.GLOBAL_AVGPOOL, [x])
+
+
+@register_expander(nn.AdaptiveAvgPool2d)
+def _aap(b: _Builder, m, x: str) -> str:
+    return b.emit(OpKind.GLOBAL_AVGPOOL, [x]) if m.output_size == 1 else b.emit(
+        OpKind.AVGPOOL, [x], attrs={"kernel_size": m.output_size, "stride": m.output_size}
+    )
+
+
+@register_expander(nn.Flatten)
+def _flatten(b: _Builder, m, x: str) -> str:
+    return b.emit(OpKind.FLATTEN, [x])
+
+
+@register_expander(nn.Dropout)
+def _dropout(b: _Builder, m, x: str) -> str:
+    return x  # identity at inference
+
+
+@register_expander(nn.Identity)
+def _identity(b: _Builder, m, x: str) -> str:
+    return x
+
+
+@register_expander(nn.Linear)
+def _linear(b: _Builder, m: nn.Linear, x: str) -> str:
+    params = {"weight": m.weight.data}
+    if m.bias is not None:
+        params["bias"] = m.bias.data
+    return b.emit(OpKind.LINEAR, [x], attrs={"out_features": m.out_features}, params=params)
+
+
+# ----------------------------------------------------------------------
+# Composite expanders
+# ----------------------------------------------------------------------
+@register_expander(nn.Sequential)
+def _sequential(b: _Builder, m: nn.Sequential, x: str) -> str:
+    for layer in m:
+        x = _expand(b, layer, x)
+    return x
+
+
+@register_expander(_Bottleneck)
+def _bottleneck(b: _Builder, m: _Bottleneck, x: str) -> str:
+    identity = x if m.downsample is None else _expand(b, m.downsample, x)
+    out = _expand(b, m.conv1, x)
+    out = _expand(b, m.bn1, out)
+    out = b.emit(OpKind.RELU, [out])
+    out = _expand(b, m.conv2, out)
+    out = _expand(b, m.bn2, out)
+    out = b.emit(OpKind.RELU, [out])
+    out = _expand(b, m.conv3, out)
+    out = _expand(b, m.bn3, out)
+    out = b.emit(OpKind.ADD, [out, identity])
+    return b.emit(OpKind.RELU, [out])
+
+
+@register_expander(_InvertedResidual)
+def _inverted(b: _Builder, m: _InvertedResidual, x: str) -> str:
+    out = _expand(b, m.body, x)
+    if m.use_residual:
+        out = b.emit(OpKind.ADD, [out, x])
+    return out
+
+
+@register_expander(_ResNet)
+def _resnet(b: _Builder, m: _ResNet, x: str) -> str:
+    x = _expand(b, m.stem, x)
+    x = _expand(b, m.blocks, x)
+    return _expand(b, m.head, x)
+
+
+@register_expander(_MobileNetV2)
+def _mbv2(b: _Builder, m: _MobileNetV2, x: str) -> str:
+    x = _expand(b, m.stem, x)
+    x = _expand(b, m.blocks, x)
+    return _expand(b, m.head, x)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def build_graph(model: nn.Module, input_shape: tuple[int, int, int], name: str = "model") -> Graph:
+    """Export a trainable model to graph IR with shapes inferred.
+
+    Args:
+        model: any module composed of registered types.
+        input_shape: (C, H, W) of a single sample.
+    """
+    graph = Graph(name)
+    b = _Builder(graph)
+    x = b.emit(OpKind.INPUT, [], attrs={"shape": tuple(input_shape)}, name="input")
+    out = _expand(b, model, x)
+    out = b.emit(OpKind.OUTPUT, [out], name="output")
+    graph.outputs = [out]
+    run_shape_inference(graph)
+    return graph
+
+
+def graph_from_spec(spec: ModelSpec, with_bn_relu: bool = True) -> Graph:
+    """Chain a spec's conv layers into a graph (full-scale experiments).
+
+    Weights are *not* instantiated; nodes carry the :class:`ConvSpec` in
+    their attrs so the compiler can lazily materialise per-layer weights.
+    Residual edges are omitted — per-layer latency work (Figs. 12–17)
+    sums over convs, where add nodes are negligible.
+    """
+    graph = Graph(f"{spec.name}-{spec.dataset}")
+    b = _Builder(graph)
+    prev = b.emit(OpKind.INPUT, [], attrs={"shape": (3, spec.convs[0].in_hw, spec.convs[0].in_hw)}, name="input")
+    prev_hw = None
+    for conv in spec.convs:
+        if prev_hw is not None and conv.in_hw != prev_hw:
+            # Spatial change not produced by stride: a pooling stage sits
+            # between these convs in the real network (VGG's maxpools).
+            if conv.in_hw < prev_hw:
+                factor = prev_hw // conv.in_hw
+                prev = b.emit(OpKind.MAXPOOL, [prev], attrs={"kernel_size": factor, "stride": factor})
+        prev = b.emit(
+            OpKind.CONV2D,
+            [prev],
+            attrs={
+                "out_channels": conv.out_channels,
+                "kernel_size": conv.kernel_size,
+                "stride": conv.stride,
+                "padding": conv.padding,
+                "groups": conv.groups,
+                "spec": conv,
+            },
+            name=conv.name,
+        )
+        if with_bn_relu:
+            prev = b.emit(OpKind.BATCHNORM, [prev], attrs={"eps": 1e-5})
+            prev = b.emit(OpKind.RELU, [prev])
+        prev_hw = conv.out_hw
+    out = b.emit(OpKind.OUTPUT, [prev], name="output")
+    graph.outputs = [out]
+    # Shape inference works because conv attrs carry real shapes; BN/ReLU
+    # pass shapes through, and spec-driven maxpools divide exactly.
+    run_shape_inference(graph)
+    return graph

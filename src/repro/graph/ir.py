@@ -1,0 +1,188 @@
+"""Graph IR: typed nodes with attributes, edges, and shape inference."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.utils.misc import prod
+
+
+class OpKind(str, enum.Enum):
+    """Operator vocabulary — the union of what our three models need."""
+
+    INPUT = "input"
+    CONV2D = "conv2d"
+    BATCHNORM = "batchnorm"
+    RELU = "relu"
+    RELU6 = "relu6"
+    MAXPOOL = "maxpool"
+    AVGPOOL = "avgpool"
+    GLOBAL_AVGPOOL = "global_avgpool"
+    FLATTEN = "flatten"
+    LINEAR = "linear"
+    ADD = "add"
+    CONSTANT = "constant"
+    OUTPUT = "output"
+
+
+@dataclass
+class Node:
+    """One operator instance.
+
+    Attributes:
+        name: unique name within the graph.
+        op: operator kind.
+        inputs: producer node names, in positional order.
+        attrs: operator attributes (stride, padding, ...).
+        params: named weight arrays (``weight``, ``bias``, BN stats...).
+        out_shape: inferred output shape (N excluded; CHW or features).
+    """
+
+    name: str
+    op: OpKind
+    inputs: list[str] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, np.ndarray] = field(default_factory=dict)
+    out_shape: tuple[int, ...] = ()
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(p.nbytes for p in self.params.values())
+
+    def __repr__(self) -> str:
+        return f"Node({self.name}: {self.op.value} {self.out_shape})"
+
+
+class Graph:
+    """A DAG of nodes with insertion-ordered storage.
+
+    Nodes are stored in topological insertion order (builders append in
+    execution order); :meth:`toposort` re-derives order after passes
+    mutate the graph.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self.outputs: list[str] = []
+
+    # ------------------------------------------------------------------
+    def add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        for inp in node.inputs:
+            if inp not in self.nodes:
+                raise ValueError(f"node {node.name!r} references unknown input {inp!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def remove(self, name: str) -> None:
+        """Remove a node; callers must have rewired consumers first."""
+        consumers = self.consumers(name)
+        if consumers:
+            raise ValueError(f"cannot remove {name!r}: still consumed by {[c.name for c in consumers]}")
+        del self.nodes[name]
+        self.outputs = [o for o in self.outputs if o != name]
+
+    def consumers(self, name: str) -> list[Node]:
+        return [n for n in self.nodes.values() if name in n.inputs]
+
+    def rewire(self, old: str, new: str) -> None:
+        """Point every consumer of ``old`` at ``new`` (and graph outputs)."""
+        for node in self.nodes.values():
+            node.inputs = [new if i == old else i for i in node.inputs]
+        self.outputs = [new if o == old else o for o in self.outputs]
+
+    # ------------------------------------------------------------------
+    def toposort(self) -> list[Node]:
+        order: list[Node] = []
+        seen: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            seen.add(name)
+            node = self.nodes[name]
+            for inp in node.inputs:
+                visit(inp)
+            order.append(node)
+
+        for out in self.outputs or list(self.nodes):
+            visit(out)
+        # Include any dangling nodes (diagnostics) deterministically.
+        for name in self.nodes:
+            visit(name)
+        return order
+
+    def conv_nodes(self) -> list[Node]:
+        return [n for n in self.toposort() if n.op == OpKind.CONV2D]
+
+    def op_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for n in self.nodes.values():
+            hist[n.op.value] = hist.get(n.op.value, 0) + 1
+        return hist
+
+    def validate(self) -> None:
+        """Check edges resolve and shapes are set; raises on violation."""
+        for node in self.nodes.values():
+            for inp in node.inputs:
+                if inp not in self.nodes:
+                    raise ValueError(f"{node.name} has dangling input {inp}")
+            if node.op not in (OpKind.OUTPUT,) and not node.out_shape:
+                raise ValueError(f"{node.name} has no inferred shape")
+
+    def __repr__(self) -> str:
+        return f"Graph({self.name}: {len(self.nodes)} nodes, ops={self.op_histogram()})"
+
+
+# ----------------------------------------------------------------------
+# Shape inference
+# ----------------------------------------------------------------------
+def infer_shape(node: Node, input_shapes: list[tuple[int, ...]]) -> tuple[int, ...]:
+    """Output shape (channels-first, batch dim omitted) for one node."""
+    op = node.op
+    if op in (OpKind.INPUT, OpKind.CONSTANT):
+        return tuple(node.attrs["shape"])
+    if op == OpKind.CONV2D:
+        c, h, w = input_shapes[0]
+        k = node.attrs["kernel_size"]
+        s = node.attrs.get("stride", 1)
+        p = node.attrs.get("padding", 0)
+        oc = node.attrs["out_channels"]
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        return (oc, oh, ow)
+    if op in (OpKind.BATCHNORM, OpKind.RELU, OpKind.RELU6, OpKind.OUTPUT):
+        return input_shapes[0]
+    if op in (OpKind.MAXPOOL, OpKind.AVGPOOL):
+        c, h, w = input_shapes[0]
+        k = node.attrs["kernel_size"]
+        s = node.attrs.get("stride", k)
+        p = node.attrs.get("padding", 0)
+        return (c, (h + 2 * p - k) // s + 1, (w + 2 * p - k) // s + 1)
+    if op == OpKind.GLOBAL_AVGPOOL:
+        c = input_shapes[0][0]
+        return (c, 1, 1)
+    if op == OpKind.FLATTEN:
+        return (prod(input_shapes[0]),)
+    if op == OpKind.LINEAR:
+        return (node.attrs["out_features"],)
+    if op == OpKind.ADD:
+        if input_shapes[0] != input_shapes[1]:
+            raise ValueError(f"ADD shape mismatch: {input_shapes}")
+        return input_shapes[0]
+    raise NotImplementedError(f"no shape rule for {op}")
+
+
+def run_shape_inference(graph: Graph) -> None:
+    """Infer and store out_shape for every node in topo order."""
+    shapes: dict[str, tuple[int, ...]] = {}
+    for node in graph.toposort():
+        in_shapes = [shapes[i] for i in node.inputs]
+        node.out_shape = infer_shape(node, in_shapes)
+        shapes[node.name] = node.out_shape

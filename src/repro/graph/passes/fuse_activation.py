@@ -1,0 +1,35 @@
+"""Fuse elementwise activations into the producing conv/linear/add node.
+
+The fused node gains ``attrs['activation']`` ∈ {'relu', 'relu6'} and the
+standalone activation node disappears — the executor applies the
+nonlinearity in-register instead of in a second memory pass (the cost
+model's ``fused_activation`` flag).
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, OpKind
+
+_FUSABLE_PRODUCERS = (OpKind.CONV2D, OpKind.LINEAR, OpKind.ADD)
+_ACTIVATIONS = {OpKind.RELU: "relu", OpKind.RELU6: "relu6"}
+
+
+def fuse_activation(graph: Graph) -> int:
+    """Fuse activations whose producer has no other consumer; returns count."""
+    fused = 0
+    for node in list(graph.toposort()):
+        act = _ACTIVATIONS.get(node.op)
+        if act is None:
+            continue
+        producer = graph.nodes[node.inputs[0]]
+        if producer.op not in _FUSABLE_PRODUCERS:
+            continue
+        if len(graph.consumers(producer.name)) != 1:
+            continue
+        if "activation" in producer.attrs:
+            continue
+        producer.attrs["activation"] = act
+        graph.rewire(node.name, producer.name)
+        graph.remove(node.name)
+        fused += 1
+    return fused

@@ -1,0 +1,30 @@
+"""Data-layout assignment (Table 1: 'data layout transform').
+
+CPU kernels prefer channel-blocked NCHWc (vector lane = channel block);
+GPU kernels prefer NHWC (coalesced loads along channels).  The pass
+annotates every tensor-producing node; the codegen and the cost model's
+locality terms read the annotation.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, OpKind
+
+_LAYOUTS = {"cpu": "NCHWc", "gpu": "NHWC"}
+
+
+def assign_layout(graph: Graph, unit: str = "cpu", vector_width: int = 4) -> int:
+    """Annotate nodes with their execution layout; returns #annotated."""
+    if unit not in _LAYOUTS:
+        raise ValueError(f"unit must be 'cpu' or 'gpu', got {unit!r}")
+    layout = _LAYOUTS[unit]
+    count = 0
+    for node in graph.nodes.values():
+        if node.op in (OpKind.INPUT, OpKind.CONV2D, OpKind.BATCHNORM, OpKind.RELU,
+                       OpKind.RELU6, OpKind.MAXPOOL, OpKind.AVGPOOL,
+                       OpKind.GLOBAL_AVGPOOL, OpKind.ADD):
+            node.attrs["layout"] = layout
+            if layout == "NCHWc":
+                node.attrs["channel_block"] = vector_width
+            count += 1
+    return count

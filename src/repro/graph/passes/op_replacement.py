@@ -1,0 +1,34 @@
+"""Operation replacement (the '**' footnote of Table 1).
+
+PatDNN replaces operator instances with cheaper equivalents when the
+attributes allow.  Implemented rewrites:
+
+* ``AVGPOOL`` covering the whole spatial extent → ``GLOBAL_AVGPOOL``
+  (specialised reduction kernel, no windowing overhead);
+* 1×1 MAXPOOL/AVGPOOL with stride 1 → identity (dropped).
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph, OpKind
+
+
+def replace_ops(graph: Graph) -> int:
+    """Apply replacement rules; returns number of rewrites."""
+    rewrites = 0
+    for node in list(graph.toposort()):
+        if node.op in (OpKind.MAXPOOL, OpKind.AVGPOOL):
+            k = node.attrs["kernel_size"]
+            s = node.attrs.get("stride", k)
+            in_shape = graph.nodes[node.inputs[0]].out_shape
+            if k == 1 and s == 1:
+                graph.rewire(node.name, node.inputs[0])
+                graph.remove(node.name)
+                rewrites += 1
+                continue
+            if node.op == OpKind.AVGPOOL and len(in_shape) == 3 and k == in_shape[1] == in_shape[2]:
+                node.op = OpKind.GLOBAL_AVGPOOL
+                node.attrs.pop("kernel_size", None)
+                node.attrs.pop("stride", None)
+                rewrites += 1
+    return rewrites

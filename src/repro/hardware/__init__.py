@@ -1,0 +1,46 @@
+"""Mobile hardware simulation substrate.
+
+The paper measures on physical phones (Snapdragon 855/845, Kirin 980);
+this environment has none, so latency is produced by a mechanistic cost
+model (:mod:`repro.hardware.cost_model`) over device descriptions
+(:mod:`repro.hardware.device`).  The model charges cycles for exactly
+the effects the paper reasons about:
+
+* MAC throughput limited by SIMD lanes × cores × utilisation,
+* register loads (counted by the compiler's LRE analysis),
+* branch mispredictions from per-kernel pattern switches (removed by FKR),
+* thread-level load imbalance from the filter-length distribution
+  (removed by FKR grouping; weighted more heavily on GPU),
+* memory traffic vs. bandwidth with tile-dependent reuse (auto-tuning).
+
+A set-associative cache simulator (:mod:`repro.hardware.cache`) validates
+the analytical reuse factors on small traces.
+"""
+
+from repro.hardware.device import (
+    CPUSpec,
+    GPUSpec,
+    DeviceSpec,
+    SNAPDRAGON_855,
+    SNAPDRAGON_845,
+    KIRIN_980,
+    DEVICES,
+    get_device,
+)
+from repro.hardware.cache import CacheSim
+from repro.hardware.cost_model import ConvWorkload, CostBreakdown, ConvCostModel
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "DeviceSpec",
+    "SNAPDRAGON_855",
+    "SNAPDRAGON_845",
+    "KIRIN_980",
+    "DEVICES",
+    "get_device",
+    "CacheSim",
+    "ConvWorkload",
+    "CostBreakdown",
+    "ConvCostModel",
+]

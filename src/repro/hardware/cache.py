@@ -1,0 +1,85 @@
+"""Set-associative cache simulator (LRU).
+
+Used by tests to validate the analytical data-reuse factors the cost
+model assumes, and by the ablation benches to show why the auto-tuner's
+tile choices matter.  Trace-driven, so keep traces small.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class CacheSim:
+    """One level of set-associative cache with LRU replacement.
+
+    Args:
+        size_bytes: total capacity.
+        line_bytes: cache-line size (64 on all three SoCs).
+        ways: associativity.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 4) -> None:
+        if size_bytes % (line_bytes * ways):
+            raise ValueError("cache size must be a multiple of line_bytes * ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = address // self.line_bytes
+        set_idx = line % self.num_sets
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        if line in ways:
+            ways.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        ways[line] = None
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+        return False
+
+    def access_range(self, start: int, nbytes: int, stride: int = 4) -> None:
+        """Touch a strided range (e.g. a row of float32s)."""
+        for off in range(0, nbytes, stride):
+            self.access(start + off)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+
+@dataclass
+class CacheHierarchy:
+    """L1 + L2 two-level hierarchy; L2 sees only L1 misses."""
+
+    l1: CacheSim
+    l2: CacheSim
+    dram_accesses: int = field(default=0)
+
+    def access(self, address: int) -> str:
+        """Returns 'l1', 'l2', or 'dram' for where the access was served."""
+        if self.l1.access(address):
+            return "l1"
+        if self.l2.access(address):
+            return "l2"
+        self.dram_accesses += 1
+        return "dram"

@@ -1,0 +1,390 @@
+"""Analytical execution cost model for convolution layers.
+
+The model charges time for the exact effects PatDNN's compiler
+optimizations target (paper §5, Figures 13–17):
+
+=====================  =====================================================
+term                   source
+=====================  =====================================================
+MAC cycles             nnz weights × output pixels, divided by SIMD width ×
+                       cores × issue efficiency (unroll-dependent → tuning)
+register-load cycles   counted by the LRE analysis; the dominant
+                       instruction overhead of sparse execution
+branch cycles          per-kernel pattern switches (Fig. 7 "No-opt");
+                       removed by filter kernel reorder
+imbalance factor       max/mean thread work from the actual filter-length
+                       distribution (CPU: per-thread chunks; GPU:
+                       per-wavefront divergence) — removed by FKR grouping
+memory time            weight bytes (format-dependent) + input reloads
+                       (tile-dependent) + output bytes (fusion-dependent),
+                       divided by sustained DRAM bandwidth
+overhead               per-layer dispatch cost (framework) + GPU kernel
+                       launch latency
+=====================  =====================================================
+
+``total = max(compute, memory) + overhead`` — the classic roofline
+composition.  Sustained-efficiency calibration per framework lives in
+:class:`repro.frameworks.features.EngineProfile`; everything else is
+derived from layer structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.device import CPUSpec, DeviceSpec, GPUSpec
+from repro.models.spec import ConvSpec
+
+# Winograd F(2x2, 3x3): 2.25x multiply reduction, ~15% transform overhead.
+WINOGRAD_MAC_FACTOR = 2.25
+WINOGRAD_OVERHEAD = 1.15
+
+
+@dataclass
+class SchedParams:
+    """The schedule knobs the auto-tuner explores (paper §5.5).
+
+    Attributes:
+        tile_oc/tile_oh/tile_ow: output tile sizes (blocking).
+        tile_ic: input-channel strip processed per pass.
+        unroll_oc/unroll_ow: register-level unroll factors (ILP + the
+            filter-level LRE reuse window).
+        permutation: loop order, e.g. ``cohwci`` = oc, oh, ow, ic
+            (Fig. 8's ``permute`` field).
+        blocked: whether tiling is applied at all (Fig. 15's -Block).
+    """
+
+    tile_oc: int = 32
+    tile_oh: int = 8
+    tile_ow: int = 8
+    tile_ic: int = 32
+    unroll_oc: int = 1
+    unroll_ow: int = 1
+    permutation: str = "cohwci"
+    blocked: bool = False
+
+    def ilp_efficiency(self) -> float:
+        """Issue-slot efficiency from register unrolling.
+
+        A single non-unrolled FMA chain stalls on latency; unrolling by
+        independent outputs fills the pipeline.  4–8 independent chains
+        saturate mobile cores (empirically; see tuner ablation bench).
+        """
+        product = max(1, self.unroll_oc * self.unroll_ow)
+        return min(1.0, 0.55 + 0.15 * np.log2(product))
+
+
+@dataclass
+class ConvWorkload:
+    """One conv layer's execution-relevant structure.
+
+    Dense engines use :meth:`dense`; the PatDNN engine builds sparse
+    workloads from compiler artifacts (see ``repro.compiler.compile``).
+
+    Attributes:
+        spec: layer shapes.
+        nnz_weights: surviving weights (= spec.weight_count when dense).
+        nonzero_kernels: surviving kernels (connectivity pruning).
+        filter_lengths: per-filter surviving-kernel counts, in execution
+            order — the imbalance input.  ``None`` means perfectly even.
+        pattern_runs_per_filter: mean number of same-pattern runs per
+            filter; after kernel reorder this collapses to ≤ #patterns.
+        branchy: True when the inner loop needs a per-kernel switch
+            (sparse without FKR).
+        register_loads: vector register loads for the whole layer (from
+            the LRE analysis); ``None`` → derived as macs / simd lanes.
+        weight_bytes: weight storage incl. format overhead.
+        winograd: dense 3×3 stride-1 fast-convolution eligibility.
+        fused_activation: activation folded into the conv (graph opt).
+        sparse: sparse execution path (indices, no winograd).
+    """
+
+    spec: ConvSpec
+    nnz_weights: int
+    nonzero_kernels: int
+    filter_lengths: np.ndarray | None = None
+    pattern_runs_per_filter: float = 1.0
+    branchy: bool = False
+    register_loads: int | None = None
+    weight_bytes: int | None = None
+    winograd: bool = False
+    fused_activation: bool = True
+    sparse: bool = False
+    vectorized: bool = True  # False for index-chasing CSR code (no SIMD)
+    warp_divergence: float = 1.0  # GPU: mean serialized switch paths/warp
+    load_cost_multiplier: float = 1.0  # >1 for cache-hostile access (CSR)
+    code_versions: int = 8  # specialised kernel bodies (= pattern count)
+
+    @property
+    def icache_factor(self) -> float:
+        """Instruction-cache pressure of pattern-specialised code.
+
+        Each pattern gets its own unrolled body; up to ~8 versions fit
+        the I-cache working-set budget, beyond which fetch stalls grow
+        super-linearly (the Table 7 latency cliff at 12 patterns).
+        """
+        return max(1.0, (self.code_versions / 8.0) ** 1.5)
+
+    @classmethod
+    def dense(cls, spec: ConvSpec, winograd: bool = True, fused_activation: bool = True) -> "ConvWorkload":
+        """Dense-execution workload for a layer spec."""
+        eligible = spec.kernel_size == 3 and spec.stride == 1 and spec.groups == 1
+        return cls(
+            spec=spec,
+            nnz_weights=spec.weight_count,
+            nonzero_kernels=spec.kernel_count,
+            winograd=winograd and eligible,
+            fused_activation=fused_activation,
+        )
+
+    @property
+    def effective_macs(self) -> float:
+        """MACs actually executed (Winograd-adjusted for dense 3×3)."""
+        macs = self.nnz_weights * self.spec.out_hw * self.spec.out_hw
+        if self.winograd and not self.sparse:
+            macs = macs / WINOGRAD_MAC_FACTOR * WINOGRAD_OVERHEAD
+        return float(macs)
+
+
+@dataclass
+class CostBreakdown:
+    """Per-layer cost terms (milliseconds unless noted)."""
+
+    mac_ms: float = 0.0
+    load_ms: float = 0.0
+    branch_ms: float = 0.0
+    imbalance: float = 1.0
+    compute_ms: float = 0.0
+    traffic_bytes: int = 0
+    memory_ms: float = 0.0
+    overhead_ms: float = 0.0
+    total_ms: float = 0.0
+    gflops: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        """Uniformly scale all time terms (used for batch > 1)."""
+        return CostBreakdown(
+            mac_ms=self.mac_ms * factor,
+            load_ms=self.load_ms * factor,
+            branch_ms=self.branch_ms * factor,
+            imbalance=self.imbalance,
+            compute_ms=self.compute_ms * factor,
+            traffic_bytes=int(self.traffic_bytes * factor),
+            memory_ms=self.memory_ms * factor,
+            overhead_ms=self.overhead_ms,
+            total_ms=(self.compute_ms + self.memory_ms) * factor + self.overhead_ms,
+            gflops=self.gflops,
+            detail=dict(self.detail),
+        )
+
+
+def _imbalance_cpu(filter_lengths: np.ndarray | None, threads: int) -> float:
+    """max/mean work over contiguous per-thread filter chunks."""
+    if filter_lengths is None or len(filter_lengths) == 0:
+        return 1.0
+    lengths = np.asarray(filter_lengths, dtype=np.float64)
+    if lengths.sum() == 0:
+        return 1.0
+    chunks = np.array_split(lengths, threads)
+    work = np.array([c.sum() for c in chunks if len(c)])
+    mean = work.mean()
+    if mean == 0:
+        return 1.0
+    return float(max(1.0, work.max() / mean))
+
+
+def _imbalance_gpu(filter_lengths: np.ndarray | None, wavefront: int) -> float:
+    """Mean per-wavefront divergence: lockstep threads wait for the
+    longest filter in their wavefront."""
+    if filter_lengths is None or len(filter_lengths) == 0:
+        return 1.0
+    lengths = np.asarray(filter_lengths, dtype=np.float64)
+    if lengths.sum() == 0:
+        return 1.0
+    factors = []
+    for start in range(0, len(lengths), wavefront):
+        group = lengths[start : start + wavefront]
+        mean = group.mean()
+        if mean > 0:
+            factors.append(group.max() / mean)
+    return float(max(1.0, np.mean(factors))) if factors else 1.0
+
+
+class ConvCostModel:
+    """Estimate one conv layer's latency on a device's CPU or GPU.
+
+    Args:
+        device: the SoC.
+        unit: ``'cpu'`` or ``'gpu'``.
+        utilization: sustained fraction of peak MAC throughput the
+            engine's generated code reaches (framework calibration).
+        fp16: GPU half-precision execution (paper's GPU setting).
+        branch_miss_rate: misprediction probability of the per-kernel
+            pattern switch when patterns are unordered.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        unit: str = "cpu",
+        utilization: float = 0.4,
+        sparse_efficiency: float = 0.7,
+        fp16: bool = False,
+        branch_miss_rate: float = 0.5,
+        per_op_overhead_ms: float = 0.02,
+    ) -> None:
+        if unit not in ("cpu", "gpu"):
+            raise ValueError(f"unit must be 'cpu' or 'gpu', got {unit!r}")
+        self.device = device
+        self.unit = unit
+        self.utilization = utilization
+        self.sparse_efficiency = sparse_efficiency
+        self.fp16 = fp16 and unit == "gpu"
+        self.branch_miss_rate = branch_miss_rate
+        self.per_op_overhead_ms = per_op_overhead_ms
+
+    # ------------------------------------------------------------------
+    @property
+    def _hw(self) -> CPUSpec | GPUSpec:
+        return self.device.unit(self.unit)
+
+    def _peak_macs_per_sec(self) -> float:
+        hw = self._hw
+        if self.unit == "cpu":
+            return hw.peak_gflops / 2.0 * 1e9
+        peak = hw.peak_gflops_fp16 if self.fp16 else hw.peak_gflops_fp32
+        return peak / 2.0 * 1e9
+
+    def _freq_hz(self) -> float:
+        return self._hw.freq_ghz * 1e9
+
+    def _parallel_units(self) -> int:
+        hw = self._hw
+        return hw.cores if self.unit == "cpu" else hw.sm_count * hw.wavefront
+
+    # ------------------------------------------------------------------
+    def estimate(self, work: ConvWorkload, sched: SchedParams | None = None) -> CostBreakdown:
+        """Compute the cost breakdown for one layer, batch size 1."""
+        sched = sched or SchedParams()
+        hw = self._hw
+        spec = work.spec
+        out_pixels = spec.out_hw * spec.out_hw
+
+        # ---- compute: MAC throughput ------------------------------------
+        # Dense library code is modelled as a utilisation roofline (the
+        # engine's sustained fraction of peak); PatDNN-generated sparse
+        # code is modelled at the instruction level — explicit FMA issue
+        # plus the load/branch cycles counted below.
+        macs = work.effective_macs
+        if work.sparse:
+            eff = self.sparse_efficiency * sched.ilp_efficiency()
+            if self.unit == "cpu" and (not work.vectorized or work.branchy):
+                # A data-dependent switch in the innermost loop defeats
+                # auto-vectorisation (paper §2.3: control flow degrades
+                # ILP); index-chasing CSR code is scalar for the same
+                # reason.  FKR hoists the dispatch and re-enables SIMD.
+                eff /= hw.simd_lanes_fp32
+        else:
+            eff = self.utilization * sched.ilp_efficiency()
+        mac_s = macs / (self._peak_macs_per_sec() * eff)
+        if self.unit == "gpu" and work.sparse:
+            # Divergent switch paths serialise within a wavefront; after
+            # FKR every lane takes the same path (factor ≈ 1).
+            mac_s *= max(1.0, work.warp_divergence)
+
+        load_s = 0.0
+        branch_s = 0.0
+        loads = 0.0
+        branches = 0.0
+        lanes = hw.simd_lanes_fp32 if self.unit == "cpu" else 4
+        if work.sparse:
+            # ---- register loads (counted by the LRE analysis) ----------
+            if work.register_loads is not None:
+                loads = float(work.register_loads)
+            else:
+                loads = macs / max(lanes, 1)  # one load per vector FMA
+            load_cycles = loads * hw.load_cost_cycles * work.load_cost_multiplier
+            issue_units = hw.cores if self.unit == "cpu" else self._parallel_units() / lanes
+            load_s = load_cycles / (self._freq_hz() * issue_units)
+
+            # ---- branches (pattern switch in the inner loop) ------------
+            out_vectors = max(1, out_pixels // lanes)
+            if work.branchy:
+                branches = work.nonzero_kernels * out_vectors
+                miss = self.branch_miss_rate
+            else:
+                # After FKR: one (predictable) transition per pattern run.
+                runs_total = work.pattern_runs_per_filter * spec.out_channels
+                branches = runs_total * out_vectors
+                miss = 0.05
+            branch_cycles = branches * miss * hw.branch_miss_penalty
+            units = hw.cores if self.unit == "cpu" else hw.sm_count * hw.wavefront
+            branch_s = branch_cycles / (self._freq_hz() * units)
+
+        # ---- thread-level imbalance ------------------------------------
+        if self.unit == "cpu":
+            imbalance = _imbalance_cpu(work.filter_lengths, hw.cores)
+        else:
+            imbalance = _imbalance_gpu(work.filter_lengths, hw.wavefront)
+        if not work.sparse:
+            imbalance = 1.0  # dense work splits evenly by construction
+
+        compute_s = (mac_s + load_s + branch_s) * imbalance
+        if work.sparse:
+            compute_s *= work.icache_factor
+
+        # ---- memory traffic --------------------------------------------
+        elem = 2 if self.fp16 else 4
+        weight_bytes = work.weight_bytes
+        if weight_bytes is None:
+            weight_bytes = work.nnz_weights * elem
+        input_bytes = spec.in_channels * spec.in_hw * spec.in_hw * elem
+        output_bytes = spec.out_channels * spec.out_hw * spec.out_hw * elem
+        # Input reloads: one pass per output-channel tile unless the whole
+        # input stays resident in the last-level cache.
+        llc_bytes = (hw.l3_kb if self.unit == "cpu" else hw.local_mem_kb * hw.sm_count * 8) * 1024
+        passes = max(1, int(np.ceil(spec.out_channels / max(1, sched.tile_oc))))
+        if sched.blocked and input_bytes <= llc_bytes:
+            input_traffic = input_bytes  # stays cached across tiles
+        elif input_bytes <= llc_bytes // 4:
+            input_traffic = input_bytes
+        else:
+            input_traffic = input_bytes * passes
+        output_traffic = output_bytes * (1 if work.fused_activation else 2)
+        traffic = int(weight_bytes + input_traffic + output_traffic)
+        memory_s = traffic / (hw.dram_bw_gbs * 1e9)
+
+        # ---- overheads ---------------------------------------------------
+        overhead_ms = self.per_op_overhead_ms
+        if self.unit == "gpu":
+            overhead_ms += hw.launch_overhead_us / 1000.0
+
+        compute_ms = compute_s * 1e3
+        memory_ms = memory_s * 1e3
+        total_ms = max(compute_ms, memory_ms) + overhead_ms
+        flops = 2.0 * work.nnz_weights * out_pixels  # true work, not winograd-adjusted
+        gflops = flops / (total_ms / 1e3) / 1e9 if total_ms > 0 else 0.0
+        return CostBreakdown(
+            mac_ms=mac_s * 1e3,
+            load_ms=load_s * 1e3,
+            branch_ms=branch_s * 1e3,
+            imbalance=imbalance,
+            compute_ms=compute_ms,
+            traffic_bytes=traffic,
+            memory_ms=memory_ms,
+            overhead_ms=overhead_ms,
+            total_ms=total_ms,
+            gflops=gflops,
+            detail={"macs": macs, "loads": loads, "branches": branches},
+        )
+
+    def estimate_model(self, workloads: list[ConvWorkload], sched_map: dict[str, SchedParams] | None = None) -> tuple[float, list[CostBreakdown]]:
+        """Sum per-layer estimates; returns (total ms, per-layer breakdowns)."""
+        sched_map = sched_map or {}
+        results = []
+        for w in workloads:
+            results.append(self.estimate(w, sched_map.get(w.spec.name)))
+        return sum(r.total_ms for r in results), results

@@ -1,0 +1,205 @@
+"""Device catalog: the three mobile SoCs used in the paper's evaluation.
+
+Numbers are public spec-sheet values (frequencies, SIMD widths, cache
+sizes, theoretical GFLOPS, LPDDR4X bandwidth); *sustained-efficiency*
+knobs live in the frameworks' calibration (see
+``repro.frameworks.features``), not here — a device is the same silicon
+regardless of which framework runs on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Mobile big.LITTLE CPU cluster, abstracted to the paper's usage
+    (8 threads pinned across all cores).
+
+    Attributes:
+        freq_ghz: throughput-weighted average core frequency.
+        cores: hardware threads used by the runtimes (8 in the paper).
+        simd_lanes_fp32: vector lanes per FMA unit (NEON 128-bit = 4).
+        fma_per_cycle: fused multiply-adds issued per lane per cycle.
+        l1_kb / l2_kb / l3_kb: per-core L1, per-cluster L2, system cache.
+        branch_miss_penalty: pipeline refill cycles on a mispredict.
+        load_cost_cycles: amortised cycles per (L1-hit) vector register load.
+        dram_bw_gbs: sustained LPDDR bandwidth available to the CPU.
+    """
+
+    freq_ghz: float
+    cores: int
+    simd_lanes_fp32: int
+    fma_per_cycle: int
+    l1_kb: int
+    l2_kb: int
+    l3_kb: int
+    branch_miss_penalty: int
+    load_cost_cycles: float
+    dram_bw_gbs: float
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical fp32 GFLOPS (2 flops per FMA)."""
+        return self.freq_ghz * self.cores * self.simd_lanes_fp32 * self.fma_per_cycle * 2.0
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Mobile GPU abstracted at the wavefront level.
+
+    Attributes:
+        peak_gflops_fp32: theoretical fp32 throughput.
+        fp16_ratio: fp16 speedup factor (2.0 on Adreno/Mali with packed
+            half math; the paper runs all GPU tests in fp16).
+        wavefront: threads executing in lockstep (divergence granularity).
+        sm_count: shader cores (workgroup-level parallelism).
+        local_mem_kb: on-chip local memory per shader core.
+        dram_bw_gbs: sustained bandwidth available to the GPU.
+        launch_overhead_us: per-kernel dispatch cost.
+        load_cost_cycles / branch_miss_penalty: as for CPU, in GPU cycles.
+        freq_ghz: shader clock.
+        arch: GPU family ('adreno' | 'mali'); engines' hand-tuned dense
+            kernels have family-specific sustained efficiency (§6.5).
+    """
+
+    peak_gflops_fp32: float
+    fp16_ratio: float
+    wavefront: int
+    sm_count: int
+    local_mem_kb: int
+    dram_bw_gbs: float
+    launch_overhead_us: float
+    load_cost_cycles: float
+    branch_miss_penalty: int
+    freq_ghz: float
+    arch: str = "adreno"
+
+    @property
+    def peak_gflops_fp16(self) -> float:
+        return self.peak_gflops_fp32 * self.fp16_ratio
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Aggregate fp32 MACs per clock across the whole GPU."""
+        return self.peak_gflops_fp32 / 2.0 / self.freq_ghz
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One SoC = CPU cluster + GPU + shared memory system."""
+
+    name: str
+    cpu: CPUSpec
+    gpu: GPUSpec
+
+    def unit(self, kind: str):
+        if kind == "cpu":
+            return self.cpu
+        if kind == "gpu":
+            return self.gpu
+        raise KeyError(f"unknown unit {kind!r}; expected 'cpu' or 'gpu'")
+
+
+SNAPDRAGON_855 = DeviceSpec(
+    name="snapdragon855",
+    cpu=CPUSpec(
+        freq_ghz=2.42,  # 1x2.84 + 3x2.42 + 4x1.78, throughput-weighted
+        cores=8,
+        simd_lanes_fp32=4,
+        fma_per_cycle=2,
+        l1_kb=64,
+        l2_kb=512,
+        l3_kb=2048,
+        branch_miss_penalty=14,
+        load_cost_cycles=0.5,
+        dram_bw_gbs=30.0,
+    ),
+    gpu=GPUSpec(
+        peak_gflops_fp32=950.0,  # Adreno 640
+        fp16_ratio=2.0,
+        wavefront=64,
+        sm_count=2,
+        local_mem_kb=32,
+        dram_bw_gbs=28.0,
+        launch_overhead_us=20.0,
+        load_cost_cycles=0.4,
+        branch_miss_penalty=32,
+        freq_ghz=0.585,
+    ),
+)
+
+SNAPDRAGON_845 = DeviceSpec(
+    name="snapdragon845",
+    cpu=CPUSpec(
+        freq_ghz=2.10,  # Kryo 385: 4x2.8 + 4x1.77, derated
+        cores=8,
+        simd_lanes_fp32=4,
+        fma_per_cycle=2,
+        l1_kb=64,
+        l2_kb=512,
+        l3_kb=2048,
+        branch_miss_penalty=14,
+        load_cost_cycles=0.5,
+        dram_bw_gbs=26.0,
+    ),
+    gpu=GPUSpec(
+        peak_gflops_fp32=727.0,  # Adreno 630
+        fp16_ratio=2.0,
+        wavefront=64,
+        sm_count=2,
+        local_mem_kb=32,
+        dram_bw_gbs=24.0,
+        launch_overhead_us=22.0,
+        load_cost_cycles=0.4,
+        branch_miss_penalty=32,
+        freq_ghz=0.710,
+    ),
+)
+
+KIRIN_980 = DeviceSpec(
+    name="kirin980",
+    cpu=CPUSpec(
+        freq_ghz=2.05,  # 2x2.6 A76 + 2x1.92 A76 + 4x1.8 A55, derated
+        cores=8,
+        simd_lanes_fp32=4,
+        fma_per_cycle=2,
+        l1_kb=64,
+        l2_kb=512,
+        l3_kb=4096,
+        branch_miss_penalty=13,
+        load_cost_cycles=0.5,
+        dram_bw_gbs=28.0,
+    ),
+    gpu=GPUSpec(
+        peak_gflops_fp32=690.0,  # Mali-G76 MP10
+        fp16_ratio=2.0,
+        wavefront=8,  # Mali warp width (G76: 8-wide execution engines)
+        sm_count=10,
+        local_mem_kb=32,
+        # Mali's effective bandwidth per GFLOP is the paper's explanation
+        # for the baselines' instability on Magic 2 (§6.5): dense runs
+        # starve on memory, PatDNN's reduced traffic keeps it stable.
+        dram_bw_gbs=14.0,
+        launch_overhead_us=35.0,
+        load_cost_cycles=0.5,
+        branch_miss_penalty=24,
+        freq_ghz=0.720,
+        arch="mali",
+    ),
+)
+
+DEVICES: dict[str, DeviceSpec] = {
+    SNAPDRAGON_855.name: SNAPDRAGON_855,
+    SNAPDRAGON_845.name: SNAPDRAGON_845,
+    KIRIN_980.name: KIRIN_980,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by name (``snapdragon855``/``845``, ``kirin980``)."""
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in DEVICES:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}")
+    return DEVICES[key]

@@ -1,0 +1,35 @@
+"""Model zoo: VGG-16, ResNet-50, MobileNet-V2.
+
+Two views of each architecture are provided:
+
+* **Specs** (:mod:`repro.models.spec`): exact full-scale layer shapes used
+  by the compiler / storage / performance experiments (Tables 5–6,
+  Figures 12–18).  No weights are instantiated until needed.
+* **Trainable modules**: scaled-down ``repro.nn`` networks with the same
+  topology, used by the ADMM pruning accuracy experiments (Tables 3/4/7)
+  on the synthetic datasets.
+"""
+
+from repro.models.spec import ConvSpec, FCSpec, ModelSpec
+from repro.models.vgg import vgg16_spec, build_vgg, VGG_UNIQUE_LAYERS
+from repro.models.resnet import resnet50_spec, build_resnet
+from repro.models.mobilenet import mobilenet_v2_spec, build_mobilenet_v2
+from repro.models.registry import get_spec, get_trainable, list_models
+from repro.models.smallcnn import build_small_cnn
+
+__all__ = [
+    "ConvSpec",
+    "FCSpec",
+    "ModelSpec",
+    "vgg16_spec",
+    "build_vgg",
+    "VGG_UNIQUE_LAYERS",
+    "resnet50_spec",
+    "build_resnet",
+    "mobilenet_v2_spec",
+    "build_mobilenet_v2",
+    "get_spec",
+    "get_trainable",
+    "list_models",
+    "build_small_cnn",
+]

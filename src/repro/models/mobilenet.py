@@ -1,0 +1,129 @@
+"""MobileNet-V2: full-scale spec + scaled trainable build.
+
+MobileNet-V2 matters in the paper as the already-compact model: its convs
+are mostly 1×1 (pointwise) and 3×3 depthwise, so pattern pruning applies
+only to the depthwise 3×3s and connectivity pruning to the pointwise
+layers — the evaluation still shows end-to-end gains (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.spec import ConvSpec, FCSpec, ModelSpec
+from repro.utils.rng import make_rng
+
+# (expansion t, out_channels c, repeats n, stride s) — Table 2 of the
+# MobileNet-V2 paper.
+_MBV2_CFG = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def mobilenet_v2_spec(dataset: str = "imagenet") -> ModelSpec:
+    """Full MobileNet-V2 conv inventory (52/53 convs as in Table 5)."""
+    in_hw = 224 if dataset == "imagenet" else 32
+    convs: list[ConvSpec] = []
+    stride0 = 2 if dataset == "imagenet" else 1
+    convs.append(ConvSpec("conv_stem", 3, 32, 3, stride=stride0, padding=1, in_hw=in_hw))
+    hw = convs[-1].out_hw
+    in_ch = 32
+    block = 0
+    for t, c, n, s in _MBV2_CFG:
+        for i in range(n):
+            stride = s if i == 0 else 1
+            hidden = in_ch * t
+            prefix = f"block{block}"
+            if t != 1:
+                convs.append(ConvSpec(f"{prefix}.expand", in_ch, hidden, 1, stride=1, padding=0, in_hw=hw))
+            convs.append(
+                ConvSpec(
+                    f"{prefix}.depthwise",
+                    hidden,
+                    hidden,
+                    3,
+                    stride=stride,
+                    padding=1,
+                    groups=hidden,
+                    in_hw=hw,
+                )
+            )
+            hw = convs[-1].out_hw
+            convs.append(ConvSpec(f"{prefix}.project", hidden, c, 1, stride=1, padding=0, in_hw=hw))
+            in_ch = c
+            block += 1
+    convs.append(ConvSpec("conv_head", in_ch, 1280, 1, stride=1, padding=0, in_hw=hw))
+    fcs = [FCSpec("classifier", 1280, 1000 if dataset == "imagenet" else 10)]
+    total = 53 if dataset == "imagenet" else 54
+    return ModelSpec(name="mobilenet_v2", dataset=dataset, convs=convs, fcs=fcs, total_layers=total)
+
+
+class _InvertedResidual(nn.Module):
+    """MobileNet-V2 inverted residual block (expand → depthwise → project)."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, expansion: int, rng: np.random.Generator):
+        super().__init__()
+        hidden = in_ch * expansion
+        self.use_residual = stride == 1 and in_ch == out_ch
+        layers: list[nn.Module] = []
+        if expansion != 1:
+            layers += [
+                nn.Conv2d(in_ch, hidden, 1, padding=0, bias=False, rng=rng),
+                nn.BatchNorm2d(hidden),
+                nn.ReLU6(),
+            ]
+        layers += [
+            nn.Conv2d(hidden, hidden, 3, stride=stride, padding=1, groups=hidden, bias=False, rng=rng),
+            nn.BatchNorm2d(hidden),
+            nn.ReLU6(),
+            nn.Conv2d(hidden, out_ch, 1, padding=0, bias=False, rng=rng),
+            nn.BatchNorm2d(out_ch),
+        ]
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x):
+        out = self.body(x)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class _MobileNetV2(nn.Module):
+    def __init__(self, cfg, width: int, num_classes: int, rng: np.random.Generator):
+        super().__init__()
+        self.stem = nn.Sequential(
+            nn.Conv2d(3, width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU6(),
+        )
+        blocks: list[nn.Module] = []
+        in_ch = width
+        for t, c, n, s in cfg:
+            for i in range(n):
+                blocks.append(_InvertedResidual(in_ch, c, s if i == 0 else 1, t, rng))
+                in_ch = c
+        self.blocks = nn.Sequential(*blocks)
+        self.head = nn.Sequential(nn.GlobalAvgPool2d(), nn.Flatten(), nn.Linear(in_ch, num_classes, rng=rng))
+
+    def forward(self, x):
+        return self.head(self.blocks(self.stem(x)))
+
+
+def build_mobilenet_v2(num_classes: int = 10, width_scale: float = 0.5, seed: int = 0) -> nn.Module:
+    """Scaled MobileNet-V2 (reduced width/blocks) for pruning experiments."""
+    rng = make_rng(seed)
+    width = max(8, int(32 * width_scale))
+    cfg = [
+        (1, max(8, int(16 * width_scale)), 1, 1),
+        (6, max(8, int(24 * width_scale)), 1, 2),
+        (6, max(8, int(32 * width_scale)), 1, 2),
+        (6, max(8, int(64 * width_scale)), 1, 1),
+    ]
+    return _MobileNetV2(cfg, width, num_classes, rng)

@@ -1,0 +1,54 @@
+"""Name-based access to specs and trainable builders.
+
+The benchmark harness addresses models by the paper's short names:
+``VGG`` / ``RNT`` / ``MBNT`` (Table 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.models.mobilenet import build_mobilenet_v2, mobilenet_v2_spec
+from repro.models.resnet import build_resnet, resnet50_spec
+from repro.models.smallcnn import build_small_cnn
+from repro.models.spec import ModelSpec
+from repro.models.vgg import build_vgg, vgg16_spec
+
+_SPECS: dict[str, Callable[[str], ModelSpec]] = {
+    "vgg16": vgg16_spec,
+    "vgg": vgg16_spec,
+    "resnet50": resnet50_spec,
+    "rnt": resnet50_spec,
+    "mobilenet_v2": mobilenet_v2_spec,
+    "mbnt": mobilenet_v2_spec,
+}
+
+_TRAINABLES: dict[str, Callable[..., object]] = {
+    "vgg16": build_vgg,
+    "vgg": build_vgg,
+    "resnet50": build_resnet,
+    "rnt": build_resnet,
+    "mobilenet_v2": build_mobilenet_v2,
+    "mbnt": build_mobilenet_v2,
+    "smallcnn": build_small_cnn,
+}
+
+
+def list_models() -> list[str]:
+    return sorted({"vgg16", "resnet50", "mobilenet_v2", "smallcnn"})
+
+
+def get_spec(name: str, dataset: str = "imagenet") -> ModelSpec:
+    """Full-scale spec by model name ('vgg16'/'VGG', 'resnet50'/'RNT', ...)."""
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown model {name!r}; known: {list_models()}")
+    return _SPECS[key](dataset)
+
+
+def get_trainable(name: str, **kwargs):
+    """Scaled trainable module by model name."""
+    key = name.lower()
+    if key not in _TRAINABLES:
+        raise KeyError(f"unknown trainable model {name!r}; known: {list_models() + ['smallcnn']}")
+    return _TRAINABLES[key](**kwargs)

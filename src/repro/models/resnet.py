@@ -1,0 +1,122 @@
+"""ResNet-50: full-scale spec + scaled trainable build.
+
+The spec enumerates every conv in the standard bottleneck layout
+([3, 4, 6, 3] blocks, expansion 4); the paper applies kernel-pattern
+pruning to the 3×3 convs and connectivity pruning to all convs (§4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.spec import ConvSpec, FCSpec, ModelSpec
+from repro.utils.rng import make_rng
+
+_STAGES = [  # (blocks, mid_channels, out_channels, first_stride)
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+]
+
+
+def resnet50_spec(dataset: str = "imagenet") -> ModelSpec:
+    """Full ResNet-50 conv inventory (49 convs + fc, Table 5's '50 layers')."""
+    in_hw = 224 if dataset == "imagenet" else 32
+    convs: list[ConvSpec] = []
+
+    if dataset == "imagenet":
+        convs.append(ConvSpec("conv1", 3, 64, 7, stride=2, padding=3, in_hw=in_hw))
+        hw = convs[-1].out_hw // 2  # maxpool /2
+    else:
+        convs.append(ConvSpec("conv1", 3, 64, 3, stride=1, padding=1, in_hw=in_hw))
+        hw = convs[-1].out_hw
+
+    in_ch = 64
+    for stage_idx, (blocks, mid, out, first_stride) in enumerate(_STAGES, start=2):
+        for b in range(blocks):
+            stride = first_stride if b == 0 else 1
+            prefix = f"layer{stage_idx - 1}.{b}"
+            convs.append(ConvSpec(f"{prefix}.conv1", in_ch, mid, 1, stride=1, padding=0, in_hw=hw))
+            convs.append(ConvSpec(f"{prefix}.conv2", mid, mid, 3, stride=stride, padding=1, in_hw=hw))
+            hw_after = convs[-1].out_hw
+            convs.append(ConvSpec(f"{prefix}.conv3", mid, out, 1, stride=1, padding=0, in_hw=hw_after))
+            if b == 0:
+                convs.append(
+                    ConvSpec(f"{prefix}.downsample", in_ch, out, 1, stride=stride, padding=0, in_hw=hw)
+                )
+            hw = hw_after
+            in_ch = out
+    fcs = [FCSpec("fc", 2048, 1000 if dataset == "imagenet" else 10)]
+    return ModelSpec(name="resnet50", dataset=dataset, convs=convs, fcs=fcs, total_layers=50)
+
+
+class _Bottleneck(nn.Module):
+    """Bottleneck residual block (1×1 → 3×3 → 1×1 with expansion)."""
+
+    def __init__(self, in_ch: int, mid_ch: int, out_ch: int, stride: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_ch, mid_ch, 1, padding=0, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(mid_ch)
+        self.conv2 = nn.Conv2d(mid_ch, mid_ch, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(mid_ch)
+        self.conv3 = nn.Conv2d(mid_ch, out_ch, 1, padding=0, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_ch)
+        self.relu = nn.ReLU()
+        if stride != 1 or in_ch != out_ch:
+            self.downsample: nn.Module | None = nn.Sequential(
+                nn.Conv2d(in_ch, out_ch, 1, stride=stride, padding=0, bias=False, rng=rng),
+                nn.BatchNorm2d(out_ch),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x):
+        identity = x if self.downsample is None else self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu(out + identity)
+
+
+class _ResNet(nn.Module):
+    def __init__(self, stages, width: int, num_classes: int, rng: np.random.Generator):
+        super().__init__()
+        self.stem = nn.Sequential(
+            nn.Conv2d(3, width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+        )
+        blocks: list[nn.Module] = []
+        in_ch = width
+        for stage_idx, (n_blocks, mid, out, first_stride) in enumerate(stages):
+            for b in range(n_blocks):
+                stride = first_stride if b == 0 else 1
+                blocks.append(_Bottleneck(in_ch, mid, out, stride, rng))
+                in_ch = out
+        self.blocks = nn.Sequential(*blocks)
+        self.head = nn.Sequential(nn.GlobalAvgPool2d(), nn.Flatten(), nn.Linear(in_ch, num_classes, rng=rng))
+
+    def forward(self, x):
+        return self.head(self.blocks(self.stem(x)))
+
+
+def build_resnet(
+    num_classes: int = 10,
+    width_scale: float = 0.25,
+    blocks_per_stage: tuple[int, ...] = (1, 1, 1),
+    seed: int = 0,
+) -> nn.Module:
+    """Scaled bottleneck ResNet with the real topology (for pruning tests)."""
+    rng = make_rng(seed)
+    width = max(8, int(64 * width_scale))
+    stages = []
+    ch = width
+    for i, n in enumerate(blocks_per_stage):
+        mid = max(4, int(width * (2**i) / 2))
+        out = max(8, width * (2**i) * 2)
+        stride = 1 if i == 0 else 2
+        stages.append((n, mid, out, stride))
+        ch = out
+    return _ResNet(stages, width, num_classes, rng)

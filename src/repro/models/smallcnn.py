@@ -1,0 +1,36 @@
+"""A compact CNN used by fast tests and the quickstart example."""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.rng import make_rng
+
+
+def build_small_cnn(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    channels: tuple[int, ...] = (16, 32),
+    in_size: int = 16,
+    batch_norm: bool = True,
+    seed: int = 0,
+) -> nn.Module:
+    """Two-to-three 3×3 conv blocks + global pool + linear classifier.
+
+    Small enough to ADMM-prune in seconds, structured enough to carry
+    every pattern/connectivity concept (multiple filters and channels).
+    """
+    rng = make_rng(seed)
+    layers: list[nn.Module] = []
+    in_ch = in_channels
+    size = in_size
+    for out_ch in channels:
+        layers.append(nn.Conv2d(in_ch, out_ch, 3, padding=1, bias=not batch_norm, rng=rng))
+        if batch_norm:
+            layers.append(nn.BatchNorm2d(out_ch))
+        layers.append(nn.ReLU())
+        if size >= 4:
+            layers.append(nn.MaxPool2d(2))
+            size //= 2
+        in_ch = out_ch
+    layers += [nn.GlobalAvgPool2d(), nn.Flatten(), nn.Linear(in_ch, num_classes, rng=rng)]
+    return nn.Sequential(*layers)

@@ -1,0 +1,136 @@
+"""Architecture specifications (shapes only, no weights).
+
+The compiler and hardware experiments reason about layer shapes, FLOPs,
+and weight-tensor structure; instantiating the full 138M-parameter VGG-16
+as a trainable module would be wasteful.  ``ConvSpec`` captures exactly
+the quantities the paper's formulas use: filter tensor
+(Ck+1, Ck, Pk, Qk), stride, input/output feature-map sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.misc import prod
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One convolution layer's static description.
+
+    Attributes mirror the paper's §2.1 notation: input map Mk×Nk×Ck,
+    Ck+1 filters of size Pk×Qk×Ck, stride Sk.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int = 1
+    padding: int = 1
+    groups: int = 1
+    in_hw: int = 224  # input feature-map spatial size (square)
+
+    @property
+    def out_hw(self) -> int:
+        return (self.in_hw + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def filter_shape(self) -> tuple[int, int, int, int]:
+        """(out_channels, in_channels/groups, kh, kw) — Table 6's format."""
+        return (self.out_channels, self.in_channels // self.groups, self.kernel_size, self.kernel_size)
+
+    @property
+    def weight_count(self) -> int:
+        return prod(self.filter_shape)
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of 2-D kernels = filters × input channels per group."""
+        return self.out_channels * (self.in_channels // self.groups)
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one inference."""
+        return self.weight_count * self.out_hw * self.out_hw
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    @property
+    def input_bytes(self) -> int:
+        return 4 * self.in_channels * self.in_hw * self.in_hw
+
+    @property
+    def output_bytes(self) -> int:
+        return 4 * self.out_channels * self.out_hw * self.out_hw
+
+    def make_weights(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Instantiate Kaiming-initialised weights for this layer alone."""
+        rng = rng or make_rng()
+        fan_in = (self.in_channels // self.groups) * self.kernel_size**2
+        std = np.sqrt(2.0 / fan_in)
+        return (rng.standard_normal(self.filter_shape) * std).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class FCSpec:
+    """Fully-connected layer description (for model-size accounting)."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def macs(self) -> int:
+        return self.weight_count
+
+
+@dataclass
+class ModelSpec:
+    """A whole network: ordered conv specs + FC specs + metadata."""
+
+    name: str
+    dataset: str
+    convs: list[ConvSpec] = field(default_factory=list)
+    fcs: list[FCSpec] = field(default_factory=list)
+    total_layers: int = 0  # paper's 'Layers' column (Table 5)
+
+    @property
+    def conv_count(self) -> int:
+        return len(self.convs)
+
+    @property
+    def conv_weight_count(self) -> int:
+        return sum(c.weight_count for c in self.convs)
+
+    @property
+    def total_weight_count(self) -> int:
+        return self.conv_weight_count + sum(f.weight_count for f in self.fcs)
+
+    @property
+    def size_mb(self) -> float:
+        """Model size in MB at 4 bytes/weight (Table 5's Size column)."""
+        return self.total_weight_count * 4 / 1e6
+
+    @property
+    def conv_macs(self) -> int:
+        return sum(c.macs for c in self.convs)
+
+    def conv_3x3(self) -> list[ConvSpec]:
+        """The layers eligible for kernel pattern pruning (3×3 kernels)."""
+        return [c for c in self.convs if c.kernel_size == 3 and c.groups == 1]
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelSpec({self.name}/{self.dataset}: {self.conv_count} convs, "
+            f"{len(self.fcs)} fcs, {self.size_mb:.1f} MB)"
+        )

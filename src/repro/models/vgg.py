@@ -1,0 +1,133 @@
+"""VGG-16: full-scale spec (Table 6 layer shapes) + scaled trainable build."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.spec import ConvSpec, FCSpec, ModelSpec
+from repro.utils.rng import make_rng
+
+# Standard VGG-16 configuration: channel width per conv block, 'M' = maxpool.
+_VGG16_CFG = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"]
+
+# Table 6: the 9 unique CONV layer shapes of VGG-16, with the paper's names.
+VGG_UNIQUE_LAYERS: dict[str, tuple[int, int, int, int]] = {
+    "L1": (64, 3, 3, 3),
+    "L2": (64, 64, 3, 3),
+    "L3": (128, 64, 3, 3),
+    "L4": (128, 128, 3, 3),
+    "L5": (256, 128, 3, 3),
+    "L6": (256, 256, 3, 3),
+    "L7": (512, 256, 3, 3),
+    "L8": (512, 512, 3, 3),
+    "L9": (512, 512, 3, 3),
+}
+
+# Input feature-map size at which each unique layer runs (ImageNet, 224 in).
+VGG_UNIQUE_LAYER_HW: dict[str, int] = {
+    "L1": 224,
+    "L2": 224,
+    "L3": 112,
+    "L4": 112,
+    "L5": 56,
+    "L6": 56,
+    "L7": 28,
+    "L8": 28,
+    "L9": 14,
+}
+
+
+def vgg16_spec(dataset: str = "imagenet") -> ModelSpec:
+    """Full-scale VGG-16 spec for ImageNet (224²) or CIFAR-10 (32²)."""
+    in_hw = 224 if dataset == "imagenet" else 32
+    convs: list[ConvSpec] = []
+    in_ch = 3
+    hw = in_hw
+    idx = 0
+    for entry in _VGG16_CFG:
+        if entry == "M":
+            hw //= 2
+            continue
+        idx += 1
+        convs.append(
+            ConvSpec(
+                name=f"conv{idx}",
+                in_channels=in_ch,
+                out_channels=int(entry),
+                kernel_size=3,
+                stride=1,
+                padding=1,
+                in_hw=hw,
+            )
+        )
+        in_ch = int(entry)
+    if dataset == "imagenet":
+        fcs = [
+            FCSpec("fc1", 512 * 7 * 7, 4096),
+            FCSpec("fc2", 4096, 4096),
+            FCSpec("fc3", 4096, 1000),
+        ]
+    else:
+        fcs = [FCSpec("fc1", 512, 512), FCSpec("fc2", 512, 512), FCSpec("fc3", 512, 10)]
+    return ModelSpec(name="vgg16", dataset=dataset, convs=convs, fcs=fcs, total_layers=16)
+
+
+def unique_layer_spec(name: str) -> ConvSpec:
+    """Build a :class:`ConvSpec` for one of the paper's L1–L9 layers."""
+    if name not in VGG_UNIQUE_LAYERS:
+        raise KeyError(f"unknown VGG unique layer {name!r}; expected L1..L9")
+    out_c, in_c, kh, _ = VGG_UNIQUE_LAYERS[name]
+    return ConvSpec(
+        name=name,
+        in_channels=in_c,
+        out_channels=out_c,
+        kernel_size=kh,
+        stride=1,
+        padding=1,
+        in_hw=VGG_UNIQUE_LAYER_HW[name],
+    )
+
+
+def build_vgg(
+    num_classes: int = 10,
+    in_size: int = 16,
+    width_scale: float = 0.125,
+    depth: str = "small",
+    batch_norm: bool = True,
+    seed: int = 0,
+) -> nn.Module:
+    """Build a trainable, scaled VGG with the same block topology.
+
+    Args:
+        width_scale: multiplier on every channel width (minimum 8).
+        depth: ``'small'`` keeps one conv per block (5 convs total) for
+            fast ADMM experiments; ``'full'`` keeps all 13.
+    """
+    rng = make_rng(seed)
+    if depth == "small":
+        cfg: list[int | str] = [64, "M", 128, "M", 256, "M", 512]
+    elif depth == "full":
+        cfg = list(_VGG16_CFG)
+    else:
+        raise ValueError(f"depth must be 'small' or 'full', got {depth!r}")
+
+    layers: list[nn.Module] = []
+    in_ch = 3
+    hw = in_size
+    for entry in cfg:
+        if entry == "M":
+            if hw >= 2:
+                layers.append(nn.MaxPool2d(2))
+                hw //= 2
+            continue
+        out_ch = max(8, int(round(int(entry) * width_scale)))
+        layers.append(nn.Conv2d(in_ch, out_ch, 3, padding=1, bias=not batch_norm, rng=rng))
+        if batch_norm:
+            layers.append(nn.BatchNorm2d(out_ch))
+        layers.append(nn.ReLU())
+        in_ch = out_ch
+    layers.append(nn.GlobalAvgPool2d())
+    layers.append(nn.Flatten())
+    layers.append(nn.Linear(in_ch, num_classes, rng=rng))
+    return nn.Sequential(*layers)

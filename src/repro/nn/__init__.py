@@ -1,0 +1,44 @@
+"""Neural-network layer library (module system on top of repro.autograd).
+
+Mirrors the subset of ``torch.nn`` the paper's training stage relies on:
+convolution, batch normalization, fully-connected layers, ReLU/ReLU6,
+pooling, dropout, and sequential containers — enough to express VGG-16,
+ResNet-50, and MobileNet-V2 exactly.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.containers import Sequential, ModuleList
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.norm import BatchNorm2d
+from repro.nn.activation import ReLU, ReLU6, Sigmoid, Tanh
+from repro.nn.pooling import MaxPool2d, AvgPool2d, AdaptiveAvgPool2d, GlobalAvgPool2d
+from repro.nn.dropout import Dropout
+from repro.nn.flatten import Flatten, Identity
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn import functional, init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "functional",
+    "init",
+]

@@ -1,0 +1,27 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+
+class ReLU6(Module):
+    """Clipped ReLU used throughout MobileNet-V2."""
+
+    def forward(self, x):
+        return x.clip(0.0, 6.0)
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()

@@ -1,0 +1,54 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain modules in order; indexable like a list."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, str(i), layer)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._layers[idx]
+
+
+class ModuleList(Module):
+    """A list of sub-modules registered for traversal (no forward)."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for m in modules or []:
+            self.append(m)
+
+    def append(self, module: Module) -> None:
+        setattr(self, str(len(self._items)), module)
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]

@@ -1,0 +1,59 @@
+"""2-D convolution layer (the unit of pattern-based pruning)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.ops_conv import Conv2d as _Conv2dFn
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """Convolution over NCHW inputs.
+
+    Weight layout is ``(out_channels, in_channels // groups, kh, kw)`` —
+    the exact 4-D tensor the paper's pattern/connectivity constraints are
+    expressed on (filters × kernels × kernel height × kernel width).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups:
+            raise ValueError(f"in_channels ({in_channels}) not divisible by groups ({groups})")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x):
+        return _Conv2dFn.apply(
+            x,
+            self.weight,
+            *([self.bias] if self.bias is not None else []),
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding}"
+            + (f", groups={self.groups}" if self.groups != 1 else "")
+        )

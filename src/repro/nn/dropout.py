@@ -1,0 +1,34 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import make_rng
+
+
+class Dropout(Module):
+    """Zero activations with probability ``p`` during training.
+
+    Uses inverted scaling so eval mode is the identity.  The RNG can be
+    injected for deterministic tests.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or make_rng()
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,17 @@
+"""Structural no-op / reshape layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Collapse all dims after the batch dim (NCHW -> N, C*H*W)."""
+
+    def forward(self, x):
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    def forward(self, x):
+        return x

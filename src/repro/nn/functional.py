@@ -1,0 +1,40 @@
+"""Stateless functional forms (softmax, log-softmax, one-hot)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels (N,) -> float32 one-hot matrix (N, num_classes)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray, topk: int = 1) -> float:
+    """Top-k classification accuracy in [0, 1].
+
+    ``topk=5`` reproduces the paper's ImageNet metric; ``topk=1`` its
+    CIFAR-10 metric (Table 5 caption).
+    """
+    labels = np.asarray(labels)
+    k = min(topk, logits.shape[1])
+    top = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(hits.mean())

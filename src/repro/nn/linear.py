@@ -1,0 +1,34 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.ops_matmul import Linear as _LinearFn
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x):
+        if self.bias is not None:
+            return _LinearFn.apply(x, self.weight, self.bias)
+        return _LinearFn.apply(x, self.weight)
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}"

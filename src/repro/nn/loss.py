@@ -1,0 +1,53 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.engine import Function
+from repro.nn.module import Module
+
+
+class _SoftmaxCrossEntropy(Function):
+    """Fused, numerically-stable softmax + NLL with integer targets."""
+
+    def forward(self, logits, labels):
+        labels = labels.astype(np.int64)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        n = logits.shape[0]
+        nll = -np.log(probs[np.arange(n), labels] + 1e-12)
+        self.save_for_backward(probs, labels)
+        return np.asarray(nll.mean(), dtype=logits.dtype)
+
+    def backward(self, grad_out):
+        probs, labels = self.saved
+        n = probs.shape[0]
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        grad /= n
+        return (grad * grad_out, None)
+
+
+class CrossEntropyLoss(Module):
+    """Mean softmax cross-entropy over a batch.
+
+    Accepts logits of shape (N, classes) and integer labels (N,) given as
+    a numpy array or Tensor.
+    """
+
+    def forward(self, logits: Tensor, labels) -> Tensor:
+        label_array = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
+        label_tensor = Tensor(label_array.astype(np.float32))
+        return _SoftmaxCrossEntropy.apply(logits, label_tensor)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target_t
+        return (diff * diff).mean()

@@ -1,0 +1,154 @@
+"""Module base class: parameter registration, traversal, and state dicts."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from typing import Any
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor that is registered as a trainable leaf by Modules."""
+
+    def __init__(self, data: Any):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter`, :class:`Module`, or buffer
+    (plain numpy array via :meth:`register_buffer`) attributes; traversal
+    utilities discover them by attribute inspection, exactly like
+    ``torch.nn.Module``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: OrderedDict[str, Parameter] = OrderedDict()
+        self._buffers: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._modules: OrderedDict[str, Module] = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, array: np.ndarray) -> None:
+        """Track a non-trainable array (e.g. BatchNorm running stats)."""
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    def _update_buffer(self, name: str, array: np.ndarray) -> None:
+        """Replace a registered buffer's contents (keeps registration)."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} was never registered")
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for mod_name, module in self.named_modules(prefix):
+            for p_name, param in module._parameters.items():
+                full = f"{mod_name}.{p_name}" if mod_name else p_name
+                yield full, param
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for mod_name, module in self.named_modules(prefix):
+            for b_name, buf in module._buffers.items():
+                full = f"{mod_name}.{b_name}" if mod_name else b_name
+                yield full, buf
+
+    # ------------------------------------------------------------------
+    # Modes / grads
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = {name: mod for name, mod in self._buffer_owners()}
+        for name, value in state.items():
+            if name in own_params:
+                target = own_params[name]
+                if target.data.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {name}: {target.data.shape} vs {value.shape}")
+                target.data = value.astype(target.data.dtype).copy()
+            elif name in own_buffers:
+                module, b_name = own_buffers[name]
+                module._update_buffer(b_name, value.copy())
+            else:
+                raise KeyError(f"unexpected key in state dict: {name}")
+
+    def _buffer_owners(self) -> Iterator[tuple[str, tuple["Module", str]]]:
+        for mod_name, module in self.named_modules():
+            for b_name in module._buffers:
+                full = f"{mod_name}.{b_name}" if mod_name else b_name
+                yield full, (module, b_name)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args: Any, **kwargs: Any) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {child!r}".replace("\n", "\n  ") for name, child in self._modules.items()]
+        body = "\n".join(child_lines)
+        header = f"{type(self).__name__}({self.extra_repr()})"
+        if not body:
+            return header
+        return f"{type(self).__name__}(\n{body}\n)"
+
+    def extra_repr(self) -> str:
+        return ""

@@ -1,0 +1,54 @@
+"""Batch normalisation (2-D), with running statistics for inference.
+
+The paper's execution stage folds BatchNorm into the preceding conv
+(`repro.graph.passes.fold_batchnorm`); the training stage needs the real
+thing, implemented here with autograd primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Normalise each channel of an NCHW tensor.
+
+    Uses biased batch variance during training (as PyTorch does for the
+    normalisation itself) and tracks running estimates for eval mode.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = ((x - mean) * (x - mean)).mean(axis=(0, 2, 3), keepdims=True)
+            m = self.momentum
+            self.running_mean *= 1.0 - m
+            self.running_mean += m * mean.data.reshape(-1)
+            self.running_var *= 1.0 - m
+            self.running_var += m * var.data.reshape(-1)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        inv_std = (var + self.eps) ** -0.5
+        x_hat = (x - mean) * inv_std
+        gamma = self.weight.reshape(1, -1, 1, 1)
+        beta = self.bias.reshape(1, -1, 1, 1)
+        return x_hat * gamma + beta
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}"

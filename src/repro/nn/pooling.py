@@ -1,0 +1,58 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.autograd.ops_conv import AvgPool2d as _AvgFn
+from repro.autograd.ops_conv import MaxPool2d as _MaxFn
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x):
+        return _MaxFn.apply(x, kernel=self.kernel_size, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return f"k={self.kernel_size}, s={self.stride}"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return _AvgFn.apply(x, kernel=self.kernel_size, stride=self.stride)
+
+    def extra_repr(self) -> str:
+        return f"k={self.kernel_size}, s={self.stride}"
+
+
+class AdaptiveAvgPool2d(Module):
+    """Average-pool to a fixed output size (only exact divisors supported)."""
+
+    def __init__(self, output_size: int = 1) -> None:
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x):
+        h = x.shape[2]
+        if h % self.output_size:
+            raise ValueError(
+                f"AdaptiveAvgPool2d needs input divisible by output size; got {h} -> {self.output_size}"
+            )
+        kernel = h // self.output_size
+        return _AvgFn.apply(x, kernel=kernel, stride=kernel)
+
+
+class GlobalAvgPool2d(Module):
+    """Mean over the spatial dims, keeping NCHW rank at (N, C, 1, 1)."""
+
+    def forward(self, x):
+        return x.mean(axis=(2, 3), keepdims=True)

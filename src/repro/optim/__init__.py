@@ -1,0 +1,7 @@
+"""Optimizers and learning-rate schedules for the training stage."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.scheduler import StepLR, CosineLR
+
+__all__ = ["SGD", "Adam", "StepLR", "CosineLR"]

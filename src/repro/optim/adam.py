@@ -1,0 +1,46 @@
+"""Adam optimizer — the paper solves ADMM subproblem 1 with Adam [27]."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2014)."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            st = self.state.setdefault(id(p), {})
+            if not st:
+                st["m"] = np.zeros_like(p.data)
+                st["v"] = np.zeros_like(p.data)
+                st["t"] = 0
+            st["t"] += 1
+            m, v, t = st["m"], st["v"], st["t"]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / (1.0 - self.beta1**t)
+            v_hat = v / (1.0 - self.beta2**t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

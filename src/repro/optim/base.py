@@ -1,0 +1,29 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Holds parameter references and per-parameter state.
+
+    Subclasses implement :meth:`step`, reading ``param.grad`` and updating
+    ``param.data`` in place.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.state: dict[int, dict] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,40 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.base import Optimizer
+
+
+class StepLR:
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        drops = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**drops)
+
+
+class CosineLR:
+    """Cosine annealing from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        t = min(self.epoch, self.t_max)
+        cos = (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+        self.optimizer.lr = self.eta_min + (self.base_lr - self.eta_min) * cos

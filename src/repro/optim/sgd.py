@@ -1,0 +1,43 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+
+class SGD(Optimizer):
+    """Classic SGD; supports heavy-ball momentum and Nesterov lookahead."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = self.state.setdefault(id(p), {}).get("momentum")
+                if buf is None:
+                    buf = np.zeros_like(p.data)
+                    self.state[id(p)]["momentum"] = buf
+                buf *= self.momentum
+                buf += grad
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            p.data -= self.lr * grad

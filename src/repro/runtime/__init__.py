@@ -1,0 +1,14 @@
+"""Functional runtime: execute graph IR and compiled (FKW) models.
+
+``ReferenceExecutor`` interprets graph IR with plain numpy kernels —
+the semantic baseline every transformation is verified against.
+``CompiledExecutor`` swaps pattern-pruned conv nodes for the compiler's
+generated FKW kernels, making "the compiled model computes the same
+function" a testable property end to end.
+"""
+
+from repro.runtime.ops import eval_node
+from repro.runtime.executor import ReferenceExecutor, CompiledExecutor
+from repro.runtime.session import InferenceSession
+
+__all__ = ["eval_node", "ReferenceExecutor", "CompiledExecutor", "InferenceSession"]

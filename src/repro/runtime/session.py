@@ -1,0 +1,80 @@
+"""End-to-end inference session: nn model → optimized graph → executor.
+
+``InferenceSession`` is the user-facing runtime entry: it exports the
+model to graph IR, runs PatDNN's graph-optimization pipeline, optionally
+swaps pruned conv layers to compiled FKW kernels, and executes batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core.patterns import PatternSet
+from repro.graph.builder import build_graph
+from repro.graph.ir import OpKind
+from repro.graph.pass_manager import default_pipeline
+from repro.runtime.executor import CompiledExecutor, ReferenceExecutor
+
+
+class InferenceSession:
+    """Run a (possibly pruned) model through the PatDNN execution stack.
+
+    Args:
+        model: trained ``repro.nn`` model (eval-mode statistics are used).
+        input_shape: (C, H, W) of one sample.
+        pattern_set / assignments: pass the pruning artifacts to execute
+            pattern layers through compiled FKW kernels; omit for the
+            reference (dense) interpreter.
+        optimize_graph: apply BN-fold / fusion / replacement passes.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        input_shape: tuple[int, int, int],
+        pattern_set: PatternSet | None = None,
+        assignments: dict[str, np.ndarray] | None = None,
+        optimize_graph: bool = True,
+        opt_level: str = "lre",
+    ) -> None:
+        model.eval()
+        self.graph = build_graph(model, input_shape)
+        self.pass_report = None
+        if optimize_graph:
+            self.pass_report = default_pipeline().run(self.graph)
+        if pattern_set is not None and assignments:
+            graph_assignments = self._map_assignments(assignments)
+            self.executor: ReferenceExecutor = CompiledExecutor(
+                self.graph, pattern_set, graph_assignments, opt_level
+            )
+        else:
+            self.executor = ReferenceExecutor(self.graph)
+
+    def _map_assignments(self, assignments: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Match pruner layer names (module paths) to graph conv nodes.
+
+        Convs are emitted in module traversal order, which matches the
+        pruner's ``named_modules`` order, so we zip them positionally and
+        verify by weight shape.
+        """
+        conv_nodes = [n for n in self.graph.toposort() if n.op == OpKind.CONV2D]
+        items = list(assignments.items())
+        mapped: dict[str, np.ndarray] = {}
+        node_idx = 0
+        for name, assignment in items:
+            while node_idx < len(conv_nodes):
+                node = conv_nodes[node_idx]
+                node_idx += 1
+                if node.params["weight"].shape[:2] == assignment.shape:
+                    mapped[node.name] = assignment
+                    break
+            else:
+                raise ValueError(f"could not map pruned layer {name!r} to a graph conv node")
+        return mapped
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Inference on a batched NCHW array; returns logits."""
+        if x.ndim == 3:
+            x = x[None]
+        return self.executor.run(x)

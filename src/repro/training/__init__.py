@@ -1,0 +1,5 @@
+"""High-level training loop shared by examples, benches, and tests."""
+
+from repro.training.trainer import Trainer, TrainReport
+
+__all__ = ["Trainer", "TrainReport"]

@@ -1,0 +1,101 @@
+"""A small Trainer: epochs, metrics history, hooks.
+
+The ADMM solver and the masked retrainer need to intervene in the
+gradient step (add proximal terms; zero masked gradients/weights), so
+the loop exposes two hooks:
+
+* ``grad_hook()``   — after backward, before ``optimizer.step()``;
+* ``step_hook()``   — after ``optimizer.step()``.
+
+Everything else (epoch accounting, eval cadence, loss history) lives
+here once instead of being re-implemented per experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.core.metrics import evaluate_accuracy
+from repro.data.loader import DataLoader
+from repro.optim import Adam
+from repro.optim.base import Optimizer
+
+
+@dataclass
+class TrainReport:
+    """Loss/accuracy trajectory of one training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    eval_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def best_accuracy(self) -> float:
+        return max(self.eval_accuracies) if self.eval_accuracies else float("nan")
+
+
+class Trainer:
+    """Supervised training driver.
+
+    Args:
+        model: the network to optimise (switched to train mode per epoch).
+        loader: training mini-batches.
+        optimizer: defaults to Adam(lr=3e-3).
+        loss_fn: defaults to cross-entropy.
+        grad_hook / step_hook: optimisation-step intercepts (see module
+            docstring).
+        eval_data: optional (images, labels) evaluated after each epoch.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        loader: DataLoader,
+        optimizer: Optimizer | None = None,
+        loss_fn: nn.Module | None = None,
+        grad_hook: Callable[[], None] | None = None,
+        step_hook: Callable[[], None] | None = None,
+        eval_data: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        self.model = model
+        self.loader = loader
+        self.optimizer = optimizer or Adam(model.parameters(), lr=3e-3)
+        self.loss_fn = loss_fn or nn.CrossEntropyLoss()
+        self.grad_hook = grad_hook
+        self.step_hook = step_hook
+        self.eval_data = eval_data
+
+    def run(self, epochs: int, scheduler=None) -> TrainReport:
+        """Train for ``epochs``; returns the loss/accuracy history."""
+        if epochs < 0:
+            raise ValueError(f"epochs must be non-negative, got {epochs}")
+        report = TrainReport()
+        for _ in range(epochs):
+            self.model.train()
+            total, batches = 0.0, 0
+            for xb, yb in self.loader:
+                self.optimizer.zero_grad()
+                loss = self.loss_fn(self.model(Tensor(xb)), yb)
+                loss.backward()
+                if self.grad_hook is not None:
+                    self.grad_hook()
+                self.optimizer.step()
+                if self.step_hook is not None:
+                    self.step_hook()
+                total += loss.item()
+                batches += 1
+            report.epoch_losses.append(total / max(batches, 1))
+            if scheduler is not None:
+                scheduler.step()
+            if self.eval_data is not None:
+                images, labels = self.eval_data
+                report.eval_accuracies.append(evaluate_accuracy(self.model, images, labels))
+        return report

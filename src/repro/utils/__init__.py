@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG, logging, and small helpers."""
+
+from repro.utils.rng import GLOBAL_SEED, make_rng, spawn
+from repro.utils.logging import get_logger
+from repro.utils.misc import human_bytes, human_time, prod, sizeof_fmt_table
+
+__all__ = [
+    "GLOBAL_SEED",
+    "make_rng",
+    "spawn",
+    "get_logger",
+    "human_bytes",
+    "human_time",
+    "prod",
+    "sizeof_fmt_table",
+]

@@ -1,0 +1,34 @@
+"""Minimal logging facade used across the library.
+
+We deliberately wrap :mod:`logging` behind one function so that examples,
+benchmarks, and tests all configure output the same way, and so the
+library never calls ``logging.basicConfig`` on import (a bad habit for
+libraries).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_configured = False
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    The first call installs a stream handler on the ``repro`` root logger;
+    subsequent calls reuse it.  Child loggers propagate upward, so tests
+    can silence everything via ``logging.getLogger('repro')``.
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+        root.setLevel(level)
+        _configured = True
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -1,0 +1,50 @@
+"""Small formatting and arithmetic helpers shared by the harnesses."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product of an iterable (empty product is 1)."""
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count, e.g. ``human_bytes(553500000) == '527.8 MiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_time(seconds: float) -> str:
+    """Format a duration: microseconds up to minutes."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def sizeof_fmt_table(rows: Sequence[Sequence[object]], headers: Sequence[str]) -> str:
+    """Render rows/headers as a fixed-width text table (no deps).
+
+    Used by benchmark harnesses to print paper-style tables.
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        line = "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        lines.append(line.rstrip())
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

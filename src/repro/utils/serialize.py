@@ -1,0 +1,181 @@
+"""Serialization of models and pruning/compiler artifacts (.npz based).
+
+A deployed PatDNN model is the FKW arrays plus the LR metadata; this
+module round-trips everything needed to ship a pruned model:
+
+* model state dicts (:func:`save_state` / :func:`load_state`),
+* pruning artifacts — pattern set + per-layer assignments
+  (:func:`save_pruning` / :func:`load_pruning`),
+* packed FKW layers (:func:`save_fkw` / :func:`load_fkw`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.compiler.storage import FKWLayer
+from repro.core.patterns import Pattern, PatternSet
+
+
+def save_state(path: str | Path, state: dict[str, np.ndarray]) -> None:
+    """Write a model state dict to ``path`` (.npz)."""
+    np.savez_compressed(path, **state)
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a model state dict written by :func:`save_state`."""
+    with np.load(path) as data:
+        return {k: data[k] for k in data.files}
+
+
+def _pattern_set_meta(pattern_set: PatternSet) -> str:
+    return json.dumps(
+        {
+            "kernel_size": pattern_set.kernel_size,
+            "positions": [list(p.positions) for p in pattern_set],
+        }
+    )
+
+
+def _pattern_set_from_meta(meta: str) -> PatternSet:
+    spec = json.loads(meta)
+    return PatternSet([Pattern(spec["kernel_size"], tuple(p)) for p in spec["positions"]])
+
+
+def save_pruning(
+    path: str | Path,
+    pattern_set: PatternSet,
+    assignments: dict[str, np.ndarray],
+) -> None:
+    """Persist the pruning stage's outputs (pattern set + assignments)."""
+    arrays = {f"assignment::{name}": a for name, a in assignments.items()}
+    arrays["__pattern_set__"] = np.frombuffer(
+        _pattern_set_meta(pattern_set).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_pruning(path: str | Path) -> tuple[PatternSet, dict[str, np.ndarray]]:
+    """Inverse of :func:`save_pruning`."""
+    with np.load(path) as data:
+        meta = bytes(data["__pattern_set__"]).decode()
+        pattern_set = _pattern_set_from_meta(meta)
+        assignments = {
+            k.split("::", 1)[1]: data[k] for k in data.files if k.startswith("assignment::")
+        }
+    return pattern_set, assignments
+
+
+def save_fkw(path: str | Path, fkw: FKWLayer) -> None:
+    """Persist one packed FKW layer (the deployable weight format)."""
+    np.savez_compressed(
+        path,
+        shape=np.asarray(fkw.shape, dtype=np.int64),
+        entries=np.asarray([fkw.entries], dtype=np.int64),
+        offset=fkw.offset,
+        reorder=fkw.reorder,
+        index=fkw.index,
+        stride=fkw.stride,
+        weights=fkw.weights,
+        pattern_set=np.frombuffer(_pattern_set_meta(fkw.pattern_set).encode(), dtype=np.uint8),
+    )
+
+
+def load_fkw(path: str | Path) -> FKWLayer:
+    """Inverse of :func:`save_fkw`.
+
+    Pattern ids are reconstructed from the stride array on first use —
+    exactly what a deployed runtime would do (Figure 10 stores no
+    per-kernel pattern tags).
+    """
+    with np.load(path) as data:
+        pattern_set = _pattern_set_from_meta(bytes(data["pattern_set"]).decode())
+        return FKWLayer(
+            shape=tuple(int(v) for v in data["shape"]),
+            entries=int(data["entries"][0]),
+            offset=data["offset"],
+            reorder=data["reorder"],
+            index=data["index"],
+            stride=data["stride"],
+            weights=data["weights"],
+            pattern_set=pattern_set,
+        )
+
+
+def save_deployment(path: str | Path, compiled) -> None:
+    """Persist a whole compiled model — the deployable artifact.
+
+    Stores every layer's FKW arrays plus the LR metadata (layer names,
+    schedules, stride/kernel info) as JSON; pattern sets are stored once
+    per distinct set.
+
+    Args:
+        compiled: a :class:`repro.compiler.compile.CompiledModel`.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    meta: list[dict] = []
+    pattern_sets: list[str] = []
+    for i, layer in enumerate(compiled.layers):
+        ps_meta = _pattern_set_meta(layer.fkw.pattern_set)
+        if ps_meta not in pattern_sets:
+            pattern_sets.append(ps_meta)
+        prefix = f"layer{i}"
+        arrays[f"{prefix}::offset"] = layer.fkw.offset
+        arrays[f"{prefix}::reorder"] = layer.fkw.reorder
+        arrays[f"{prefix}::index"] = layer.fkw.index
+        arrays[f"{prefix}::stride"] = layer.fkw.stride
+        arrays[f"{prefix}::weights"] = layer.fkw.weights
+        meta.append(
+            {
+                "name": layer.spec.name,
+                "shape": list(layer.fkw.shape),
+                "entries": layer.fkw.entries,
+                "stride_attr": layer.spec.stride,
+                "padding": layer.spec.padding,
+                "pattern_set": pattern_sets.index(ps_meta),
+                "lr": layer.lr.to_dict(),
+            }
+        )
+    header = json.dumps(
+        {
+            "name": compiled.name,
+            "device_unit": compiled.device_unit,
+            "opt_level": int(compiled.opt_level),
+            "layers": meta,
+            "pattern_sets": pattern_sets,
+        }
+    )
+    arrays["__meta__"] = np.frombuffer(header.encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_deployment(path: str | Path) -> tuple[dict, list[FKWLayer]]:
+    """Inverse of :func:`save_deployment`.
+
+    Returns:
+        (metadata dict, FKW layers in execution order) — enough for a
+        runtime to rebuild kernels via
+        :func:`repro.compiler.codegen.generate_kernel`.
+    """
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["__meta__"]).decode())
+        sets = [_pattern_set_from_meta(m) for m in meta["pattern_sets"]]
+        layers = []
+        for i, layer_meta in enumerate(meta["layers"]):
+            prefix = f"layer{i}"
+            layers.append(
+                FKWLayer(
+                    shape=tuple(layer_meta["shape"]),
+                    entries=layer_meta["entries"],
+                    offset=data[f"{prefix}::offset"],
+                    reorder=data[f"{prefix}::reorder"],
+                    index=data[f"{prefix}::index"],
+                    stride=data[f"{prefix}::stride"],
+                    weights=data[f"{prefix}::weights"],
+                    pattern_set=sets[layer_meta["pattern_set"]],
+                )
+            )
+    return meta, layers

@@ -1,0 +1,97 @@
+"""Autograd engine edge cases and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.engine import Function, is_grad_enabled
+
+
+class TestGradMode:
+    def test_is_grad_enabled_toggles(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_exception_restores_grad_mode(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+class TestFunctionContract:
+    def test_backward_arity_mismatch_raises(self):
+        class Bad(Function):
+            def forward(self, a, b):
+                return a + b
+
+            def backward(self, grad_out):
+                return (grad_out,)  # wrong: two parents
+
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        out = Bad.apply(a, b)
+        with pytest.raises(RuntimeError, match="grads for"):
+            out.backward()
+
+    def test_bad_gradient_shape_raises(self):
+        class BadShape(Function):
+            def forward(self, a):
+                return a * 2
+
+            def backward(self, grad_out):
+                return (np.zeros((7,)),)
+
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError, match="gradient shape"):
+            BadShape.apply(a).backward()
+
+    def test_none_gradient_skips_parent(self):
+        class PartialGrad(Function):
+            def forward(self, a, b):
+                return a + b
+
+            def backward(self, grad_out):
+                return grad_out, None
+
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        PartialGrad.apply(a, b).backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+
+class TestScalarAndDtype:
+    def test_zero_dim_loss_backward(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True, dtype=np.float64)
+        loss = (a.sum() ** 2.0)
+        assert loss.data.shape == ()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 24.0)
+
+    def test_float64_preserved_through_ops(self):
+        a = Tensor(np.ones(3), requires_grad=True, dtype=np.float64)
+        out = (a * 2).exp().log()
+        assert out.dtype == np.float64
+
+    def test_leaf_as_loss(self):
+        a = Tensor([2.0], requires_grad=True)
+        a.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        a.backward()
+        np.testing.assert_allclose(a.grad, [2.0])  # accumulates
+
+    def test_numpy_scalar_operand(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * np.float32(3.0)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 3.0])

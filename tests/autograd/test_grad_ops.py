@@ -1,0 +1,190 @@
+"""Gradient checks for every autograd op (float64 + finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd.ops_shape import Concat
+
+
+def _t(shape, rng, scale=1.0, shift=0.0):
+    return Tensor(rng.standard_normal(shape) * scale + shift, requires_grad=True, dtype=np.float64)
+
+
+@pytest.fixture
+def rng64():
+    return np.random.default_rng(42)
+
+
+class TestElementwiseGrads:
+    def test_add(self, rng64):
+        a, b = _t((3, 4), rng64), _t((3, 4), rng64)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self, rng64):
+        a, b = _t((3, 4), rng64), _t((4,), rng64)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_sub(self, rng64):
+        a, b = _t((2, 3), rng64), _t((2, 3), rng64)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+
+    def test_mul(self, rng64):
+        a, b = _t((2, 5), rng64), _t((2, 5), rng64)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self, rng64):
+        a = _t((3, 3), rng64)
+        b = _t((3, 3), rng64, scale=0.2, shift=2.0)  # away from zero
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self, rng64):
+        a = _t((4,), rng64, scale=0.3, shift=2.0)
+        check_gradients(lambda: (a**3.0).sum(), [a])
+
+    def test_exp(self, rng64):
+        a = _t((3, 3), rng64, scale=0.5)
+        check_gradients(lambda: a.exp().sum(), [a])
+
+    def test_log(self, rng64):
+        a = _t((3, 3), rng64, scale=0.2, shift=2.0)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self, rng64):
+        a = _t((3,), rng64, scale=0.3, shift=2.0)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+    def test_tanh(self, rng64):
+        a = _t((2, 4), rng64)
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self, rng64):
+        a = _t((2, 4), rng64)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu(self, rng64):
+        a = _t((5, 5), rng64, shift=0.3)  # avoid kink at 0
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_clip(self, rng64):
+        a = _t((4, 4), rng64, scale=2.0, shift=0.2)
+        check_gradients(lambda: a.clip(-1.0, 1.0).sum(), [a], eps=1e-5)
+
+    def test_abs(self, rng64):
+        a = _t((4,), rng64, shift=1.5)  # away from kink
+        check_gradients(lambda: a.abs().sum(), [a])
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self, rng64):
+        a, b = _t((3, 4), rng64), _t((4, 2), rng64)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self, rng64):
+        a, b = _t((2, 3, 4), rng64), _t((2, 4, 5), rng64)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_linear_fused(self, rng64):
+        from repro.autograd.ops_matmul import Linear
+
+        x, w, bias = _t((5, 3), rng64), _t((2, 3), rng64), _t((2,), rng64)
+        check_gradients(lambda: Linear.apply(x, w, bias).sum(), [x, w, bias])
+
+
+class TestReduceGrads:
+    def test_sum_all(self, rng64):
+        a = _t((3, 4), rng64)
+        check_gradients(lambda: (a.sum() ** 2.0), [a])
+
+    def test_sum_axis_keepdims(self, rng64):
+        a = _t((3, 4), rng64)
+        check_gradients(lambda: (a.sum(axis=1, keepdims=True) ** 2.0).sum(), [a])
+
+    def test_mean_axis_tuple(self, rng64):
+        a = _t((2, 3, 4), rng64)
+        check_gradients(lambda: (a.mean(axis=(0, 2)) ** 2.0).sum(), [a])
+
+    def test_max(self, rng64):
+        a = _t((3, 5), rng64, scale=3.0)  # well-separated maxima
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_var(self, rng64):
+        a = _t((4, 4), rng64)
+        check_gradients(lambda: a.var(axis=0).sum(), [a])
+
+
+class TestShapeGrads:
+    def test_reshape(self, rng64):
+        a = _t((2, 6), rng64)
+        check_gradients(lambda: (a.reshape(3, 4) ** 2.0).sum(), [a])
+
+    def test_permute(self, rng64):
+        a = _t((2, 3, 4), rng64)
+        check_gradients(lambda: (a.permute(2, 0, 1) ** 2.0).sum(), [a])
+
+    def test_slice(self, rng64):
+        a = _t((4, 4), rng64)
+        check_gradients(lambda: (a[1:3, ::2] ** 2.0).sum(), [a])
+
+    def test_pad2d(self, rng64):
+        a = _t((1, 2, 3, 3), rng64)
+        check_gradients(lambda: (a.pad2d(1) ** 2.0).sum(), [a])
+
+    def test_broadcast_to(self, rng64):
+        a = _t((1, 3), rng64)
+        check_gradients(lambda: (a.broadcast_to((4, 3)) ** 2.0).sum(), [a])
+
+    def test_concat(self, rng64):
+        a, b = _t((2, 3), rng64), _t((2, 3), rng64)
+        check_gradients(lambda: (Concat.apply(a, b, axis=0) ** 2.0).sum(), [a, b])
+
+
+class TestConvGrads:
+    def test_conv2d(self, rng64):
+        from repro.autograd.ops_conv import Conv2d
+
+        x = _t((2, 3, 5, 5), rng64)
+        w = _t((4, 3, 3, 3), rng64, scale=0.3)
+        b = _t((4,), rng64)
+        check_gradients(
+            lambda: (Conv2d.apply(x, w, b, stride=1, padding=1) ** 2.0).sum(), [x, w, b]
+        )
+
+    def test_conv2d_strided(self, rng64):
+        from repro.autograd.ops_conv import Conv2d
+
+        x = _t((1, 2, 7, 7), rng64)
+        w = _t((3, 2, 3, 3), rng64, scale=0.3)
+        check_gradients(lambda: (Conv2d.apply(x, w, stride=2, padding=1) ** 2.0).sum(), [x, w])
+
+    def test_conv2d_grouped(self, rng64):
+        from repro.autograd.ops_conv import Conv2d
+
+        x = _t((2, 4, 5, 5), rng64)
+        w = _t((4, 1, 3, 3), rng64, scale=0.3)  # depthwise
+        check_gradients(lambda: (Conv2d.apply(x, w, stride=1, padding=1, groups=4) ** 2.0).sum(), [x, w])
+
+    def test_conv2d_1x1(self, rng64):
+        from repro.autograd.ops_conv import Conv2d
+
+        x = _t((2, 3, 4, 4), rng64)
+        w = _t((5, 3, 1, 1), rng64, scale=0.3)
+        check_gradients(lambda: (Conv2d.apply(x, w, stride=1, padding=0) ** 2.0).sum(), [x, w])
+
+    def test_maxpool(self, rng64):
+        from repro.autograd.ops_conv import MaxPool2d
+
+        x = _t((2, 2, 6, 6), rng64, scale=3.0)
+        check_gradients(lambda: (MaxPool2d.apply(x, kernel=2) ** 2.0).sum(), [x])
+
+    def test_avgpool(self, rng64):
+        from repro.autograd.ops_conv import AvgPool2d
+
+        x = _t((2, 2, 6, 6), rng64)
+        check_gradients(lambda: (AvgPool2d.apply(x, kernel=2) ** 2.0).sum(), [x])
+
+    def test_maxpool_stride_padding(self, rng64):
+        from repro.autograd.ops_conv import MaxPool2d
+
+        x = _t((1, 1, 7, 7), rng64, scale=3.0)
+        check_gradients(lambda: (MaxPool2d.apply(x, kernel=3, stride=2, padding=1) ** 2.0).sum(), [x])

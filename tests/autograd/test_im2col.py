@@ -1,0 +1,89 @@
+"""im2col/col2im properties, including hypothesis round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.im2col import col2im, conv_out_size, im2col, im2col_view
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert conv_out_size(224, 3, 1, 1) == 224
+        assert conv_out_size(5, 3, 2, 1) == 3
+        assert conv_out_size(7, 7, 1, 0) == 1
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.zeros((2, 3, 8, 8), dtype=np.float32)
+        col, ho, wo = im2col(x, 3, 3, 1, 1)
+        assert (ho, wo) == (8, 8)
+        assert col.shape == (2, 27, 64)
+
+    def test_values_match_manual_window(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        col, ho, wo = im2col(x, 2, 2, 1, 0)
+        # first window is [[0,1],[4,5]]
+        np.testing.assert_array_equal(col[0, :, 0], [0, 1, 4, 5])
+
+    def test_view_is_alias(self):
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        view = im2col_view(x, 2, 2, 1)
+        x[0, 0, 0, 0] = 7.0
+        assert view[0, 0, 0, 0, 0, 0] == 7.0
+
+    def test_conv_equivalence_with_dot(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        col, ho, wo = im2col(x, 3, 3, 1, 1)
+        out = (w.reshape(3, -1) @ col[0]).reshape(3, ho, wo)
+        # naive direct convolution
+        xp = np.pad(x[0], ((0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((3, 6, 6), dtype=np.float32)
+        for f in range(3):
+            for i in range(6):
+                for j in range(6):
+                    ref[f, i, j] = np.sum(xp[:, i : i + 3, j : j + 3] * w[f])
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+
+class TestCol2im:
+    def test_adjointness(self):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 5, 5))
+        col, ho, wo = im2col(x, 3, 3, 2, 1)
+        y = rng.standard_normal(col.shape)
+        lhs = float((col * y).sum())
+        back = col2im(y, (1, 2, 5, 5), 3, 3, 2, 1)
+        rhs = float((x * back).sum())
+        assert abs(lhs - rhs) < 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    h=st.integers(4, 10),
+    k=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    padding=st.integers(0, 1),
+    c=st.integers(1, 3),
+)
+def test_im2col_col2im_adjoint_property(h, k, stride, padding, c):
+    """Adjoint identity holds for arbitrary geometry (hypothesis)."""
+    if h + 2 * padding < k:
+        return
+    rng = np.random.default_rng(h * 7 + k)
+    x = rng.standard_normal((1, c, h, h))
+    col, ho, wo = im2col(x, k, k, stride, padding)
+    y = rng.standard_normal(col.shape)
+    lhs = float((col * y).sum())
+    back = col2im(y, (1, c, h, h), k, k, stride, padding)
+    rhs = float((x * back).sum())
+    assert abs(lhs - rhs) < 1e-6 * max(1.0, abs(lhs))

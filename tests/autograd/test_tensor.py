@@ -1,0 +1,162 @@
+"""Tensor basics: construction, arithmetic, backward semantics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, arange, no_grad, ones, randn, tensor, zeros
+
+
+class TestConstruction:
+    def test_default_dtype_is_float32(self):
+        t = tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_preserved(self):
+        t = Tensor([1.0], dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_zeros_ones_shapes(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(4).shape == (4,)
+        assert float(ones(2, 2).data.sum()) == 4.0
+
+    def test_randn_deterministic_with_rng(self):
+        from repro.utils.rng import make_rng
+
+        a = randn(3, 3, rng=make_rng(7))
+        b = randn(3, 3, rng=make_rng(7))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_arange(self):
+        np.testing.assert_array_equal(arange(4).data, [0, 1, 2, 3])
+
+    def test_properties(self):
+        t = zeros(2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self):
+        a = tensor([2.0, 4.0])
+        b = tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + b).data, [3, 6])
+        np.testing.assert_allclose((a - b).data, [1, 2])
+        np.testing.assert_allclose((a * b).data, [2, 8])
+        np.testing.assert_allclose((a / b).data, [2, 2])
+
+    def test_scalar_operands(self):
+        a = tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1).data, [2, 3])
+        np.testing.assert_allclose((1 + a).data, [2, 3])
+        np.testing.assert_allclose((2 - a).data, [1, 0])
+        np.testing.assert_allclose((a * 3).data, [3, 6])
+        np.testing.assert_allclose((6 / a).data, [6, 3])
+
+    def test_neg_pow(self):
+        a = tensor([1.0, -2.0])
+        np.testing.assert_allclose((-a).data, [-1, 2])
+        np.testing.assert_allclose((a**2).data, [1, 4])
+
+    def test_matmul(self):
+        a = tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = tensor([[1.0], [1.0]])
+        np.testing.assert_allclose((a @ b).data, [[3], [7]])
+
+    def test_broadcasting_add(self):
+        a = tensor(np.ones((2, 3)))
+        b = tensor(np.ones(3))
+        assert (a + b).shape == (2, 3)
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = tensor([3.0], requires_grad=True)
+        y = x * x + 2 * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [8.0])  # 2x + 2
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        (x * 2).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad_resets(self):
+        x = tensor([1.0], requires_grad=True)
+        (x * 3).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_shared_subexpression_sums_gradients(self):
+        x = tensor([2.0], requires_grad=True)
+        y = x * x  # used twice below
+        z = y + y
+        z.backward()
+        np.testing.assert_allclose(x.grad, [8.0])  # d/dx 2x^2
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            tensor([1.0]).backward()
+
+    def test_no_grad_blocks_recording(self):
+        x = tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert y._ctx is None
+        assert not y.requires_grad
+
+    def test_retain_grad_on_intermediate(self):
+        x = tensor([2.0], requires_grad=True)
+        y = (x * 3).retain_grad()
+        z = y * 2
+        z.backward()
+        np.testing.assert_allclose(y.grad, [2.0])
+
+    def test_detach_cuts_graph(self):
+        x = tensor([2.0], requires_grad=True)
+        y = (x * 3).detach()
+        assert not y.requires_grad
+        z = y * 2
+        assert z._ctx is None
+
+    def test_nonscalar_backward_with_seed(self):
+        x = tensor([[1.0, 2.0]], requires_grad=True)
+        y = x * 3
+        y.backward(np.array([[1.0, 10.0]], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [[3.0, 30.0]])
+
+    def test_broadcast_grad_unbroadcasts(self):
+        a = tensor(np.ones((2, 3)), requires_grad=True)
+        b = tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2, 2, 2])
+
+
+class TestShapeMethods:
+    def test_reshape_flatten(self):
+        t = zeros(2, 3, 4)
+        assert t.reshape(6, 4).shape == (6, 4)
+        assert t.reshape((-1,)).shape == (24,)
+        assert t.flatten(1).shape == (2, 12)
+
+    def test_transpose_permute(self):
+        t = zeros(2, 3, 4)
+        assert t.transpose(0, 2).shape == (4, 3, 2)
+        assert t.permute(1, 2, 0).shape == (3, 4, 2)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_getitem_backward(self):
+        x = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        x[1:].sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 1])
+
+    def test_pad2d(self):
+        t = zeros(1, 1, 2, 2)
+        assert t.pad2d(1).shape == (1, 1, 4, 4)
+
+    def test_item(self):
+        assert tensor([5.0]).item() == 5.0

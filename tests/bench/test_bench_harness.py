@@ -1,0 +1,99 @@
+"""Bench harness: reporting, registry, and light experiment sanity."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, ResultTable, get_experiment, list_experiments
+from repro.bench import paper
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        t = ResultTable("demo", ["a", "b"])
+        t.add(1, 2)
+        t.note("caveat")
+        text = t.to_text()
+        assert "demo" in text and "caveat" in text
+
+    def test_wrong_arity_raises(self):
+        t = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_markdown_format(self):
+        t = ResultTable("demo", ["x"])
+        t.add("v")
+        md = t.to_markdown()
+        assert md.startswith("### demo")
+        assert "| x |" in md
+
+    def test_column_access(self):
+        t = ResultTable("demo", ["x", "y"])
+        t.add(1, 2)
+        t.add(3, 4)
+        assert t.column("y") == [2, 4]
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        for exp_id in ("table1", "table2", "table3", "table4", "table5", "table6",
+                       "table7", "fig12", "fig13", "fig14a", "fig14b", "fig15",
+                       "fig16", "fig17a", "fig17b", "fig18"):
+            assert exp_id in EXPERIMENTS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_listing_sorted(self):
+        listed = list_experiments()
+        assert listed == sorted(listed)
+
+
+class TestPaperExpectations:
+    def test_within_helper(self):
+        assert paper.within(2.0, 1.0, 3.0)
+        assert not paper.within(4.0, 1.0, 3.0)
+        assert paper.within(3.2, 1.0, 3.0, slack=0.1)
+
+    def test_table6_matches_model_zoo(self):
+        from repro.models.vgg import VGG_UNIQUE_LAYERS
+
+        assert paper.TABLE6 == VGG_UNIQUE_LAYERS
+
+
+class TestLightExperiments:
+    """Cheap experiments run inline; heavy ones are benchmark-only."""
+
+    def test_table1(self):
+        table = EXPERIMENTS["table1"].run()
+        assert len(table.rows) == 11
+
+    def test_table5_sizes_close_to_paper(self):
+        table = EXPERIMENTS["table5"].run()
+        for row in table.rows:
+            measured = float(row[4])
+            expected = float(row[5])
+            assert abs(measured - expected) / expected < 0.08
+
+    def test_table6_exact(self):
+        table = EXPERIMENTS["table6"].run()
+        for row in table.rows:
+            assert row[1] == row[2]
+
+    def test_fig14a_reorder_groups(self):
+        table = EXPERIMENTS["fig14a"].run()
+        values = dict(zip(table.column("metric"), zip(table.column("before"), table.column("after"))))
+        assert values["sorted into groups"] == ("no", "yes")
+
+    def test_fig14b_reduction_in_paper_range(self):
+        table = EXPERIMENTS["fig14b"].run()
+        for row in table.rows:
+            reduction = float(row[3].rstrip("x"))
+            assert 1.5 < reduction < 5.0
+
+    def test_fig16_fkw_much_cheaper(self):
+        table = EXPERIMENTS["fig16"].run()
+        all_row = table.rows[-1]
+        assert all_row[0] == "All"
+        for cell in all_row[1:]:
+            assert float(cell.rstrip("%")) < 25.0

@@ -1,0 +1,40 @@
+"""EXPERIMENTS.md generator (with a stubbed registry for speed)."""
+
+import pytest
+
+from repro.bench import report as report_mod
+from repro.bench.registry import Experiment
+from repro.bench.reporting import ResultTable
+
+
+def _ok_experiment():
+    table = ResultTable("stub — works", ["a"])
+    table.add(1)
+    return table
+
+
+def _boom_experiment():
+    raise RuntimeError("deliberate failure")
+
+
+class TestGenerate:
+    def test_writes_markdown_with_tables(self, tmp_path, monkeypatch):
+        stub = {
+            "stub1": Experiment("stub1", "works", _ok_experiment, "performance"),
+        }
+        monkeypatch.setattr(report_mod, "EXPERIMENTS", stub)
+        out = tmp_path / "EXP.md"
+        text = report_mod.generate(str(out))
+        assert out.exists()
+        assert "stub — works" in text
+        assert "paper vs. measured" in text
+
+    def test_failures_recorded_not_raised(self, tmp_path, monkeypatch):
+        stub = {
+            "stub1": Experiment("stub1", "works", _ok_experiment, "performance"),
+            "boom": Experiment("boom", "fails", _boom_experiment, "performance"),
+        }
+        monkeypatch.setattr(report_mod, "EXPERIMENTS", stub)
+        text = report_mod.generate(str(tmp_path / "EXP.md"))
+        assert "deliberate failure" in text
+        assert "stub — works" in text

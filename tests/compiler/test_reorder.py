@@ -1,0 +1,96 @@
+"""Filter kernel reorder invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.reorder import filter_kernel_reorder, identity_reorder
+
+
+def _random_assignment(rng, f=12, c=8, k=6, empty_frac=0.4):
+    a = rng.integers(1, k + 1, size=(f, c)).astype(np.int32)
+    a[rng.random((f, c)) < empty_frac] = 0
+    return a
+
+
+class TestFKR:
+    def test_filter_order_is_permutation(self, rng):
+        fkr = filter_kernel_reorder(_random_assignment(rng))
+        assert sorted(fkr.filter_order.tolist()) == list(range(12))
+
+    def test_groups_partition_filters(self, rng):
+        fkr = filter_kernel_reorder(_random_assignment(rng))
+        covered = []
+        for start, end in fkr.groups:
+            covered.extend(range(start, end))
+        assert covered == list(range(12))
+
+    def test_lengths_within_group_equal(self, rng):
+        fkr = filter_kernel_reorder(_random_assignment(rng))
+        for start, end in fkr.groups:
+            lengths = fkr.lengths_after[start:end]
+            assert len(set(lengths.tolist())) == 1
+
+    def test_lengths_descending_across_groups(self, rng):
+        fkr = filter_kernel_reorder(_random_assignment(rng))
+        assert np.all(np.diff(fkr.lengths_after) <= 0)
+
+    def test_kernels_sorted_by_pattern_id(self, rng):
+        fkr = filter_kernel_reorder(_random_assignment(rng))
+        for order in fkr.kernel_orders:
+            if len(order) > 1:
+                assert np.all(np.diff(order[:, 1]) >= 0)
+
+    def test_kernel_sets_preserved(self, rng):
+        a = _random_assignment(rng)
+        fkr = filter_kernel_reorder(a)
+        for pos, orig in enumerate(fkr.filter_order):
+            expected = {(c, a[orig, c]) for c in np.nonzero(a[orig])[0]}
+            got = {(int(ch), int(pid)) for ch, pid in fkr.kernel_orders[pos]}
+            assert got == expected
+
+    def test_runs_never_exceed_pattern_count(self, rng):
+        a = _random_assignment(rng, k=6)
+        fkr = filter_kernel_reorder(a)
+        assert fkr.pattern_runs_per_filter() <= 6
+
+    def test_reorder_reduces_runs_vs_identity(self, rng):
+        a = _random_assignment(rng, f=24, c=24, k=8, empty_frac=0.2)
+        before = identity_reorder(a).pattern_runs_per_filter()
+        after = filter_kernel_reorder(a).pattern_runs_per_filter()
+        assert after < before
+
+    def test_identity_reorder_keeps_order(self, rng):
+        a = _random_assignment(rng)
+        fkr = identity_reorder(a)
+        np.testing.assert_array_equal(fkr.filter_order, np.arange(12))
+        np.testing.assert_array_equal(fkr.lengths_before, fkr.lengths_after)
+
+    def test_empty_filter_supported(self):
+        a = np.zeros((4, 4), dtype=np.int32)
+        a[0, 0] = 1
+        fkr = filter_kernel_reorder(a)
+        assert fkr.lengths_after[0] == 1
+        assert fkr.lengths_after[1:].sum() == 0
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            filter_kernel_reorder(np.zeros(4, dtype=np.int32))
+
+    def test_large_group_fallback_matches_invariants(self, rng):
+        a = _random_assignment(rng, f=64, c=4, k=2, empty_frac=0.0)
+        fkr = filter_kernel_reorder(a, greedy_limit=8)  # force fallback
+        assert sorted(fkr.filter_order.tolist()) == list(range(64))
+        for start, end in fkr.groups:
+            assert len(set(fkr.lengths_after[start:end].tolist())) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 16), st.integers(2, 12))
+def test_fkr_permutation_property(seed, f, c):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 5, size=(f, c)).astype(np.int32)
+    fkr = filter_kernel_reorder(a)
+    assert sorted(fkr.filter_order.tolist()) == list(range(f))
+    assert int(fkr.lengths_after.sum()) == int((a > 0).sum())

@@ -1,0 +1,140 @@
+"""FKW / CSR / COO storage formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.reorder import filter_kernel_reorder, identity_reorder
+from repro.compiler.storage import COOLayer, CSRLayer, FKWLayer
+from repro.core.patterns import PatternSet, enumerate_candidate_patterns
+from repro.core.projections import project_connectivity, project_kernel_pattern
+
+
+def _pruned(seed=0, f=10, c=6, k=6, keep=None):
+    rng = np.random.default_rng(seed)
+    ps = PatternSet(enumerate_candidate_patterns()[:k])
+    w = rng.standard_normal((f, c, 3, 3)).astype(np.float32)
+    w, assignment = project_kernel_pattern(w, ps)
+    keep = keep or (f * c) // 2
+    w, mask = project_connectivity(w, keep)
+    return w, assignment * mask, ps
+
+
+class TestFKW:
+    def test_roundtrip_exact(self):
+        w, a, ps = _pruned()
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        np.testing.assert_array_equal(fkw.to_dense(), w)
+
+    def test_roundtrip_with_identity_reorder(self):
+        w, a, ps = _pruned(seed=1)
+        fkw = FKWLayer.from_pruned(w, a, ps, identity_reorder(a))
+        np.testing.assert_array_equal(fkw.to_dense(), w)
+
+    def test_kernel_and_weight_counts(self):
+        w, a, ps = _pruned(keep=20)
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        assert fkw.num_kernels == 20
+        assert fkw.nnz == 20 * 4
+
+    def test_offset_monotone(self):
+        w, a, ps = _pruned()
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        assert np.all(np.diff(fkw.offset) >= 0)
+        assert fkw.offset[0] == 0
+        assert fkw.offset[-1] == fkw.num_kernels
+
+    def test_stride_rows_cumulative(self):
+        w, a, ps = _pruned()
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        assert fkw.stride.shape == (10, len(ps) + 1)
+        assert np.all(np.diff(fkw.stride.astype(int), axis=1) >= 0)
+        # last stride column equals the filter's kernel count
+        np.testing.assert_array_equal(fkw.stride[:, -1], np.diff(fkw.offset))
+
+    def test_pattern_runs_cover_filter(self):
+        w, a, ps = _pruned()
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        for pos in range(10):
+            runs = fkw.pattern_runs(pos)
+            covered = sum(end - start for _, start, end in runs)
+            assert covered == int(fkw.offset[pos + 1] - fkw.offset[pos])
+            # runs sorted by pattern id and non-overlapping
+            ids = [pid for pid, _, _ in runs]
+            assert ids == sorted(ids)
+
+    def test_pattern_ids_reconstruction(self):
+        w, a, ps = _pruned(seed=2)
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        stored = fkw.pattern_ids.copy()
+        fkw._pattern_ids = None
+        np.testing.assert_array_equal(fkw.pattern_ids, stored)
+
+    def test_overhead_excludes_weights(self):
+        w, a, ps = _pruned()
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        assert fkw.total_bytes() == fkw.overhead_bytes() + fkw.weights.nbytes
+
+    def test_overhead_much_smaller_than_csr(self):
+        w, a, ps = _pruned(seed=3, f=64, c=64, keep=1100)
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        csr = CSRLayer.from_dense(w)
+        assert fkw.overhead_bytes() < 0.35 * csr.overhead_bytes()
+
+    def test_all_kernels_pruned_layer(self):
+        ps = PatternSet(enumerate_candidate_patterns()[:4])
+        w = np.zeros((3, 3, 3, 3), dtype=np.float32)
+        a = np.zeros((3, 3), dtype=np.int32)
+        fkw = FKWLayer.from_pruned(w, a, ps)
+        assert fkw.num_kernels == 0
+        np.testing.assert_array_equal(fkw.to_dense(), w)
+
+
+class TestCSR:
+    def test_roundtrip(self):
+        w, a, ps = _pruned(seed=4)
+        csr = CSRLayer.from_dense(w)
+        np.testing.assert_array_equal(csr.to_dense(), w)
+
+    def test_nnz_matches(self):
+        w, a, ps = _pruned(seed=5)
+        csr = CSRLayer.from_dense(w)
+        assert csr.nnz == int(np.count_nonzero(w))
+
+    def test_indptr_shape(self):
+        w, a, ps = _pruned()
+        csr = CSRLayer.from_dense(w)
+        assert csr.indptr.shape == (11,)
+
+    def test_overhead_accounting(self):
+        w, a, ps = _pruned()
+        csr = CSRLayer.from_dense(w)
+        assert csr.overhead_bytes() == csr.indptr.nbytes + csr.indices.nbytes
+
+
+class TestCOO:
+    def test_counts_match_csr(self):
+        w, a, ps = _pruned(seed=6)
+        coo = COOLayer.from_dense(w)
+        csr = CSRLayer.from_dense(w)
+        assert coo.nnz == csr.nnz
+
+    def test_coo_overhead_exceeds_csr(self):
+        w, a, ps = _pruned(seed=7)
+        assert COOLayer.from_dense(w).overhead_bytes() >= CSRLayer.from_dense(w).overhead_bytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 8), st.integers(2, 8), st.integers(1, 8))
+def test_fkw_roundtrip_property(seed, f, c, k):
+    """Property: FKW.to_dense inverts from_pruned for any pruned layer."""
+    rng = np.random.default_rng(seed)
+    ps = PatternSet(enumerate_candidate_patterns()[:k])
+    w = rng.standard_normal((f, c, 3, 3)).astype(np.float32)
+    w, assignment = project_kernel_pattern(w, ps)
+    keep = max(1, (f * c) // 3)
+    w, mask = project_connectivity(w, keep)
+    assignment = assignment * mask
+    fkw = FKWLayer.from_pruned(w, assignment, ps)
+    np.testing.assert_array_equal(fkw.to_dense(), w)

@@ -1,0 +1,209 @@
+"""Auto-tuner (GA + estimator), LR, and the compile driver."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import (
+    CompiledModel,
+    OptLevel,
+    compile_layer,
+    compile_model,
+    full_pattern_set,
+    prune_spec_layer,
+    warp_divergence_factor,
+)
+from repro.compiler.lr import LayerwiseRepresentation, model_lr
+from repro.compiler.reorder import filter_kernel_reorder, identity_reorder
+from repro.compiler.tuner import (
+    GATuner,
+    PerformanceEstimator,
+    Schedule,
+    ScheduleSpace,
+)
+from repro.core.patterns import mine_pattern_set
+from repro.hardware import SNAPDRAGON_855
+from repro.hardware.cost_model import ConvCostModel, ConvWorkload
+from repro.models.spec import ConvSpec
+from repro.models.vgg import unique_layer_spec
+
+
+@pytest.fixture(scope="module")
+def layer_setup():
+    spec = ConvSpec("test", 32, 32, 3, padding=1, in_hw=28)
+    w0 = spec.make_weights()
+    ps = mine_pattern_set([w0], k=8)
+    w, assignment = prune_spec_layer(spec, ps, 3.6, weights=w0)
+    cm = ConvCostModel(SNAPDRAGON_855, "cpu", utilization=0.42)
+    return spec, w, assignment, ps, cm
+
+
+class TestScheduleSpace:
+    def test_space_respects_layer_bounds(self):
+        space = ScheduleSpace.for_layer(out_channels=16, out_hw=8)
+        assert max(space.tiles_oc) <= 16
+        assert max(space.tiles_hw) <= 8
+
+    def test_random_in_space(self, rng):
+        space = ScheduleSpace.for_layer(64, 28)
+        for _ in range(20):
+            s = space.random(rng)
+            assert s.tile_oc in space.tiles_oc
+            assert s.permutation in space.permutations
+
+    def test_mutate_changes_one_knob(self, rng):
+        space = ScheduleSpace.for_layer(64, 28)
+        base = Schedule.default()
+        diffs = []
+        for _ in range(30):
+            mutated = space.mutate(base, rng)
+            fields = [f for f in base.__dataclass_fields__ if getattr(base, f) != getattr(mutated, f)]
+            diffs.append(len(fields))
+        assert max(diffs) <= 1
+
+    def test_gpu_space_has_placements(self):
+        space = ScheduleSpace.for_layer(64, 28, unit="gpu")
+        assert "image2d" in space.placements
+
+    def test_size_positive(self):
+        assert ScheduleSpace.for_layer(64, 28).size() > 100
+
+
+class TestGATuner:
+    def test_improves_over_default(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        tuner = GATuner(cm, population=12, generations=6, seed=3)
+        result = tuner.tune(cl.workload)
+        default_ms = cm.estimate(cl.workload, Schedule.default().to_sched_params()).total_ms
+        assert result.best_ms < default_ms
+
+    def test_deterministic(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        r1 = GATuner(cm, population=8, generations=4, seed=5).tune(cl.workload)
+        r2 = GATuner(cm, population=8, generations=4, seed=5).tune(cl.workload)
+        assert r1.best == r2.best
+        assert r1.best_ms == r2.best_ms
+
+    def test_history_recorded(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        result = GATuner(cm, population=8, generations=3, seed=1).tune(cl.workload)
+        assert len(result.history) == 8 * 4  # 3 generations + final scoring
+
+    def test_elite_bounds(self):
+        cm = ConvCostModel(SNAPDRAGON_855, "cpu")
+        with pytest.raises(ValueError):
+            GATuner(cm, population=4, elite=4)
+
+
+class TestPerformanceEstimator:
+    def test_fit_and_predict(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        result = GATuner(cm, population=16, generations=6, seed=2).tune(cl.workload)
+        est = PerformanceEstimator(seed=0)
+        rmse = est.fit(result.history, cl.workload, epochs=200)
+        assert rmse < 0.2  # log-space fit
+        pred = est.predict(result.best, cl.workload)
+        assert 0.2 * result.best_ms < pred < 5 * result.best_ms
+
+    def test_best_of_picks_low_latency(self, layer_setup, rng):
+        spec, w, assignment, ps, cm = layer_setup
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        result = GATuner(cm, population=16, generations=6, seed=4).tune(cl.workload)
+        est = PerformanceEstimator(seed=1)
+        est.fit(result.history, cl.workload, epochs=200)
+        space = ScheduleSpace.for_layer(spec.out_channels, spec.out_hw)
+        candidates = [space.random(rng) for _ in range(32)]
+        pick = est.best_of(candidates, cl.workload)
+        actual = {s: cm.estimate(cl.workload, s.to_sched_params()).total_ms for s in candidates}
+        # the pick must land in the better half of candidates
+        ranked = sorted(actual.values())
+        assert actual[pick] <= ranked[len(ranked) // 2]
+
+    def test_unfitted_predict_raises(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        with pytest.raises(RuntimeError):
+            PerformanceEstimator().predict(Schedule.default(), cl.workload)
+
+    def test_too_few_samples_raises(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        with pytest.raises(ValueError):
+            PerformanceEstimator().fit([(Schedule.default(), 1.0)] * 3, cl.workload)
+
+
+class TestLR:
+    def test_from_layer_fields(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        lr = LayerwiseRepresentation.from_layer("conv_op1", assignment, tuning={"tile": [16, 32, 8]})
+        assert lr.pattern_types == sorted(set(int(i) for i in np.unique(assignment) if i > 0))
+        assert lr.info["strides"] == [1, 1]
+
+    def test_yaml_shape(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        lr = LayerwiseRepresentation.from_layer("conv_op1", assignment)
+        text = lr.to_yaml()
+        assert 'name: "conv_op1"' in text
+        assert "FKW" in text
+
+    def test_model_lr_concatenates(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        lr = LayerwiseRepresentation.from_layer("conv_op1", assignment)
+        doc = model_lr([lr, lr], device="gpu", name="vgg16")
+        assert doc.count("conv_op1") == 2
+        assert "device: [GPU]" in doc
+
+
+class TestCompileDriver:
+    def test_opt_levels_monotone_speedup(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        times = [compile_layer(spec, w, assignment, ps, cm, lvl).estimated_ms for lvl in OptLevel]
+        assert times[0] > times[1] >= times[2] >= times[3]
+
+    def test_kernel_correct_at_all_levels(self, layer_setup):
+        from repro.autograd.im2col import im2col
+
+        spec, w, assignment, ps, cm = layer_setup
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((spec.in_channels, 10, 10)).astype(np.float32)
+        col, ho, wo = im2col(x[None], 3, 3, 1, 1)
+        ref = (w.reshape(w.shape[0], -1) @ col[0]).reshape(w.shape[0], ho, wo)
+        for lvl in OptLevel:
+            cl = compile_layer(spec, w, assignment, ps, cm, lvl)
+            np.testing.assert_allclose(cl.kernel()(x), ref, rtol=1e-3, atol=1e-3)
+
+    def test_warp_divergence_drops_after_fkr(self, layer_setup):
+        spec, w, assignment, ps, cm = layer_setup
+        before = warp_divergence_factor(identity_reorder(assignment), wavefront=16)
+        after = warp_divergence_factor(filter_kernel_reorder(assignment), wavefront=16)
+        assert after < before
+
+    def test_full_pattern_set_for_1x1(self):
+        ps = full_pattern_set(1)
+        assert len(ps) == 1
+        assert ps[1].positions == (0,)
+
+    def test_compile_model_over_spec(self):
+        from repro.models import get_spec
+
+        spec = get_spec("vgg16", "cifar10")
+        ps = mine_pattern_set([spec.convs[1].make_weights()], k=8)
+        cm = ConvCostModel(SNAPDRAGON_855, "cpu", utilization=0.42)
+        compiled = compile_model(spec, ps, cm, opt_level=OptLevel.LRE)
+        assert isinstance(compiled, CompiledModel)
+        assert len(compiled.layers) == 13
+        assert compiled.total_ms > 0
+        doc = compiled.lr_document()
+        assert doc.count("name:") >= 13
+
+    def test_non_3x3_layer_compiles(self):
+        spec = ConvSpec("pw", 16, 24, 1, padding=0, in_hw=14)
+        ps = mine_pattern_set([ConvSpec("t", 8, 8, 3, in_hw=8).make_weights()], k=8)
+        w, assignment = prune_spec_layer(spec, ps, 2.0)
+        cm = ConvCostModel(SNAPDRAGON_855, "cpu")
+        cl = compile_layer(spec, w, assignment, ps, cm, OptLevel.LRE)
+        assert cl.fkw.entries == 1
+        np.testing.assert_array_equal(cl.fkw.to_dense(), w)

@@ -1,0 +1,45 @@
+"""Shared fixtures: deterministic RNGs, small datasets, pruned layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import mine_pattern_set
+from repro.core.projections import project_connectivity, project_kernel_pattern
+from repro.data import DataLoader, make_cifar10_like
+from repro.models import build_small_cnn
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return make_rng(1234)
+
+
+@pytest.fixture
+def small_dataset():
+    ds = make_cifar10_like(samples_per_class=12, size=8, seed=5)
+    return ds.split(0.75)
+
+
+@pytest.fixture
+def small_loader(small_dataset):
+    train, _ = small_dataset
+    return DataLoader(train, batch_size=16, shuffle=True, rng=make_rng(6))
+
+
+@pytest.fixture
+def small_model():
+    return build_small_cnn(channels=(8, 16), in_size=8, seed=3)
+
+
+@pytest.fixture
+def pruned_layer(rng):
+    """A pattern+connectivity pruned conv layer: (weights, assignment, set)."""
+    w = rng.standard_normal((12, 6, 3, 3)).astype(np.float32)
+    pattern_set = mine_pattern_set([w], k=6)
+    w, assignment = project_kernel_pattern(w, pattern_set)
+    w, keep = project_connectivity(w, 30)
+    assignment = assignment * keep
+    return w, assignment, pattern_set

@@ -1,0 +1,156 @@
+"""Extended ADMM framework: constraint satisfaction and convergence."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.admm import ADMMConfig, ADMMPruner
+from repro.core.masking import MaskedRetrainer, apply_masks, extract_masks
+from repro.core.metrics import compression_rate, count_nonzero_kernels
+from repro.core.patterns import PatternSet, enumerate_candidate_patterns
+from repro.core.pruner import PatDNNPruner, PruningConfig
+
+
+@pytest.fixture
+def pattern_set():
+    return PatternSet(enumerate_candidate_patterns()[:8])
+
+
+@pytest.fixture
+def fast_config():
+    return ADMMConfig(iterations=2, epochs_per_iteration=1, connectivity_rate=2.0, rho=1e-2)
+
+
+class TestADMMPruner:
+    def test_requires_conv_layers(self, pattern_set, fast_config):
+        model = nn.Sequential(nn.Linear(4, 2))
+        with pytest.raises(ValueError):
+            ADMMPruner(model, pattern_set, fast_config)
+
+    def test_layer_states_initialized(self, small_model, pattern_set, fast_config):
+        pruner = ADMMPruner(small_model, pattern_set, fast_config)
+        assert len(pruner.layers) == 2
+        for st in pruner.layers:
+            assert st.use_pattern
+            assert st.z is not None and st.u is not None
+            assert st.y is not None and st.v is not None
+
+    def test_first_layer_uses_gentler_rate(self, small_model, pattern_set):
+        cfg = ADMMConfig(connectivity_rate=4.0, first_layer_connectivity_rate=1.5)
+        pruner = ADMMPruner(small_model, pattern_set, cfg)
+        first, second = pruner.layers
+        assert first.keep_kernels > first.module.weight.data.shape[0] * first.module.weight.data.shape[1] / 4.0
+
+    def test_run_returns_report(self, small_model, small_loader, pattern_set, fast_config):
+        pruner = ADMMPruner(small_model, pattern_set, fast_config)
+        report = pruner.run(small_loader)
+        assert len(report.losses) == 2
+        assert len(report.pattern_residuals) == 2
+        assert all(np.isfinite(l) for l in report.losses)
+
+    def test_hard_masks_satisfy_both_constraints(self, small_model, small_loader, pattern_set, fast_config):
+        pruner = ADMMPruner(small_model, pattern_set, fast_config)
+        pruner.run(small_loader)
+        masks = pruner.hard_masks()
+        for st in pruner.layers:
+            w = st.module.weight.data
+            # pattern constraint: <= 4 nonzeros per kernel
+            nz = (w != 0).reshape(w.shape[0], w.shape[1], -1).sum(axis=2)
+            assert nz.max() <= pattern_set.entries
+            # connectivity constraint: kernel count <= budget
+            assert count_nonzero_kernels(w) <= st.keep_kernels
+            # masks actually applied
+            np.testing.assert_array_equal(w, w * masks[st.name])
+
+    def test_assignments_zero_where_pruned(self, small_model, small_loader, pattern_set, fast_config):
+        pruner = ADMMPruner(small_model, pattern_set, fast_config)
+        pruner.run(small_loader)
+        pruner.hard_masks()
+        for st, (name, ids) in zip(pruner.layers, pruner.assignments().items()):
+            w = st.module.weight.data
+            energy = (w.reshape(w.shape[0], w.shape[1], -1) ** 2).sum(axis=2)
+            np.testing.assert_array_equal(ids == 0, energy == 0)
+
+    def test_pattern_only_mode(self, small_model, small_loader, pattern_set):
+        cfg = ADMMConfig(iterations=1, epochs_per_iteration=1, connectivity_rate=None)
+        pruner = ADMMPruner(small_model, pattern_set, cfg)
+        pruner.run(small_loader)
+        masks = pruner.hard_masks()
+        rate = compression_rate(small_model)
+        assert 2.2 < rate < 2.3  # exactly 9/4 for 3x3 4-entry patterns
+
+    def test_residuals_shrink_after_warmup(self, small_loader, pattern_set):
+        """With enough subproblem-1 steps, ‖W − Z‖ trends down after the
+        initial dual warm-up (the classic ADMM trajectory)."""
+        from repro.models import build_small_cnn
+
+        model = build_small_cnn(channels=(8, 16), in_size=8, seed=3)
+        cfg = ADMMConfig(
+            iterations=6, epochs_per_iteration=4, connectivity_rate=2.0, rho=0.3, lr=3e-3
+        )
+        pruner = ADMMPruner(model, pattern_set, cfg)
+        report = pruner.run(small_loader)
+        peak = max(report.pattern_residuals[:3])
+        assert report.pattern_residuals[-1] < peak
+
+
+class TestMasking:
+    def test_extract_masks_one_shot(self, small_model, pattern_set):
+        masks = extract_masks(small_model, pattern_set, connectivity_rate=2.0)
+        assert len(masks) == 2
+        for mask in masks.values():
+            assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_apply_masks_zeroes(self, small_model, pattern_set):
+        masks = extract_masks(small_model, pattern_set, connectivity_rate=2.0)
+        apply_masks(small_model, masks)
+        for name, module in small_model.named_modules():
+            if name in masks:
+                assert np.all(module.weight.data[masks[name] == 0] == 0)
+
+    def test_unknown_mask_name_raises(self, small_model):
+        with pytest.raises(KeyError):
+            MaskedRetrainer(small_model, {"nope": np.ones(1)})
+
+    def test_masked_retraining_preserves_zeros(self, small_model, small_loader, pattern_set):
+        masks = extract_masks(small_model, pattern_set, connectivity_rate=2.0)
+        retrainer = MaskedRetrainer(small_model, masks)
+        losses = retrainer.train(small_loader, epochs=2)
+        assert len(losses) == 2
+        for name, module in small_model.named_modules():
+            if name in masks:
+                assert np.all(module.weight.data[masks[name] == 0] == 0)
+
+    def test_masked_retraining_updates_survivors(self, small_model, small_loader, pattern_set):
+        masks = extract_masks(small_model, pattern_set, connectivity_rate=2.0)
+        apply_masks(small_model, masks)
+        before = {n: m.weight.data.copy() for n, m in small_model.named_modules() if n in masks}
+        MaskedRetrainer(small_model, masks).train(small_loader, epochs=1)
+        changed = any(
+            not np.array_equal(before[n], m.weight.data)
+            for n, m in small_model.named_modules()
+            if n in masks
+        )
+        assert changed
+
+
+class TestPatDNNPipeline:
+    def test_full_pipeline_compression(self, small_model, small_loader):
+        cfg = PruningConfig(num_patterns=8, connectivity_rate=2.0, retrain_epochs=1)
+        cfg.admm.iterations = 2
+        cfg.admm.epochs_per_iteration = 1
+        result = PatDNNPruner(cfg).fit(small_model, small_loader)
+        # 9/4 pattern x 2.0 connectivity = 4.5x (first layer slightly less)
+        assert 4.0 < result.conv_compression_rate <= 4.6
+        assert set(result.masks) == set(result.assignments)
+
+    def test_pipeline_respects_given_pattern_set(self, small_model, small_loader, pattern_set):
+        cfg = PruningConfig(num_patterns=8, connectivity_rate=None, retrain_epochs=0)
+        cfg.admm.iterations = 1
+        cfg.admm.epochs_per_iteration = 1
+        result = PatDNNPruner(cfg).fit(small_model, small_loader, pattern_set=pattern_set)
+        assert result.pattern_set is pattern_set
+
+    def test_invalid_num_patterns(self):
+        with pytest.raises(ValueError):
+            PruningConfig(num_patterns=0)

@@ -1,0 +1,196 @@
+"""Pattern algebra: the 56-pattern universe, mining, assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    Pattern,
+    PatternSet,
+    count_natural_patterns,
+    enumerate_candidate_patterns,
+    mine_pattern_set,
+    natural_pattern_of,
+)
+
+
+class TestPattern:
+    def test_mask_shape_and_count(self):
+        p = Pattern(3, (4, 0, 1, 2))
+        assert p.mask.shape == (3, 3)
+        assert p.mask.sum() == 4
+        assert p.entries == 4
+
+    def test_positions_sorted(self):
+        p = Pattern(3, (4, 0, 2, 1))
+        assert p.positions == (0, 1, 2, 4)
+
+    def test_center_detection(self):
+        assert Pattern(3, (4, 0, 1, 2)).includes_center()
+        assert not Pattern(3, (0, 1, 2, 3)).includes_center()
+
+    def test_bitmask_unique(self):
+        universe = enumerate_candidate_patterns()
+        assert len({p.bitmask for p in universe}) == 56
+
+    def test_coords(self):
+        p = Pattern(3, (0, 4))
+        assert p.coords == ((0, 0), (1, 1))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Pattern(3, (9,))
+
+    def test_duplicate_positions_raise(self):
+        with pytest.raises(ValueError):
+            Pattern(3, (4, 4, 1, 2))
+
+    def test_distortion_plus_retained_is_total(self):
+        rng = np.random.default_rng(0)
+        k = rng.standard_normal((3, 3))
+        p = Pattern(3, (4, 0, 1, 2))
+        total = float((k**2).sum())
+        assert abs(p.distortion(k) + p.retained_energy(k) - total) < 1e-9
+
+
+class TestUniverse:
+    def test_56_patterns(self):
+        assert len(enumerate_candidate_patterns(3, 4)) == 56
+
+    def test_all_include_center(self):
+        assert all(p.includes_center() for p in enumerate_candidate_patterns())
+
+    def test_other_kernel_sizes(self):
+        # 5x5, 4-entry: C(24,3) = 2024
+        assert len(enumerate_candidate_patterns(5, 4)) == 2024
+
+
+class TestNaturalPattern:
+    def test_picks_largest_magnitudes(self):
+        k = np.zeros((3, 3), dtype=np.float32)
+        k[0, 0] = 5.0
+        k[2, 2] = -4.0
+        k[0, 2] = 3.0
+        k[1, 1] = 0.01  # center, tiny but forced in
+        p = natural_pattern_of(k)
+        assert set(p.positions) == {0, 2, 4, 8}
+
+    def test_center_always_included_even_if_zero(self):
+        k = np.ones((3, 3), dtype=np.float32)
+        k[1, 1] = 0.0
+        assert natural_pattern_of(k).includes_center()
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            natural_pattern_of(np.zeros((3, 4)))
+
+
+class TestPatternSet:
+    def _set(self, k=6):
+        return PatternSet(enumerate_candidate_patterns()[:k])
+
+    def test_ids_one_based(self):
+        ps = self._set()
+        assert ps.id_of(ps[1]) == 1
+        assert ps.id_of(ps[6]) == 6
+
+    def test_bad_id_raises(self):
+        ps = self._set()
+        with pytest.raises(KeyError):
+            ps[0]
+        with pytest.raises(KeyError):
+            ps[7]
+
+    def test_foreign_pattern_raises(self):
+        ps = self._set(6)
+        foreign = enumerate_candidate_patterns()[20]
+        with pytest.raises(KeyError):
+            ps.id_of(foreign)
+
+    def test_duplicates_rejected(self):
+        p = enumerate_candidate_patterns()[0]
+        with pytest.raises(ValueError):
+            PatternSet([p, p])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSet([])
+
+    def test_assign_maximizes_retained_energy(self):
+        rng = np.random.default_rng(1)
+        ps = self._set(8)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        assignment = ps.assign(w)
+        for f in range(4):
+            for c in range(3):
+                chosen = ps[int(assignment[f, c])].retained_energy(w[f, c])
+                best = max(p.retained_energy(w[f, c]) for p in ps)
+                assert abs(chosen - best) < 1e-6
+
+    def test_masks_for_matches_patterns(self):
+        ps = self._set(4)
+        assignment = np.array([[1, 2], [3, 4]], dtype=np.int32)
+        masks = ps.masks_for(assignment)
+        assert masks.shape == (2, 2, 3, 3)
+        np.testing.assert_array_equal(masks[0, 0], ps[1].mask.astype(np.float32))
+        np.testing.assert_array_equal(masks[1, 1], ps[4].mask.astype(np.float32))
+
+
+class TestMining:
+    def test_top_k_by_frequency(self):
+        # Construct weights where one pattern dominates.
+        k = np.zeros((8, 8, 3, 3), dtype=np.float32)
+        k[:, :, 1, 1] = 5.0
+        k[:, :, 0, 0] = 4.0
+        k[:, :, 0, 1] = 3.0
+        k[:, :, 0, 2] = 2.0
+        ps = mine_pattern_set([k], k=4)
+        assert ps[1].positions == (0, 1, 2, 4)
+
+    def test_counts_total_equals_kernels(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((6, 5, 3, 3))
+        counts = count_natural_patterns([w])
+        assert sum(counts.values()) == 30
+
+    def test_pads_to_k_when_model_tiny(self):
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w[0, 0, 1, 1] = 1.0
+        ps = mine_pattern_set([w], k=8)
+        assert len(ps) == 8
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            mine_pattern_set([], k=8)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((8, 8, 3, 3))
+        a = mine_pattern_set([w], k=8)
+        b = mine_pattern_set([w], k=8)
+        assert [p.bitmask for p in a] == [p.bitmask for p in b]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 56))
+def test_assignment_ids_always_valid(seed, k):
+    """Property: assignment ids are always in 1..k for any weights."""
+    rng = np.random.default_rng(seed)
+    ps = PatternSet(enumerate_candidate_patterns()[:k])
+    w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+    assignment = ps.assign(w)
+    assert assignment.min() >= 1
+    assert assignment.max() <= k
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_natural_pattern_is_optimal_4_entry(seed):
+    """Property: the natural pattern retains max energy among all 56."""
+    rng = np.random.default_rng(seed)
+    kernel = rng.standard_normal((3, 3))
+    kernel[1, 1] = rng.standard_normal() * 3  # keep the centre relevant
+    natural = natural_pattern_of(kernel)
+    best = max(enumerate_candidate_patterns(), key=lambda p: p.retained_energy(kernel))
+    assert abs(natural.retained_energy(kernel) - best.retained_energy(kernel)) < 1e-9

@@ -1,0 +1,139 @@
+"""Euclidean projections: correctness, idempotence, optimality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import PatternSet, enumerate_candidate_patterns
+from repro.core.projections import (
+    connectivity_budget,
+    project_channels,
+    project_connectivity,
+    project_filters,
+    project_kernel_pattern,
+    project_magnitude,
+)
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.standard_normal((6, 4, 3, 3)).astype(np.float32)
+
+
+@pytest.fixture
+def pattern_set():
+    return PatternSet(enumerate_candidate_patterns()[:8])
+
+
+class TestKernelPatternProjection:
+    def test_each_kernel_has_at_most_entries_nonzeros(self, weights, pattern_set):
+        projected, _ = project_kernel_pattern(weights, pattern_set)
+        nz = (projected != 0).reshape(6, 4, -1).sum(axis=2)
+        assert nz.max() <= 4
+
+    def test_idempotent(self, weights, pattern_set):
+        p1, a1 = project_kernel_pattern(weights, pattern_set)
+        p2, a2 = project_kernel_pattern(p1, pattern_set)
+        np.testing.assert_array_equal(p1, p2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_values_preserved_inside_pattern(self, weights, pattern_set):
+        projected, assignment = project_kernel_pattern(weights, pattern_set)
+        mask = pattern_set.masks_for(assignment)
+        np.testing.assert_array_equal(projected, weights * mask)
+
+    def test_projection_minimizes_distance(self, weights, pattern_set):
+        """The chosen pattern must beat every other pattern in L2 distance."""
+        projected, assignment = project_kernel_pattern(weights, pattern_set)
+        chosen_dist = ((weights - projected) ** 2).reshape(6, 4, -1).sum(axis=2)
+        for pid in range(1, len(pattern_set) + 1):
+            alt_mask = pattern_set[pid].mask.astype(np.float32)
+            alt_dist = ((weights - weights * alt_mask) ** 2).reshape(6, 4, -1).sum(axis=2)
+            assert np.all(chosen_dist <= alt_dist + 1e-5)
+
+
+class TestConnectivityProjection:
+    def test_keeps_exact_count(self, weights):
+        projected, mask = project_connectivity(weights, 10)
+        assert mask.sum() == 10
+        energy = (projected.reshape(6, 4, -1) ** 2).sum(axis=2)
+        assert (energy > 0).sum() == 10
+
+    def test_keeps_largest_norms(self, weights):
+        _, mask = project_connectivity(weights, 5)
+        norms = np.sqrt((weights.reshape(6, 4, -1) ** 2).sum(axis=2))
+        kept = norms[mask]
+        dropped = norms[~mask]
+        assert kept.min() >= dropped.max() - 1e-6
+
+    def test_bounds_checked(self, weights):
+        with pytest.raises(ValueError):
+            project_connectivity(weights, 0)
+        with pytest.raises(ValueError):
+            project_connectivity(weights, 25)
+
+    def test_budget_helper(self):
+        assert connectivity_budget((36, 10), 3.6) == 100
+        assert connectivity_budget((4, 1), 100.0) == 1
+        with pytest.raises(ValueError):
+            connectivity_budget((4, 4), 0.5)
+
+
+class TestStructuredProjections:
+    def test_filter_projection_zeroes_whole_filters(self, weights):
+        projected, mask = project_filters(weights, 2)
+        assert mask.sum() == 2
+        for f in range(6):
+            if not mask[f]:
+                assert np.all(projected[f] == 0)
+
+    def test_channel_projection_zeroes_whole_channels(self, weights):
+        projected, mask = project_channels(weights, 2)
+        assert mask.sum() == 2
+        for c in range(4):
+            if not mask[c]:
+                assert np.all(projected[:, c] == 0)
+
+    def test_filter_bounds(self, weights):
+        with pytest.raises(ValueError):
+            project_filters(weights, 0)
+        with pytest.raises(ValueError):
+            project_channels(weights, 99)
+
+
+class TestMagnitudeProjection:
+    def test_keeps_exact_count(self, weights):
+        projected, mask = project_magnitude(weights, 50)
+        assert mask.sum() == 50
+        assert np.count_nonzero(projected) <= 50
+
+    def test_keeps_largest(self, weights):
+        _, mask = project_magnitude(weights, 30)
+        kept = np.abs(weights[mask])
+        dropped = np.abs(weights[~mask])
+        assert kept.min() >= dropped.max() - 1e-6
+
+    def test_bounds(self, weights):
+        with pytest.raises(ValueError):
+            project_magnitude(weights, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 23))
+def test_connectivity_projection_idempotent(seed, keep):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((4, 6, 3, 3)).astype(np.float32)
+    p1, m1 = project_connectivity(w, keep)
+    p2, m2 = project_connectivity(p1, keep)
+    np.testing.assert_array_equal(p1, p2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_pattern_projection_never_increases_energy(seed):
+    rng = np.random.default_rng(seed)
+    ps = PatternSet(enumerate_candidate_patterns()[:8])
+    w = rng.standard_normal((3, 3, 3, 3)).astype(np.float32)
+    projected, _ = project_kernel_pattern(w, ps)
+    assert (projected**2).sum() <= (w**2).sum() + 1e-5

@@ -1,0 +1,94 @@
+"""Weight quantization: fp16/int8 round-trips and FKW integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.storage import FKWLayer
+from repro.core.quantization import (
+    QuantizedFKW,
+    dequantize_int8,
+    quantize_fp16,
+    quantize_int8,
+)
+
+
+class TestFP16:
+    def test_small_error(self, rng):
+        w = rng.standard_normal((4, 4)).astype(np.float32)
+        q, err = quantize_fp16(w)
+        assert q.dtype == np.float16
+        assert err < 1e-2
+
+    def test_empty(self):
+        q, err = quantize_fp16(np.empty((0, 4), dtype=np.float32))
+        assert err == 0.0
+
+
+class TestInt8:
+    def test_roundtrip_error_bounded(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3)).astype(np.float32)
+        q, scales = quantize_int8(w, axis=0)
+        restored = dequantize_int8(q, scales, axis=0)
+        per_slice_max = np.abs(w).reshape(6, -1).max(axis=1)
+        bound = per_slice_max / 127.0 * 0.51  # half-step rounding
+        err = np.abs(restored - w).reshape(6, -1).max(axis=1)
+        assert np.all(err <= bound + 1e-7)
+
+    def test_range(self, rng):
+        w = rng.standard_normal((3, 10)).astype(np.float32) * 100
+        q, _ = quantize_int8(w)
+        assert q.min() >= -127 and q.max() <= 127
+
+    def test_zero_slice_safe(self):
+        w = np.zeros((2, 4), dtype=np.float32)
+        q, scales = quantize_int8(w)
+        np.testing.assert_array_equal(dequantize_int8(q, scales), w)
+
+
+class TestQuantizedFKW:
+    def test_fp16_dense_close(self, pruned_layer):
+        w, assignment, ps = pruned_layer
+        fkw = FKWLayer.from_pruned(w, assignment, ps)
+        qfkw = QuantizedFKW.from_fkw(fkw, "fp16")
+        np.testing.assert_allclose(qfkw.to_dense(), w, rtol=1e-2, atol=1e-3)
+
+    def test_int8_dense_close(self, pruned_layer):
+        w, assignment, ps = pruned_layer
+        fkw = FKWLayer.from_pruned(w, assignment, ps)
+        qfkw = QuantizedFKW.from_fkw(fkw, "int8")
+        scale = np.abs(w).max()
+        np.testing.assert_allclose(qfkw.to_dense(), w, atol=scale / 64)
+
+    def test_bytes_shrink(self, pruned_layer):
+        w, assignment, ps = pruned_layer
+        fkw = FKWLayer.from_pruned(w, assignment, ps)
+        fp16 = QuantizedFKW.from_fkw(fkw, "fp16")
+        int8 = QuantizedFKW.from_fkw(fkw, "int8")
+        assert fp16.weight_bytes() == fkw.weights.nbytes // 2
+        assert int8.weight_bytes() < fp16.weight_bytes()
+
+    def test_error_accounting(self, pruned_layer):
+        w, assignment, ps = pruned_layer
+        fkw = FKWLayer.from_pruned(w, assignment, ps)
+        assert QuantizedFKW.from_fkw(fkw, "fp16").max_error() < 1e-2
+
+    def test_bad_dtype(self, pruned_layer):
+        w, assignment, ps = pruned_layer
+        fkw = FKWLayer.from_pruned(w, assignment, ps)
+        with pytest.raises(ValueError):
+            QuantizedFKW.from_fkw(fkw, "int4")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_int8_idempotent_on_requantize(seed):
+    """Property: quantize(dequantize(quantize(w))) == quantize(w)."""
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((3, 8)).astype(np.float32)
+    q1, s1 = quantize_int8(w)
+    restored = dequantize_int8(q1, s1)
+    q2, s2 = quantize_int8(restored)
+    np.testing.assert_array_equal(q1, q2)
+    np.testing.assert_allclose(s1, s2, rtol=1e-6)

@@ -1,0 +1,83 @@
+"""Sensitivity analysis and non-uniform budget allocation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.sensitivity import (
+    LayerSensitivity,
+    allocate_connectivity,
+    apply_connectivity_budgets,
+    measure_sensitivity,
+)
+from repro.data import make_cifar10_like
+from repro.models import build_small_cnn
+
+
+@pytest.fixture
+def probe_setup():
+    ds = make_cifar10_like(samples_per_class=10, size=8, seed=3)
+    model = build_small_cnn(channels=(8, 16), in_size=8, seed=2)
+    return model, ds
+
+
+class TestMeasure:
+    def test_probes_every_conv(self, probe_setup):
+        model, ds = probe_setup
+        sens = measure_sensitivity(model, ds.images, ds.labels, rates=(2.0, 4.0))
+        assert len(sens) == 2
+        for s in sens:
+            assert set(s.accuracy_at_rate) == {2.0, 4.0}
+
+    def test_model_restored_after_probe(self, probe_setup):
+        model, ds = probe_setup
+        before = {n: m.weight.data.copy() for n, m in model.named_modules() if isinstance(m, nn.Conv2d)}
+        measure_sensitivity(model, ds.images, ds.labels, rates=(4.0,))
+        for n, m in model.named_modules():
+            if isinstance(m, nn.Conv2d):
+                np.testing.assert_array_equal(m.weight.data, before[n])
+
+
+class TestAllocate:
+    def _fake_sens(self):
+        return [
+            LayerSensitivity("a", 100, {2.0: 0.9, 4.0: 0.5}),  # sensitive
+            LayerSensitivity("b", 100, {2.0: 0.9, 4.0: 0.89}),  # robust
+        ]
+
+    def test_budget_matches_global_rate(self):
+        keep = allocate_connectivity(self._fake_sens(), global_rate=4.0)
+        assert sum(keep.values()) == 50
+
+    def test_sensitive_layer_keeps_more(self):
+        keep = allocate_connectivity(self._fake_sens(), global_rate=4.0)
+        assert keep["a"] > keep["b"]
+
+    def test_budgets_within_bounds(self):
+        keep = allocate_connectivity(self._fake_sens(), global_rate=1.2)
+        for s, k in zip(self._fake_sens(), keep.values()):
+            assert 1 <= k <= s.total_kernels
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            allocate_connectivity(self._fake_sens(), global_rate=0.5)
+
+
+class TestApply:
+    def test_masks_enforce_budgets(self, probe_setup):
+        model, ds = probe_setup
+        sens = measure_sensitivity(model, ds.images, ds.labels, rates=(2.0, 4.0))
+        budgets = allocate_connectivity(sens, global_rate=3.0)
+        masks = apply_connectivity_budgets(model, budgets)
+        for name, m in model.named_modules():
+            if name in budgets:
+                w = m.weight.data
+                energy = (w.reshape(w.shape[0], w.shape[1], -1) ** 2).sum(axis=2)
+                assert int((energy > 0).sum()) <= budgets[name]
+
+    def test_global_rate_achieved(self, probe_setup):
+        model, ds = probe_setup
+        sens = measure_sensitivity(model, ds.images, ds.labels, rates=(2.0, 4.0))
+        budgets = allocate_connectivity(sens, global_rate=3.0)
+        total = sum(s.total_kernels for s in sens)
+        assert abs(sum(budgets.values()) - total / 3.0) <= 2

@@ -1,0 +1,91 @@
+"""Synthetic datasets and loader behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_cifar10_like, make_imagenet_like
+from repro.data.synthetic import make_synthetic
+from repro.utils.rng import make_rng
+
+
+class TestSynthetic:
+    def test_shapes_and_labels(self):
+        ds = make_cifar10_like(samples_per_class=5, size=8)
+        assert ds.images.shape == (50, 3, 8, 8)
+        assert ds.labels.shape == (50,)
+        assert ds.num_classes == 10
+        assert set(np.unique(ds.labels)) == set(range(10))
+
+    def test_deterministic_by_seed(self):
+        a = make_cifar10_like(samples_per_class=3, seed=9)
+        b = make_cifar10_like(samples_per_class=3, seed=9)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_cifar10_like(samples_per_class=3, seed=1)
+        b = make_cifar10_like(samples_per_class=3, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_imagenet_like_is_bigger(self):
+        ds = make_imagenet_like(num_classes=5, samples_per_class=2)
+        assert ds.images.shape[2] > 16
+        assert ds.num_classes == 5
+
+    def test_split_partitions(self):
+        ds = make_cifar10_like(samples_per_class=10)
+        train, test = ds.split(0.8)
+        assert len(train) + len(test) == len(ds)
+        assert len(train) == int(0.8 * len(ds))
+
+    def test_classes_are_separable_by_prototype_distance(self):
+        """Nearest-prototype classification must beat chance by a margin —
+        otherwise the accuracy experiments have no signal to preserve."""
+        ds = make_synthetic(num_classes=5, samples_per_class=20, size=12, seed=3)
+        protos = ds.prototypes.reshape(5, -1)
+        x = ds.images.reshape(len(ds), -1)
+        d = ((x[:, None, :] - protos[None]) ** 2).sum(axis=2)
+        acc = float((d.argmin(axis=1) == ds.labels).mean())
+        assert acc > 0.5  # chance is 0.2
+
+    def test_getitem(self):
+        ds = make_cifar10_like(samples_per_class=2)
+        img, label = ds[0]
+        assert img.shape == (3, 16, 16)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = make_cifar10_like(samples_per_class=5, size=8)
+        loader = DataLoader(ds, batch_size=16)
+        seen = sum(len(yb) for _, yb in loader)
+        assert seen == len(ds)
+
+    def test_len_matches_iteration(self):
+        ds = make_cifar10_like(samples_per_class=5, size=8)
+        loader = DataLoader(ds, batch_size=16)
+        assert len(loader) == len(list(loader))
+
+    def test_drop_last(self):
+        ds = make_cifar10_like(samples_per_class=5, size=8)  # 50 samples
+        loader = DataLoader(ds, batch_size=16, drop_last=True)
+        sizes = [len(yb) for _, yb in loader]
+        assert all(s == 16 for s in sizes)
+        assert len(sizes) == 3
+
+    def test_shuffle_deterministic_with_rng(self):
+        ds = make_cifar10_like(samples_per_class=4, size=8)
+        a = [yb.tolist() for _, yb in DataLoader(ds, 8, shuffle=True, rng=make_rng(3))]
+        b = [yb.tolist() for _, yb in DataLoader(ds, 8, shuffle=True, rng=make_rng(3))]
+        assert a == b
+
+    def test_shuffle_changes_order(self):
+        ds = make_cifar10_like(samples_per_class=4, size=8)
+        plain = [yb.tolist() for _, yb in DataLoader(ds, 8)]
+        shuffled = [yb.tolist() for _, yb in DataLoader(ds, 8, shuffle=True, rng=make_rng(4))]
+        assert plain != shuffled
+
+    def test_invalid_batch_size(self):
+        ds = make_cifar10_like(samples_per_class=2, size=8)
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)

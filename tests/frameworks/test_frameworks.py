@@ -1,0 +1,133 @@
+"""Engines and the evaluation's headline orderings."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    PROFILES,
+    UnsupportedModelError,
+    feature_matrix,
+    get_engine,
+    winograd_conv2d,
+)
+from repro.hardware import KIRIN_980, SNAPDRAGON_855
+from repro.models import get_spec
+from repro.models.spec import ConvSpec, ModelSpec
+from repro.runtime.ops import conv2d
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    """A miniature 'model' so engine tests stay fast."""
+    convs = [
+        ConvSpec("c1", 3, 16, 3, padding=1, in_hw=32),
+        ConvSpec("c2", 16, 32, 3, padding=1, in_hw=16),
+        ConvSpec("c3", 32, 32, 3, padding=1, in_hw=16),
+    ]
+    return ModelSpec(name="tiny", dataset="synthetic", convs=convs, total_layers=3)
+
+
+class TestWinograd:
+    def test_matches_direct_conv(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 4, 10, 10)).astype(np.float32)
+        w = rng.standard_normal((6, 4, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(winograd_conv2d(x, w), conv2d(x, w, None, 1, 1), rtol=1e-3, atol=1e-3)
+
+    def test_with_bias(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        np.testing.assert_allclose(winograd_conv2d(x, w, b), conv2d(x, w, b, 1, 1), rtol=1e-3, atol=1e-3)
+
+    def test_odd_sizes(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 3, 7, 9)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(winograd_conv2d(x, w), conv2d(x, w, None, 1, 1), rtol=1e-3, atol=1e-3)
+
+    def test_rejects_non_3x3(self):
+        with pytest.raises(ValueError):
+            winograd_conv2d(np.zeros((1, 1, 8, 8), np.float32), np.zeros((1, 1, 5, 5), np.float32))
+
+
+class TestFeatureMatrix:
+    def test_only_patdnn_supports_sparse(self):
+        matrix = feature_matrix()
+        row = matrix["sparse_model_support"]
+        assert row["patdnn"] and not (row["tflite"] or row["tvm"] or row["mnn"])
+
+    def test_tuning_flags_match_profiles(self):
+        matrix = feature_matrix()
+        for name in ("tflite", "tvm", "mnn", "patdnn"):
+            assert matrix["parameters_auto_tuning"][name] == PROFILES[name].has_tuning
+
+    def test_eleven_knobs(self):
+        assert len(feature_matrix()) == 11
+
+
+class TestEngineOrdering:
+    def test_patdnn_fastest_on_tiny_model(self, tiny_spec):
+        lat = {}
+        for name in ("tflite", "tvm", "mnn"):
+            lat[name] = get_engine(name, SNAPDRAGON_855, "cpu").prepare(tiny_spec).latency_ms
+        pat = get_engine("patdnn", SNAPDRAGON_855, "cpu").prepare(tiny_spec).latency_ms
+        assert pat < min(lat.values())
+        assert lat["tflite"] == max(lat.values())
+
+    def test_dense_mode_between_baselines_and_pattern(self, tiny_spec):
+        pat = get_engine("patdnn", SNAPDRAGON_855, "cpu").prepare(tiny_spec).latency_ms
+        dense = get_engine("patdnn", SNAPDRAGON_855, "cpu", mode="dense").prepare(tiny_spec).latency_ms
+        assert pat < dense
+
+    def test_csr_mode_no_faster_than_dense(self, tiny_spec):
+        dense = get_engine("patdnn", SNAPDRAGON_855, "cpu", mode="dense").prepare(tiny_spec).latency_ms
+        csr = get_engine("patdnn", SNAPDRAGON_855, "cpu", mode="csr").prepare(tiny_spec).latency_ms
+        assert csr > 0.8 * dense  # §6.2: computation reduction does not transfer
+
+    def test_tflite_rejects_vgg_on_gpu(self):
+        spec = get_spec("vgg16", "imagenet")
+        with pytest.raises(UnsupportedModelError):
+            get_engine("tflite", SNAPDRAGON_855, "gpu").prepare(spec)
+
+    def test_tflite_accepts_vgg_on_cpu(self):
+        spec = get_spec("vgg16", "imagenet")
+        assert get_engine("tflite", SNAPDRAGON_855, "cpu").prepare(spec).latency_ms > 0
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(KeyError):
+            get_engine("ncnn", SNAPDRAGON_855)
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError):
+            get_engine("patdnn", SNAPDRAGON_855, mode="magic")
+
+    def test_pattern_counts_affect_latency(self, tiny_spec):
+        l8 = get_engine("patdnn", SNAPDRAGON_855, "cpu", num_patterns=8).prepare(tiny_spec).latency_ms
+        l12 = get_engine("patdnn", SNAPDRAGON_855, "cpu", num_patterns=12).prepare(tiny_spec).latency_ms
+        assert l12 > l8
+
+    def test_prepared_model_metadata(self, tiny_spec):
+        prepared = get_engine("mnn", SNAPDRAGON_855, "cpu").prepare(tiny_spec)
+        assert prepared.engine_name == "mnn"
+        assert len(prepared.layer_costs) == 3
+        assert prepared.gflops > 0
+
+
+class TestPortability:
+    def test_baselines_degrade_more_on_mali(self, tiny_spec):
+        """§6.5: PatDNN stays stable where vendor-tuned dense kernels don't."""
+        ratios = {}
+        for name in ("tvm", "patdnn"):
+            adreno = get_engine(name, SNAPDRAGON_855, "gpu").prepare(tiny_spec).latency_ms
+            mali = get_engine(name, KIRIN_980, "gpu").prepare(tiny_spec).latency_ms
+            ratios[name] = mali / adreno
+        assert ratios["tvm"] > 2.0
+        assert ratios["patdnn"] < 2.0
+        assert ratios["patdnn"] < ratios["tvm"]
+
+    def test_cpu_latency_scales_with_frequency(self, tiny_spec):
+        s855 = get_engine("mnn", SNAPDRAGON_855, "cpu").prepare(tiny_spec).latency_ms
+        k980 = get_engine("mnn", KIRIN_980, "cpu").prepare(tiny_spec).latency_ms
+        assert k980 > s855  # lower effective frequency

@@ -1,0 +1,76 @@
+"""PatDNN engine internals: pattern sets, opt levels, compiled artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import OptLevel
+from repro.frameworks.engines import PatDNNEngine
+from repro.hardware import SNAPDRAGON_855
+from repro.models import get_spec
+from repro.models.spec import ConvSpec, ModelSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return ModelSpec(
+        "tiny",
+        "synthetic",
+        [
+            ConvSpec("c1", 3, 16, 3, padding=1, in_hw=16),
+            ConvSpec("pw", 16, 24, 1, padding=0, in_hw=16),
+        ],
+        total_layers=2,
+    )
+
+
+class TestDefaultPatternSet:
+    def test_mined_from_3x3_layers(self, tiny_spec):
+        engine = PatDNNEngine(SNAPDRAGON_855, "cpu", num_patterns=6)
+        ps = engine.default_pattern_set(tiny_spec)
+        assert len(ps) == 6
+        assert ps.kernel_size == 3
+
+    def test_deterministic_by_seed(self, tiny_spec):
+        a = PatDNNEngine(SNAPDRAGON_855, "cpu", seed=5).default_pattern_set(tiny_spec)
+        b = PatDNNEngine(SNAPDRAGON_855, "cpu", seed=5).default_pattern_set(tiny_spec)
+        assert [p.bitmask for p in a] == [p.bitmask for p in b]
+
+    def test_model_without_3x3_falls_back(self):
+        spec = ModelSpec(
+            "pw-only", "synthetic", [ConvSpec("pw", 8, 8, 1, padding=0, in_hw=8)], total_layers=1
+        )
+        ps = PatDNNEngine(SNAPDRAGON_855, "cpu").default_pattern_set(spec)
+        assert len(ps) == 8  # canonical universe prefix
+
+
+class TestOptLevels:
+    def test_latency_monotone_in_opt_level(self, tiny_spec):
+        times = []
+        for lvl in OptLevel:
+            eng = PatDNNEngine(SNAPDRAGON_855, "cpu", opt_level=lvl)
+            times.append(eng.prepare(tiny_spec).latency_ms)
+        assert times[0] > times[-1]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_compiled_artifacts_attached(self, tiny_spec):
+        prepared = PatDNNEngine(SNAPDRAGON_855, "cpu").prepare(tiny_spec)
+        compiled = prepared.compiled
+        assert len(compiled.layers) == 2
+        # 1x1 layer got the degenerate full pattern
+        assert compiled.layers[1].fkw.entries == 1
+        # LR document covers both layers
+        assert compiled.lr_document().count("name:") >= 2
+
+    def test_pattern_faster_than_csr_and_dense(self, tiny_spec):
+        pat = PatDNNEngine(SNAPDRAGON_855, "cpu", mode="pattern").prepare(tiny_spec).latency_ms
+        csr = PatDNNEngine(SNAPDRAGON_855, "cpu", mode="csr").prepare(tiny_spec).latency_ms
+        dense = PatDNNEngine(SNAPDRAGON_855, "cpu", mode="dense").prepare(tiny_spec).latency_ms
+        assert pat < dense < csr * 1.5
+
+
+class TestDepthwiseModel:
+    def test_mobilenet_cifar_compiles_on_gpu(self):
+        spec = get_spec("mobilenet_v2", "cifar10")
+        prepared = PatDNNEngine(SNAPDRAGON_855, "gpu", opt_level=OptLevel.LRE).prepare(spec)
+        assert prepared.latency_ms > 0
+        assert len(prepared.layer_costs) == spec.conv_count

@@ -1,0 +1,53 @@
+"""Dead-code elimination pass."""
+
+import numpy as np
+
+from repro.graph.ir import Graph, Node, OpKind, run_shape_inference
+from repro.graph.passes import eliminate_dead_nodes
+
+
+def _graph_with_dead_branch():
+    g = Graph("dce")
+    g.add(Node("in", OpKind.INPUT, attrs={"shape": (2, 4, 4)}))
+    g.add(Node("live", OpKind.RELU, inputs=["in"]))
+    g.add(Node("dead1", OpKind.RELU, inputs=["in"]))
+    g.add(Node("dead2", OpKind.RELU6, inputs=["dead1"]))
+    g.outputs = ["live"]
+    run_shape_inference(g)
+    return g
+
+
+class TestDCE:
+    def test_removes_dead_chain(self):
+        g = _graph_with_dead_branch()
+        removed = eliminate_dead_nodes(g)
+        assert removed == 2
+        assert set(g.nodes) == {"in", "live"}
+
+    def test_noop_on_fully_live_graph(self):
+        g = _graph_with_dead_branch()
+        eliminate_dead_nodes(g)
+        assert eliminate_dead_nodes(g) == 0
+
+    def test_no_outputs_is_noop(self):
+        g = _graph_with_dead_branch()
+        g.outputs = []
+        assert eliminate_dead_nodes(g) == 0
+
+    def test_semantics_preserved(self):
+        from repro.runtime.executor import ReferenceExecutor
+
+        g = _graph_with_dead_branch()
+        x = np.random.default_rng(0).standard_normal((1, 2, 4, 4)).astype(np.float32)
+        before = ReferenceExecutor(g).run(x)
+        eliminate_dead_nodes(g)
+        after = ReferenceExecutor(g).run(x)
+        np.testing.assert_array_equal(before, after)
+
+    def test_in_default_pipeline(self):
+        from repro.graph.pass_manager import default_pipeline
+
+        g = _graph_with_dead_branch()
+        report = default_pipeline().run(g)
+        assert "dead_code_elimination" in report.applied
+        assert report.applied["dead_code_elimination"] == 2

@@ -1,0 +1,128 @@
+"""Graph IR, builder, and shape inference."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_graph, graph_from_spec
+from repro.graph.ir import Graph, Node, OpKind, infer_shape, run_shape_inference
+from repro.models import build_mobilenet_v2, build_resnet, build_small_cnn, get_spec
+
+
+class TestGraphStructure:
+    def _diamond(self):
+        g = Graph("d")
+        g.add(Node("in", OpKind.INPUT, attrs={"shape": (2, 4, 4)}))
+        g.add(Node("a", OpKind.RELU, inputs=["in"]))
+        g.add(Node("b", OpKind.RELU, inputs=["in"]))
+        g.add(Node("add", OpKind.ADD, inputs=["a", "b"]))
+        g.outputs = ["add"]
+        run_shape_inference(g)
+        return g
+
+    def test_toposort_parents_first(self):
+        g = self._diamond()
+        order = [n.name for n in g.toposort()]
+        assert order.index("in") < order.index("a")
+        assert order.index("a") < order.index("add")
+        assert order.index("b") < order.index("add")
+
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add(Node("x", OpKind.INPUT, attrs={"shape": (1,)}))
+        with pytest.raises(ValueError):
+            g.add(Node("x", OpKind.RELU, inputs=["x"]))
+
+    def test_unknown_input_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add(Node("y", OpKind.RELU, inputs=["nope"]))
+
+    def test_remove_requires_no_consumers(self):
+        g = self._diamond()
+        with pytest.raises(ValueError):
+            g.remove("in")
+
+    def test_rewire_then_remove(self):
+        g = self._diamond()
+        g.rewire("a", "in")
+        g.remove("a")
+        assert "a" not in g.nodes
+        assert g.nodes["add"].inputs == ["in", "b"]
+
+    def test_consumers(self):
+        g = self._diamond()
+        assert {c.name for c in g.consumers("in")} == {"a", "b"}
+
+    def test_validate_catches_missing_shape(self):
+        g = Graph()
+        g.add(Node("in", OpKind.INPUT, attrs={"shape": (1,)}))
+        g.nodes["in"].out_shape = ()
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestShapeInference:
+    def test_conv_shape(self):
+        node = Node("c", OpKind.CONV2D, attrs={"out_channels": 8, "kernel_size": 3, "stride": 2, "padding": 1})
+        assert infer_shape(node, [(3, 8, 8)]) == (8, 4, 4)
+
+    def test_pool_shape(self):
+        node = Node("p", OpKind.MAXPOOL, attrs={"kernel_size": 2})
+        assert infer_shape(node, [(4, 8, 8)]) == (4, 4, 4)
+
+    def test_flatten_linear(self):
+        f = Node("f", OpKind.FLATTEN)
+        assert infer_shape(f, [(4, 2, 2)]) == (16,)
+        l = Node("l", OpKind.LINEAR, attrs={"out_features": 10})
+        assert infer_shape(l, [(16,)]) == (10,)
+
+    def test_add_mismatch_raises(self):
+        node = Node("a", OpKind.ADD)
+        with pytest.raises(ValueError):
+            infer_shape(node, [(3, 4, 4), (3, 2, 2)])
+
+
+class TestBuilder:
+    def test_small_cnn_graph(self):
+        g = build_graph(build_small_cnn(channels=(8, 16), in_size=16), (3, 16, 16))
+        hist = g.op_histogram()
+        assert hist["conv2d"] == 2
+        assert hist["batchnorm"] == 2
+        assert hist["linear"] == 1
+        g.validate()
+
+    def test_resnet_has_adds(self):
+        g = build_graph(build_resnet(blocks_per_stage=(1, 1)), (3, 16, 16))
+        assert g.op_histogram()["add"] >= 2
+
+    def test_mobilenet_relu6(self):
+        g = build_graph(build_mobilenet_v2(), (3, 16, 16))
+        assert g.op_histogram()["relu6"] > 0
+
+    def test_conv_weights_exported(self):
+        model = build_small_cnn(channels=(8,), in_size=8)
+        g = build_graph(model, (3, 8, 8))
+        conv = g.conv_nodes()[0]
+        np.testing.assert_array_equal(conv.params["weight"], model[0].weight.data)
+
+    def test_unknown_module_raises(self):
+        from repro.nn.module import Module
+
+        class Strange(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(TypeError):
+            build_graph(Strange(), (3, 8, 8))
+
+    def test_spec_graph_vgg(self):
+        g = graph_from_spec(get_spec("vgg16"))
+        convs = g.conv_nodes()
+        assert len(convs) == 13
+        assert g.op_histogram()["maxpool"] == 4  # pools between blocks
+        g.validate()
+
+    def test_spec_graph_conv_shapes(self):
+        g = graph_from_spec(get_spec("vgg16"))
+        first = g.conv_nodes()[0]
+        assert first.out_shape == (64, 224, 224)

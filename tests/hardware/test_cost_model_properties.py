@@ -1,0 +1,91 @@
+"""Hypothesis property tests on the cost model's global invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import SNAPDRAGON_855
+from repro.hardware.cost_model import ConvCostModel, ConvWorkload, SchedParams
+from repro.models.spec import ConvSpec
+
+_spec_strategy = st.builds(
+    ConvSpec,
+    name=st.just("prop"),
+    in_channels=st.sampled_from([8, 16, 32, 64]),
+    out_channels=st.sampled_from([8, 16, 32, 64]),
+    kernel_size=st.sampled_from([1, 3]),
+    stride=st.sampled_from([1, 2]),
+    padding=st.just(1),
+    in_hw=st.sampled_from([8, 14, 28]),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_spec_strategy, st.booleans())
+def test_costs_always_positive_and_finite(spec, fp16):
+    cm = ConvCostModel(SNAPDRAGON_855, "gpu" if fp16 else "cpu", utilization=0.3, fp16=fp16)
+    cost = cm.estimate(ConvWorkload.dense(spec))
+    assert np.isfinite(cost.total_ms)
+    assert cost.total_ms > 0
+    assert cost.gflops >= 0
+    assert cost.total_ms >= cost.overhead_ms
+
+
+@settings(max_examples=40, deadline=None)
+@given(_spec_strategy, st.integers(1, 10))
+def test_sparser_workload_never_slower(spec, divisor):
+    """Fewer non-zero weights (same structure) must never cost more."""
+    cm = ConvCostModel(SNAPDRAGON_855, "cpu", utilization=0.4)
+    full = ConvWorkload(
+        spec=spec,
+        nnz_weights=spec.weight_count,
+        nonzero_kernels=spec.kernel_count,
+        sparse=True,
+        register_loads=spec.weight_count * 2,
+    )
+    sparse = ConvWorkload(
+        spec=spec,
+        nnz_weights=max(1, spec.weight_count // divisor),
+        nonzero_kernels=max(1, spec.kernel_count // divisor),
+        sparse=True,
+        register_loads=max(1, spec.weight_count * 2 // divisor),
+    )
+    assert cm.estimate(sparse).total_ms <= cm.estimate(full).total_ms + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(_spec_strategy)
+def test_higher_utilization_never_slower(spec):
+    lo = ConvCostModel(SNAPDRAGON_855, "cpu", utilization=0.1)
+    hi = ConvCostModel(SNAPDRAGON_855, "cpu", utilization=0.5)
+    work = ConvWorkload.dense(spec)
+    assert hi.estimate(work).total_ms <= lo.estimate(work).total_ms + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    _spec_strategy,
+    st.sampled_from([1, 2, 4, 8]),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_ilp_efficiency_monotone_in_unroll(spec, u1, u2):
+    s1 = SchedParams(unroll_oc=u1, unroll_ow=1)
+    s2 = SchedParams(unroll_oc=u2, unroll_ow=1)
+    if u1 <= u2:
+        assert s1.ilp_efficiency() <= s2.ilp_efficiency() + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(_spec_strategy, st.floats(1.0, 8.0))
+def test_divergence_scales_gpu_compute(spec, factor):
+    cm = ConvCostModel(SNAPDRAGON_855, "gpu", sparse_efficiency=0.4, fp16=True)
+    base = ConvWorkload(
+        spec=spec, nnz_weights=spec.weight_count // 4,
+        nonzero_kernels=spec.kernel_count, sparse=True,
+        register_loads=spec.weight_count,
+    )
+    diverged = ConvWorkload(**{**base.__dict__, "warp_divergence": factor})
+    t0 = cm.estimate(base).compute_ms
+    t1 = cm.estimate(diverged).compute_ms
+    assert t1 >= t0 - 1e-9

@@ -1,0 +1,198 @@
+"""Device catalog, cache simulator, and cost-model monotonicities."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    DEVICES,
+    KIRIN_980,
+    SNAPDRAGON_845,
+    SNAPDRAGON_855,
+    CacheSim,
+    ConvCostModel,
+    ConvWorkload,
+    get_device,
+)
+from repro.hardware.cache import CacheHierarchy
+from repro.hardware.cost_model import SchedParams
+from repro.models.spec import ConvSpec
+
+
+@pytest.fixture
+def spec():
+    return ConvSpec("t", 64, 64, 3, padding=1, in_hw=28)
+
+
+class TestDevices:
+    def test_catalog(self):
+        assert set(DEVICES) == {"snapdragon855", "snapdragon845", "kirin980"}
+
+    def test_lookup_normalizes(self):
+        assert get_device("Snapdragon-855") is SNAPDRAGON_855
+        assert get_device("kirin_980") is KIRIN_980
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_device("exynos")
+
+    def test_cpu_peak_gflops(self):
+        # 2.42 GHz x 8 cores x 4 lanes x 2 FMA x 2 flops = ~310 GFLOPS
+        assert 250 < SNAPDRAGON_855.cpu.peak_gflops < 350
+
+    def test_gpu_fp16_doubles(self):
+        gpu = SNAPDRAGON_855.gpu
+        assert gpu.peak_gflops_fp16 == 2 * gpu.peak_gflops_fp32
+
+    def test_newer_flagship_faster(self):
+        assert SNAPDRAGON_855.gpu.peak_gflops_fp32 > SNAPDRAGON_845.gpu.peak_gflops_fp32
+
+    def test_mali_arch_tagged(self):
+        assert KIRIN_980.gpu.arch == "mali"
+        assert SNAPDRAGON_855.gpu.arch == "adreno"
+
+    def test_unit_lookup(self):
+        assert SNAPDRAGON_855.unit("cpu") is SNAPDRAGON_855.cpu
+        with pytest.raises(KeyError):
+            SNAPDRAGON_855.unit("npu")
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        cache = CacheSim(1024, line_bytes=64, ways=2)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction(self):
+        cache = CacheSim(2 * 64, line_bytes=64, ways=2)  # 1 set, 2 ways
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)  # refresh line 0
+        cache.access(128)  # evicts line 1 (LRU)
+        assert cache.access(0)
+        assert not cache.access(64)
+
+    def test_capacity_behaviour(self):
+        cache = CacheSim(4096, line_bytes=64, ways=4)
+        for addr in range(0, 2048, 64):
+            cache.access(addr)
+        cache.reset_stats()
+        for addr in range(0, 2048, 64):
+            cache.access(addr)
+        assert cache.stats.hit_rate == 1.0  # working set fits
+
+    def test_thrash_when_oversubscribed(self):
+        cache = CacheSim(1024, line_bytes=64, ways=2)
+        for _ in range(3):
+            for addr in range(0, 8192, 64):
+                cache.access(addr)
+        assert cache.stats.hit_rate < 0.1
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            CacheSim(1000, line_bytes=64, ways=3)
+
+    def test_hierarchy_routes_misses(self):
+        h = CacheHierarchy(l1=CacheSim(256, 64, 2), l2=CacheSim(4096, 64, 4))
+        assert h.access(0) == "dram"
+        assert h.access(0) == "l1"
+        for addr in range(64, 4096, 64):
+            h.access(addr)
+        # address 0 fell out of the tiny L1 but lives in L2
+        assert h.access(0) == "l2"
+
+
+class TestCostModelMonotonicities:
+    def _cm(self, unit="cpu", **kw):
+        return ConvCostModel(SNAPDRAGON_855, unit, utilization=0.4, sparse_efficiency=0.7, **kw)
+
+    def test_more_macs_more_time(self, spec):
+        cm = self._cm()
+        small = ConvWorkload.dense(ConvSpec("s", 32, 32, 3, padding=1, in_hw=28))
+        big = ConvWorkload.dense(spec)
+        assert cm.estimate(big).total_ms > cm.estimate(small).total_ms
+
+    def test_winograd_faster_than_direct(self, spec):
+        cm = self._cm()
+        wino = cm.estimate(ConvWorkload.dense(spec, winograd=True)).total_ms
+        direct = cm.estimate(ConvWorkload.dense(spec, winograd=False)).total_ms
+        assert wino < direct
+
+    def test_sparse_fewer_loads_faster(self, spec):
+        cm = self._cm()
+        base = dict(spec=spec, nnz_weights=10000, nonzero_kernels=500, sparse=True)
+        slow = cm.estimate(ConvWorkload(**base, register_loads=10_000_000)).total_ms
+        fast = cm.estimate(ConvWorkload(**base, register_loads=1_000_000)).total_ms
+        assert fast < slow
+
+    def test_branchy_slower(self, spec):
+        cm = self._cm()
+        base = dict(spec=spec, nnz_weights=10000, nonzero_kernels=500, sparse=True, register_loads=10**6)
+        assert (
+            cm.estimate(ConvWorkload(**base, branchy=True)).total_ms
+            > cm.estimate(ConvWorkload(**base, branchy=False)).total_ms
+        )
+
+    def test_imbalanced_filters_slower_cpu(self, spec):
+        cm = self._cm()
+        base = dict(spec=spec, nnz_weights=10000, nonzero_kernels=512, sparse=True, register_loads=10**6)
+        even = np.full(64, 8.0)
+        skewed = np.concatenate([np.full(8, 57.0), np.full(56, 1.0)])  # same total
+        t_even = cm.estimate(ConvWorkload(**base, filter_lengths=even)).total_ms
+        t_skew = cm.estimate(ConvWorkload(**base, filter_lengths=skewed)).total_ms
+        assert t_skew > t_even
+
+    def test_warp_divergence_slows_gpu_only(self, spec):
+        base = dict(spec=spec, nnz_weights=10000, nonzero_kernels=500, sparse=True, register_loads=10**6)
+        gpu = self._cm("gpu", fp16=True)
+        t1 = gpu.estimate(ConvWorkload(**base, warp_divergence=1.0)).total_ms
+        t8 = gpu.estimate(ConvWorkload(**base, warp_divergence=8.0)).total_ms
+        assert t8 > t1
+        cpu = self._cm("cpu")
+        c1 = cpu.estimate(ConvWorkload(**base, warp_divergence=1.0)).total_ms
+        c8 = cpu.estimate(ConvWorkload(**base, warp_divergence=8.0)).total_ms
+        assert abs(c1 - c8) < 1e-9
+
+    def test_fp16_faster_on_gpu(self, spec):
+        work = ConvWorkload.dense(spec)
+        t32 = ConvCostModel(SNAPDRAGON_855, "gpu", utilization=0.05, fp16=False).estimate(work).total_ms
+        t16 = ConvCostModel(SNAPDRAGON_855, "gpu", utilization=0.05, fp16=True).estimate(work).total_ms
+        assert t16 < t32
+
+    def test_unrolling_helps(self, spec):
+        cm = self._cm()
+        work = ConvWorkload.dense(spec)
+        t1 = cm.estimate(work, SchedParams(unroll_oc=1, unroll_ow=1)).total_ms
+        t8 = cm.estimate(work, SchedParams(unroll_oc=4, unroll_ow=2)).total_ms
+        assert t8 < t1
+
+    def test_icache_factor_kicks_in_beyond_8(self, spec):
+        base = dict(spec=spec, nnz_weights=10000, nonzero_kernels=500, sparse=True, register_loads=10**6)
+        cm = self._cm()
+        t8 = cm.estimate(ConvWorkload(**base, code_versions=8)).total_ms
+        t12 = cm.estimate(ConvWorkload(**base, code_versions=12)).total_ms
+        t6 = cm.estimate(ConvWorkload(**base, code_versions=6)).total_ms
+        assert t6 == t8 < t12
+
+    def test_dense_ignores_load_and_branch_terms(self, spec):
+        cm = self._cm()
+        cost = cm.estimate(ConvWorkload.dense(spec))
+        assert cost.load_ms == 0.0
+        assert cost.branch_ms == 0.0
+        assert cost.imbalance == 1.0
+
+    def test_breakdown_consistency(self, spec):
+        cm = self._cm()
+        cost = cm.estimate(ConvWorkload.dense(spec))
+        assert cost.total_ms == pytest.approx(max(cost.compute_ms, cost.memory_ms) + cost.overhead_ms)
+        assert cost.gflops > 0
+
+    def test_invalid_unit_raises(self):
+        with pytest.raises(ValueError):
+            ConvCostModel(SNAPDRAGON_855, "npu")
+
+    def test_estimate_model_sums(self, spec):
+        cm = self._cm()
+        total, costs = cm.estimate_model([ConvWorkload.dense(spec)] * 3)
+        assert total == pytest.approx(sum(c.total_ms for c in costs))

@@ -1,0 +1,132 @@
+"""Cross-stack integration: train → prune → compile → execute → measure.
+
+These tests exercise the exact pipeline the paper describes end to end,
+at laptop scale, asserting the load-bearing invariants of each hand-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import PatDNNPruner, PruningConfig
+from repro.core.metrics import evaluate_accuracy
+from repro.data import DataLoader, make_cifar10_like
+from repro.frameworks import get_engine
+from repro.hardware import SNAPDRAGON_855
+from repro.models import build_small_cnn
+from repro.runtime import InferenceSession
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifacts():
+    """One shared train+prune run for the whole module (keeps CI fast)."""
+    ds = make_cifar10_like(samples_per_class=24, size=8, seed=21)
+    train, test = ds.split(0.8)
+    loader = DataLoader(train, batch_size=32, shuffle=True, rng=make_rng(3))
+    model = build_small_cnn(channels=(12, 24), in_size=8, seed=9)
+
+    # short pre-training
+    from repro import nn
+    from repro.optim import Adam
+
+    loss_fn = nn.CrossEntropyLoss()
+    opt = Adam(model.parameters(), lr=3e-3)
+    for _ in range(6):
+        for xb, yb in loader:
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(xb)), yb)
+            loss.backward()
+            opt.step()
+    base_acc = evaluate_accuracy(model, test.images, test.labels)
+
+    cfg = PruningConfig(num_patterns=8, connectivity_rate=2.0, retrain_epochs=2)
+    cfg.admm.iterations = 2
+    cfg.admm.epochs_per_iteration = 2
+    result = PatDNNPruner(cfg).fit(model, loader)
+    pruned_acc = evaluate_accuracy(model, test.images, test.labels)
+    return {
+        "model": model,
+        "result": result,
+        "test": test,
+        "base_acc": base_acc,
+        "pruned_acc": pruned_acc,
+    }
+
+
+class TestTrainPruneAccuracy:
+    def test_base_model_learned_something(self, pipeline_artifacts):
+        assert pipeline_artifacts["base_acc"] > 0.2  # chance is 0.1
+
+    def test_pruned_accuracy_not_collapsed(self, pipeline_artifacts):
+        """The paper's central accuracy claim, at our scale: joint pattern
+        + connectivity pruning with retraining keeps accuracy near the
+        dense baseline rather than collapsing toward chance."""
+        assert pipeline_artifacts["pruned_acc"] > pipeline_artifacts["base_acc"] - 0.15
+
+    def test_compression_rate_achieved(self, pipeline_artifacts):
+        assert pipeline_artifacts["result"].conv_compression_rate > 4.0
+
+    def test_every_kernel_obeys_pattern_constraint(self, pipeline_artifacts):
+        from repro import nn
+
+        ps = pipeline_artifacts["result"].pattern_set
+        for _, module in pipeline_artifacts["model"].named_modules():
+            if isinstance(module, nn.Conv2d):
+                w = module.weight.data
+                nz = (w != 0).reshape(w.shape[0], w.shape[1], -1).sum(axis=2)
+                assert nz.max() <= ps.entries
+
+
+class TestCompiledInference:
+    def test_compiled_session_matches_model(self, pipeline_artifacts):
+        model = pipeline_artifacts["model"]
+        result = pipeline_artifacts["result"]
+        test = pipeline_artifacts["test"]
+        x = test.images[:8]
+        model.eval()
+        with no_grad():
+            expected = model(Tensor(x)).data
+        session = InferenceSession(
+            model, (3, 8, 8), pattern_set=result.pattern_set, assignments=result.assignments
+        )
+        got = session.run(x)
+        np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-3)
+
+    def test_compiled_session_accuracy_identical(self, pipeline_artifacts):
+        """Compilation must not change predictions at all."""
+        model = pipeline_artifacts["model"]
+        result = pipeline_artifacts["result"]
+        test = pipeline_artifacts["test"]
+        session = InferenceSession(
+            model, (3, 8, 8), pattern_set=result.pattern_set, assignments=result.assignments
+        )
+        compiled_pred = session.run(test.images).argmax(axis=1)
+        model.eval()
+        with no_grad():
+            ref_pred = model(Tensor(test.images)).data.argmax(axis=1)
+        np.testing.assert_array_equal(compiled_pred, ref_pred)
+
+
+class TestLatencyStory:
+    def test_fig12_ordering_holds_on_tiny_model(self):
+        """TFLite slowest, PatDNN-pattern fastest, on a small spec."""
+        from repro.models.spec import ConvSpec, ModelSpec
+
+        spec = ModelSpec(
+            name="tiny",
+            dataset="synthetic",
+            convs=[
+                ConvSpec("c1", 3, 32, 3, padding=1, in_hw=32),
+                ConvSpec("c2", 32, 64, 3, padding=1, in_hw=16),
+            ],
+            total_layers=2,
+        )
+        lat = {
+            name: get_engine(name, SNAPDRAGON_855, "cpu").prepare(spec).latency_ms
+            for name in ("tflite", "tvm", "mnn")
+        }
+        pat = get_engine("patdnn", SNAPDRAGON_855, "cpu").prepare(spec).latency_ms
+        assert pat < min(lat.values())
+        assert lat["tflite"] > lat["tvm"]
+        assert lat["tflite"] > lat["mnn"]

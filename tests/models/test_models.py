@@ -1,0 +1,134 @@
+"""Model zoo: full-scale specs vs the paper, trainable forward passes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.models import (
+    build_mobilenet_v2,
+    build_resnet,
+    build_small_cnn,
+    build_vgg,
+    get_spec,
+    get_trainable,
+    list_models,
+)
+from repro.models.vgg import VGG_UNIQUE_LAYERS, unique_layer_spec
+
+
+class TestVGGSpec:
+    def test_conv_count(self):
+        assert get_spec("vgg16").conv_count == 13
+
+    def test_imagenet_size_matches_paper(self):
+        assert abs(get_spec("vgg16", "imagenet").size_mb - 553.5) < 2.0
+
+    def test_cifar_size_matches_paper(self):
+        assert abs(get_spec("vgg16", "cifar10").size_mb - 61.0) < 2.0
+
+    def test_unique_layer_shapes_match_table6(self):
+        for name, shape in VGG_UNIQUE_LAYERS.items():
+            assert unique_layer_spec(name).filter_shape == shape
+
+    def test_unknown_unique_layer_raises(self):
+        with pytest.raises(KeyError):
+            unique_layer_spec("L10")
+
+    def test_feature_map_chain_consistent(self):
+        spec = get_spec("vgg16")
+        hw = {c.name: (c.in_hw, c.out_hw) for c in spec.convs}
+        # last conv block runs at 14x14 per Table 6's L9 position
+        assert hw["conv13"][0] == 14
+
+    def test_total_macs_magnitude(self):
+        # VGG-16 conv MACs ~ 15.3G on 224x224.
+        macs = get_spec("vgg16").conv_macs
+        assert 14e9 < macs < 16e9
+
+
+class TestResNetSpec:
+    def test_conv_count_and_layers(self):
+        spec = get_spec("resnet50")
+        assert spec.total_layers == 50
+        # 49 weight convs + 4 downsample projections
+        assert spec.conv_count == 53
+
+    def test_size_matches_paper(self):
+        assert abs(get_spec("resnet50").size_mb - 102.5) < 3.0
+
+    def test_3x3_subset(self):
+        spec = get_spec("resnet50")
+        threes = spec.conv_3x3()
+        assert all(c.kernel_size == 3 for c in threes)
+        assert 10 < len(threes) < 20  # 16 bottleneck 3x3 convs + stem variants
+
+
+class TestMobileNetSpec:
+    def test_size_matches_paper(self):
+        assert abs(get_spec("mobilenet_v2").size_mb - 14.2) < 1.0
+
+    def test_depthwise_layers_present(self):
+        spec = get_spec("mobilenet_v2")
+        dw = [c for c in spec.convs if c.groups > 1]
+        assert len(dw) == 17  # one per inverted-residual block
+
+    def test_macs_magnitude(self):
+        macs = get_spec("mobilenet_v2").conv_macs
+        assert 2e8 < macs < 5e8  # ~300M
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert get_spec("VGG").name == "vgg16"
+        assert get_spec("rnt").name == "resnet50"
+        assert get_spec("MBNT").name == "mobilenet_v2"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("alexnet")
+        with pytest.raises(KeyError):
+            get_trainable("alexnet")
+
+    def test_list_models(self):
+        assert "vgg16" in list_models()
+
+
+class TestTrainableForward:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (build_small_cnn, {"channels": (8,), "in_size": 8}),
+            (build_vgg, {"in_size": 8, "width_scale": 0.125}),
+            (build_resnet, {"width_scale": 0.25, "blocks_per_stage": (1, 1)}),
+            (build_mobilenet_v2, {"width_scale": 0.5}),
+        ],
+    )
+    def test_forward_shape(self, builder, kwargs):
+        model = builder(num_classes=10, **kwargs)
+        x = Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        with no_grad():
+            out = model(x)
+        assert out.shape == (2, 10)
+
+    def test_vgg_full_depth(self):
+        model = build_vgg(in_size=32, depth="full", width_scale=0.125)
+        x = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        with no_grad():
+            assert model(x).shape == (1, 10)
+
+    def test_vgg_bad_depth_raises(self):
+        with pytest.raises(ValueError):
+            build_vgg(depth="tiny")
+
+    def test_deterministic_by_seed(self):
+        a = build_small_cnn(seed=5)
+        b = build_small_cnn(seed=5)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_spec_weight_instantiation(self):
+        spec = get_spec("vgg16")
+        w = spec.convs[1].make_weights()
+        assert w.shape == (64, 64, 3, 3)
+        assert w.dtype == np.float32

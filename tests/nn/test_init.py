@@ -1,0 +1,51 @@
+"""Weight initialisation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.utils.rng import make_rng
+
+
+class TestKaiming:
+    def test_conv_std_matches_fan_in(self):
+        shape = (64, 32, 3, 3)
+        w = init.kaiming_normal(shape, make_rng(0))
+        expected_std = np.sqrt(2.0 / (32 * 9))
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+    def test_linear_std(self):
+        w = init.kaiming_normal((256, 512), make_rng(1))
+        expected_std = np.sqrt(2.0 / 512)
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+    def test_zero_mean(self):
+        w = init.kaiming_normal((128, 128, 3, 3), make_rng(2))
+        assert abs(float(w.mean())) < 0.01
+
+    def test_float32(self):
+        assert init.kaiming_normal((4, 4)).dtype == np.float32
+
+    def test_unsupported_shape_raises(self):
+        with pytest.raises(ValueError):
+            init.kaiming_normal((4, 4, 4))
+
+
+class TestXavier:
+    def test_bounds(self):
+        shape = (64, 64)
+        w = init.xavier_uniform(shape, make_rng(3))
+        limit = np.sqrt(6.0 / 128)
+        assert np.all(np.abs(w) <= limit + 1e-7)
+
+    def test_covers_range(self):
+        w = init.xavier_uniform((128, 128), make_rng(4))
+        limit = np.sqrt(6.0 / 256)
+        assert w.max() > 0.8 * limit
+        assert w.min() < -0.8 * limit
+
+
+class TestConstants:
+    def test_zeros_ones(self):
+        assert float(init.zeros((3, 3)).sum()) == 0.0
+        assert float(init.ones((3, 3)).sum()) == 9.0

@@ -1,0 +1,175 @@
+"""Layer semantics: shapes, forward values, train/eval behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.utils.rng import make_rng
+
+
+def _x(*shape, seed=0):
+    return Tensor(make_rng(seed).standard_normal(shape).astype(np.float32))
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1)
+        assert layer(_x(2, 3, 8, 8)).shape == (2, 8, 8, 8)
+
+    def test_stride_halves(self):
+        layer = nn.Conv2d(3, 4, 3, stride=2, padding=1)
+        assert layer(_x(1, 3, 8, 8)).shape == (1, 4, 4, 4)
+
+    def test_no_bias(self):
+        layer = nn.Conv2d(3, 4, 1, padding=0, bias=False)
+        assert layer.bias is None
+        assert len(layer._parameters) == 1
+
+    def test_depthwise_groups(self):
+        layer = nn.Conv2d(6, 6, 3, padding=1, groups=6)
+        assert layer.weight.shape == (6, 1, 3, 3)
+        assert layer(_x(1, 6, 5, 5)).shape == (1, 6, 5, 5)
+
+    def test_groups_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(5, 4, 3, groups=2)
+
+    def test_identity_kernel(self):
+        layer = nn.Conv2d(1, 1, 1, padding=0, bias=False)
+        layer.weight.data[:] = 1.0
+        x = _x(1, 1, 3, 3)
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+
+class TestLinear:
+    def test_shape_and_bias(self):
+        layer = nn.Linear(4, 3)
+        assert layer(_x(5, 4)).shape == (5, 3)
+
+    def test_known_values(self):
+        layer = nn.Linear(2, 1)
+        layer.weight.data[:] = [[1.0, 2.0]]
+        layer.bias.data[:] = [0.5]
+        out = layer(Tensor([[1.0, 1.0]]))
+        np.testing.assert_allclose(out.data, [[3.5]])
+
+
+class TestActivations:
+    def test_relu(self):
+        out = nn.ReLU()(Tensor([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out.data, [[0.0, 2.0]])
+
+    def test_relu6_clips(self):
+        out = nn.ReLU6()(Tensor([[-1.0, 3.0, 9.0]]))
+        np.testing.assert_allclose(out.data, [[0.0, 3.0, 6.0]])
+
+    def test_sigmoid_range(self):
+        out = nn.Sigmoid()(_x(10))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_tanh_range(self):
+        out = nn.Tanh()(_x(10))
+        assert np.all(np.abs(out.data) < 1)
+
+
+class TestPooling:
+    def test_maxpool(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = nn.MaxPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool(self):
+        x = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32))
+        out = nn.AvgPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[1, 1], [1, 1]])
+
+    def test_global_avgpool(self):
+        out = nn.GlobalAvgPool2d()(_x(2, 3, 5, 5))
+        assert out.shape == (2, 3, 1, 1)
+
+    def test_adaptive_avgpool_exact_divisor(self):
+        out = nn.AdaptiveAvgPool2d(2)(_x(1, 2, 8, 8))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_adaptive_avgpool_bad_size_raises(self):
+        with pytest.raises(ValueError):
+            nn.AdaptiveAvgPool2d(3)(_x(1, 1, 8, 8))
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = _x(4, 4)
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_train_zeroes_some(self):
+        layer = nn.Dropout(0.5, rng=make_rng(0))
+        out = layer(Tensor(np.ones((100,), dtype=np.float32)))
+        assert 10 < int((out.data == 0).sum()) < 90
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = nn.Dropout(0.3, rng=make_rng(1))
+        out = layer(Tensor(np.ones((20000,), dtype=np.float32)))
+        assert abs(float(out.data.mean()) - 1.0) < 0.05
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestContainers:
+    def test_sequential_chains(self):
+        seq = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert seq(_x(3, 4)).shape == (3, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2)])
+        ml.append(nn.Linear(2, 2))
+        assert len(ml) == 2
+        assert len(list(ml)) == 2
+
+    def test_flatten_identity(self):
+        assert nn.Flatten()(_x(2, 3, 4)).shape == (2, 12)
+        x = _x(2, 2)
+        assert nn.Identity()(x) is x
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self):
+        bn = nn.BatchNorm2d(3)
+        x = _x(8, 3, 4, 4, seed=2) * 5 + 3
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        var = out.data.var(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, 0, atol=1e-4)
+        np.testing.assert_allclose(var, 1, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        bn = nn.BatchNorm2d(2)
+        x = _x(4, 2, 3, 3) + 10.0
+        bn(x)
+        assert np.all(bn.running_mean > 0.5)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        for _ in range(50):
+            bn(_x(16, 2, 4, 4, seed=3) + 2.0)
+        bn.eval()
+        out_a = bn(_x(4, 2, 4, 4, seed=4) + 2.0)
+        out_b = bn(_x(4, 2, 4, 4, seed=4) + 2.0)
+        np.testing.assert_array_equal(out_a.data, out_b.data)
+
+    def test_non_nchw_raises(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(_x(3, 2))
+
+    def test_gamma_beta_affect_output(self):
+        bn = nn.BatchNorm2d(1)
+        bn.weight.data[:] = 2.0
+        bn.bias.data[:] = 1.0
+        out = bn(_x(8, 1, 4, 4, seed=5))
+        assert abs(float(out.data.mean()) - 1.0) < 0.05

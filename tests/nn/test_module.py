@@ -1,0 +1,148 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.bn = nn.BatchNorm2d(3)
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc1(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        net = TinyNet()
+        names = dict(net.named_parameters())
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "scale" in names
+        assert "bn.weight" in names
+
+    def test_buffers_discovered(self):
+        net = TinyNet()
+        buffers = dict(net.named_buffers())
+        assert "bn.running_mean" in buffers
+        assert "bn.running_var" in buffers
+
+    def test_named_modules_paths(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "bn" in names
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        expected = 4 * 8 + 8 + 3 + 3 + 1
+        assert net.num_parameters() == expected
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.bn.training
+        net.train()
+        assert net.bn.training
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        for p in net.parameters():
+            p.grad = np.ones_like(p.data)
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = TinyNet()
+        b = TinyNet()
+        a.scale.data[:] = 5.0
+        a.bn.running_mean[:] = 7.0
+        b.load_state_dict(a.state_dict())
+        assert float(b.scale.data[0]) == 5.0
+        assert float(b.bn.running_mean[0]) == 7.0
+
+    def test_state_dict_is_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"][:] = 99.0
+        assert float(net.scale.data[0]) == 1.0
+
+    def test_unknown_key_raises(self):
+        net = TinyNet()
+        with pytest.raises(KeyError):
+            net.load_state_dict({"nope": np.zeros(1)})
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestLoss:
+    def test_cross_entropy_matches_manual(self):
+        from repro.autograd import Tensor
+
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]], dtype=np.float32), requires_grad=True)
+        labels = np.array([0, 1])
+        loss = nn.CrossEntropyLoss()(logits, labels)
+        manual = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert abs(loss.item() - manual) < 1e-5
+
+    def test_cross_entropy_gradient_direction(self):
+        from repro.autograd import Tensor
+
+        logits = Tensor(np.zeros((1, 3), dtype=np.float32), requires_grad=True)
+        loss = nn.CrossEntropyLoss()(logits, np.array([1]))
+        loss.backward()
+        # Gradient should push label logit up (negative grad) and others down.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_mse(self):
+        from repro.autograd import Tensor
+
+        pred = Tensor([[1.0, 2.0]])
+        loss = nn.MSELoss()(pred, np.array([[0.0, 0.0]], dtype=np.float32))
+        assert abs(loss.item() - 2.5) < 1e-6
+
+
+class TestFunctional:
+    def test_softmax_sums_to_one(self):
+        from repro.autograd import Tensor
+        from repro.nn.functional import softmax
+
+        out = softmax(Tensor(np.random.default_rng(0).standard_normal((4, 6)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_log_softmax_stable_with_large_logits(self):
+        from repro.autograd import Tensor
+        from repro.nn.functional import log_softmax
+
+        out = log_softmax(Tensor(np.array([[1000.0, 0.0]], dtype=np.float32)))
+        assert np.isfinite(out.data).all()
+
+    def test_one_hot(self):
+        from repro.nn.functional import one_hot
+
+        oh = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(oh, [[1, 0, 0], [0, 0, 1]])
+
+    def test_accuracy_topk(self):
+        from repro.nn.functional import accuracy
+
+        logits = np.array([[0.1, 0.9, 0.5], [0.9, 0.1, 0.5]])
+        labels = np.array([2, 2])
+        assert accuracy(logits, labels, topk=1) == 0.0
+        assert accuracy(logits, labels, topk=2) == 1.0
+        assert accuracy(logits, labels, topk=3) == 1.0

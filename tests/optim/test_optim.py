@@ -1,0 +1,103 @@
+"""Optimizers and schedulers: convergence and state behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, CosineLR, StepLR
+
+
+def _quadratic_steps(optimizer_factory, steps=120):
+    """Minimise f(w) = ||w - target||^2; return final distance."""
+    w = Parameter(np.array([4.0, -3.0], dtype=np.float32))
+    target = np.array([1.0, 2.0], dtype=np.float32)
+    opt = optimizer_factory([w])
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = ((w - Tensor(target)) ** 2).sum()
+        loss.backward()
+        opt.step()
+    return float(np.abs(w.data - target).max())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert _quadratic_steps(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_momentum_converges(self):
+        assert _quadratic_steps(lambda p: SGD(p, lr=0.05, momentum=0.9), steps=250) < 1e-3
+
+    def test_nesterov_converges(self):
+        assert _quadratic_steps(lambda p: SGD(p, lr=0.05, momentum=0.9, nesterov=True)) < 1e-3
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert float(w.data[0]) < 1.0
+
+    def test_nesterov_without_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_skips_none_grads(self):
+        w = Parameter(np.ones(2, dtype=np.float32))
+        SGD([w], lr=0.1).step()  # no grad set; must not raise
+        np.testing.assert_array_equal(w.data, [1, 1])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert _quadratic_steps(lambda p: Adam(p, lr=0.1), steps=200) < 1e-2
+
+    def test_bias_correction_first_step_magnitude(self):
+        w = Parameter(np.array([0.0], dtype=np.float32))
+        opt = Adam([w], lr=0.1)
+        w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        # With bias correction the first step is ~lr regardless of grad scale.
+        assert abs(abs(float(w.data[0])) - 0.1) < 1e-3
+
+    def test_state_per_parameter(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = Adam([a, b], lr=0.1)
+        a.grad = np.ones(1)
+        b.grad = np.ones(1)
+        opt.step()
+        assert len(opt.state) == 2
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert abs(opt.lr - 0.1) < 1e-9
+
+    def test_cosine_lr_endpoints(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineLR(opt, t_max=10)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr < 1e-6
+
+    def test_cosine_monotone_decreasing(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineLR(opt, t_max=8)
+        values = []
+        for _ in range(8):
+            sched.step()
+            values.append(opt.lr)
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))

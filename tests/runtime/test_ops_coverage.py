@@ -1,0 +1,112 @@
+"""Direct per-op coverage of the runtime's reference kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph.ir import Node, OpKind
+from repro.runtime.ops import conv2d, eval_node
+
+
+@pytest.fixture
+def rng64():
+    return np.random.default_rng(7)
+
+
+def _x(rng, *shape):
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+class TestConvKernel:
+    def test_grouped_matches_per_group_dense(self, rng64):
+        x = _x(rng64, 1, 4, 6, 6)
+        w = _x(rng64, 4, 2, 3, 3)
+        out = conv2d(x, w, None, 1, 1, groups=2)
+        for g in range(2):
+            ref = conv2d(x[:, 2 * g : 2 * g + 2], w[2 * g : 2 * g + 2], None, 1, 1)
+            np.testing.assert_allclose(out[:, 2 * g : 2 * g + 2], ref, rtol=1e-5, atol=1e-5)
+
+    def test_bias_applied(self, rng64):
+        x = _x(rng64, 1, 2, 4, 4)
+        w = np.zeros((3, 2, 1, 1), dtype=np.float32)
+        out = conv2d(x, w, np.array([1.0, 2.0, 3.0], dtype=np.float32), 1, 0)
+        np.testing.assert_allclose(out[0, 2], 3.0)
+
+
+class TestEvalNode:
+    def test_batchnorm_matches_formula(self, rng64):
+        x = _x(rng64, 2, 3, 4, 4)
+        node = Node(
+            "bn",
+            OpKind.BATCHNORM,
+            inputs=["x"],
+            attrs={"eps": 1e-5},
+            params={
+                "gamma": np.array([1.0, 2.0, 0.5], dtype=np.float32),
+                "beta": np.array([0.0, 1.0, -1.0], dtype=np.float32),
+                "mean": np.array([0.1, -0.2, 0.0], dtype=np.float32),
+                "var": np.array([1.0, 4.0, 0.25], dtype=np.float32),
+            },
+        )
+        out = eval_node(node, [x])
+        c = 1
+        expected = (x[:, c] - (-0.2)) / np.sqrt(4.0 + 1e-5) * 2.0 + 1.0
+        np.testing.assert_allclose(out[:, c], expected, rtol=1e-4, atol=1e-4)
+
+    def test_relu6(self, rng64):
+        node = Node("a", OpKind.RELU6, inputs=["x"])
+        out = eval_node(node, [np.array([-2.0, 3.0, 8.0], dtype=np.float32)])
+        np.testing.assert_array_equal(out, [0.0, 3.0, 6.0])
+
+    def test_maxpool_with_padding(self, rng64):
+        x = np.full((1, 1, 2, 2), 5.0, dtype=np.float32)
+        node = Node("p", OpKind.MAXPOOL, inputs=["x"], attrs={"kernel_size": 2, "stride": 2, "padding": 1})
+        out = eval_node(node, [x])
+        # padded corners pool one real value against -inf padding
+        assert out.shape == (1, 1, 2, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 5], [5, 5]])
+
+    def test_avgpool(self, rng64):
+        x = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        node = Node("p", OpKind.AVGPOOL, inputs=["x"], attrs={"kernel_size": 2, "stride": 2})
+        np.testing.assert_allclose(eval_node(node, [x])[0, 0], [[1.5]])
+
+    def test_global_avgpool_keeps_rank(self, rng64):
+        x = _x(rng64, 2, 3, 5, 5)
+        node = Node("g", OpKind.GLOBAL_AVGPOOL, inputs=["x"])
+        out = eval_node(node, [x])
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(out[..., 0, 0], x.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_linear_with_fused_activation(self, rng64):
+        node = Node(
+            "l",
+            OpKind.LINEAR,
+            inputs=["x"],
+            attrs={"out_features": 2, "activation": "relu"},
+            params={"weight": np.array([[1.0, 0.0], [0.0, -1.0]], dtype=np.float32)},
+        )
+        out = eval_node(node, [np.array([[2.0, 3.0]], dtype=np.float32)])
+        np.testing.assert_array_equal(out, [[2.0, 0.0]])
+
+    def test_add_with_fused_activation(self, rng64):
+        node = Node("a", OpKind.ADD, inputs=["x", "y"], attrs={"activation": "relu"})
+        out = eval_node(node, [np.array([-3.0], np.float32), np.array([1.0], np.float32)])
+        np.testing.assert_array_equal(out, [0.0])
+
+    def test_flatten(self, rng64):
+        node = Node("f", OpKind.FLATTEN, inputs=["x"])
+        assert eval_node(node, [_x(rng64, 2, 3, 4, 4)]).shape == (2, 48)
+
+    def test_constant(self):
+        node = Node("c", OpKind.CONSTANT, params={"value": np.ones(3, dtype=np.float32)})
+        np.testing.assert_array_equal(eval_node(node, []), [1, 1, 1])
+
+    def test_unknown_activation_raises(self):
+        node = Node("a", OpKind.ADD, inputs=["x", "y"], attrs={"activation": "gelu"})
+        with pytest.raises(ValueError):
+            eval_node(node, [np.zeros(1, np.float32), np.zeros(1, np.float32)])
+
+    def test_unsupported_op_raises(self):
+        node = Node("i", OpKind.INPUT, attrs={"shape": (1,)})
+        with pytest.raises(NotImplementedError):
+            eval_node(node, [])

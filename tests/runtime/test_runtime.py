@@ -1,0 +1,119 @@
+"""Runtime executors: reference semantics and compiled equivalence."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, no_grad
+from repro.core.masking import apply_masks, extract_masks
+from repro.core.patterns import PatternSet, enumerate_candidate_patterns
+from repro.graph.builder import build_graph
+from repro.graph.pass_manager import default_pipeline
+from repro.models import build_mobilenet_v2, build_resnet, build_small_cnn
+from repro.runtime import CompiledExecutor, InferenceSession, ReferenceExecutor
+from repro.utils.rng import make_rng
+
+
+def _model_outputs(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+@pytest.fixture
+def x8():
+    return make_rng(2).standard_normal((3, 3, 8, 8)).astype(np.float32)
+
+
+class TestReferenceExecutor:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (build_small_cnn, {"channels": (8, 16), "in_size": 8}),
+            (build_resnet, {"blocks_per_stage": (1, 1)}),
+            (build_mobilenet_v2, {}),
+        ],
+    )
+    def test_matches_model_forward(self, builder, kwargs, x8):
+        model = builder(**kwargs)
+        expected = _model_outputs(model, x8)
+        graph = build_graph(model, (3, 8, 8))
+        got = ReferenceExecutor(graph).run(x8)
+        np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-4)
+
+    def test_matches_after_graph_optimization(self, x8):
+        model = build_small_cnn(channels=(8, 16), in_size=8)
+        model.eval()
+        expected = _model_outputs(model, x8)
+        graph = build_graph(model, (3, 8, 8))
+        default_pipeline().run(graph)
+        got = ReferenceExecutor(graph).run(x8)
+        np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-4)
+
+
+class TestCompiledExecutor:
+    def _pruned_setup(self, x8):
+        model = build_small_cnn(channels=(8, 16), in_size=8, seed=7)
+        ps = PatternSet(enumerate_candidate_patterns()[:8])
+        masks = extract_masks(model, ps, connectivity_rate=2.0)
+        apply_masks(model, masks)
+        model.eval()
+        # assignments for conv layers after pruning
+        from repro.core.projections import project_kernel_pattern
+
+        assignments = {}
+        for name, module in model.named_modules():
+            if isinstance(module, nn.Conv2d):
+                _, a = project_kernel_pattern(module.weight.data, ps)
+                energy = (module.weight.data.reshape(a.shape[0], a.shape[1], -1) ** 2).sum(axis=2)
+                assignments[name] = (a * (energy > 0)).astype(np.int32)
+        return model, ps, assignments
+
+    def test_compiled_equals_reference(self, x8):
+        model, ps, assignments = self._pruned_setup(x8)
+        expected = _model_outputs(model, x8)
+        graph = build_graph(model, (3, 8, 8))
+        default_pipeline().run(graph)
+        conv_nodes = [n.name for n in graph.conv_nodes()]
+        graph_assignments = dict(zip(conv_nodes, assignments.values()))
+        compiled = CompiledExecutor(graph, ps, graph_assignments)
+        got = compiled.run(x8)
+        np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-3)
+
+    def test_rejects_non_conv_assignment(self, x8):
+        model, ps, assignments = self._pruned_setup(x8)
+        graph = build_graph(model, (3, 8, 8))
+        with pytest.raises(KeyError):
+            CompiledExecutor(graph, ps, {"nonexistent": next(iter(assignments.values()))})
+
+
+class TestInferenceSession:
+    def test_session_reference_mode(self, x8):
+        model = build_small_cnn(channels=(8,), in_size=8)
+        expected = _model_outputs(model, x8)
+        session = InferenceSession(model, (3, 8, 8))
+        np.testing.assert_allclose(session.run(x8), expected, rtol=1e-3, atol=1e-4)
+
+    def test_session_single_sample_promoted(self):
+        model = build_small_cnn(channels=(8,), in_size=8)
+        session = InferenceSession(model, (3, 8, 8))
+        out = session.run(np.zeros((3, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 10)
+
+    def test_session_with_pruning_artifacts(self, x8):
+        from repro.core import PatDNNPruner, PruningConfig
+        from repro.data import DataLoader, make_cifar10_like
+
+        ds = make_cifar10_like(samples_per_class=8, size=8)
+        loader = DataLoader(ds, batch_size=16)
+        model = build_small_cnn(channels=(8, 16), in_size=8)
+        cfg = PruningConfig(num_patterns=6, connectivity_rate=2.0, retrain_epochs=0)
+        cfg.admm.iterations = 1
+        cfg.admm.epochs_per_iteration = 1
+        result = PatDNNPruner(cfg).fit(model, loader)
+        expected = _model_outputs(model, x8)
+        session = InferenceSession(
+            model, (3, 8, 8), pattern_set=result.pattern_set, assignments=result.assignments
+        )
+        np.testing.assert_allclose(session.run(x8), expected, rtol=1e-3, atol=1e-3)
+        assert session.pass_report is not None

@@ -1,0 +1,50 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_latency_defaults(self):
+        args = build_parser().parse_args(["latency", "vgg16"])
+        assert args.dataset == "imagenet"
+        assert args.unit == "cpu"
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "snapdragon855" in out and "mali" in out
+
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig13" in out
+
+    def test_experiments_run_light(self, capsys):
+        assert main(["experiments", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert "L9" in out
+
+    def test_compile_layer(self, capsys):
+        assert main(["compile", "--layer", "L1"]) == 0
+        out = capsys.readouterr().out
+        assert "layerwise representation" in out
+        assert "register loads" in out
+
+    def test_compile_with_source(self, capsys):
+        assert main(["compile", "--layer", "L1", "--source"]) == 0
+        out = capsys.readouterr().out
+        assert "vfma" in out
+
+    def test_latency_small_model(self, capsys):
+        assert main(["latency", "mobilenet_v2", "--dataset", "cifar10"]) == 0
+        out = capsys.readouterr().out
+        assert "patdnn-pattern" in out
+        assert "tflite" in out

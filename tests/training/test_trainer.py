@@ -1,0 +1,80 @@
+"""Trainer driver: history, hooks, scheduler integration."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_cifar10_like
+from repro.models import build_small_cnn
+from repro.optim import SGD, StepLR
+from repro.training import Trainer
+
+
+@pytest.fixture
+def setup():
+    ds = make_cifar10_like(samples_per_class=16, size=8, seed=8)
+    train, test = ds.split(0.75)
+    loader = DataLoader(train, batch_size=16, shuffle=True)
+    model = build_small_cnn(channels=(8, 16), in_size=8, seed=4)
+    return model, loader, test
+
+
+class TestTrainer:
+    def test_loss_decreases(self, setup):
+        model, loader, _ = setup
+        report = Trainer(model, loader).run(epochs=6)
+        assert len(report.epoch_losses) == 6
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_eval_history(self, setup):
+        model, loader, test = setup
+        trainer = Trainer(model, loader, eval_data=(test.images, test.labels))
+        report = trainer.run(epochs=3)
+        assert len(report.eval_accuracies) == 3
+        assert 0.0 <= report.best_accuracy <= 1.0
+
+    def test_hooks_called_per_batch(self, setup):
+        model, loader, _ = setup
+        calls = {"grad": 0, "step": 0}
+        trainer = Trainer(
+            model,
+            loader,
+            grad_hook=lambda: calls.__setitem__("grad", calls["grad"] + 1),
+            step_hook=lambda: calls.__setitem__("step", calls["step"] + 1),
+        )
+        trainer.run(epochs=2)
+        assert calls["grad"] == calls["step"] == 2 * len(loader)
+
+    def test_grad_hook_can_mask(self, setup):
+        """A grad hook zeroing all conv grads freezes conv weights."""
+        from repro import nn
+
+        model, loader, _ = setup
+        convs = [m for _, m in model.named_modules() if isinstance(m, nn.Conv2d)]
+        before = [c.weight.data.copy() for c in convs]
+
+        def freeze():
+            for c in convs:
+                if c.weight.grad is not None:
+                    c.weight.grad *= 0.0
+
+        Trainer(model, loader, grad_hook=freeze).run(epochs=1)
+        for c, b in zip(convs, before):
+            np.testing.assert_array_equal(c.weight.data, b)
+
+    def test_scheduler_steps_per_epoch(self, setup):
+        model, loader, _ = setup
+        opt = SGD(model.parameters(), lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        Trainer(model, loader, optimizer=opt).run(epochs=3, scheduler=sched)
+        assert opt.lr == pytest.approx(0.125)
+
+    def test_negative_epochs_raises(self, setup):
+        model, loader, _ = setup
+        with pytest.raises(ValueError):
+            Trainer(model, loader).run(epochs=-1)
+
+    def test_zero_epochs_noop(self, setup):
+        model, loader, _ = setup
+        report = Trainer(model, loader).run(epochs=0)
+        assert report.epoch_losses == []
+        assert np.isnan(report.final_loss)

@@ -1,0 +1,63 @@
+"""Whole-compiled-model deployment round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.codegen import generate_kernel
+from repro.compiler.compile import OptLevel, compile_model
+from repro.core.patterns import mine_pattern_set
+from repro.hardware import SNAPDRAGON_855
+from repro.hardware.cost_model import ConvCostModel
+from repro.models.spec import ConvSpec, ModelSpec
+from repro.utils.serialize import load_deployment, save_deployment
+
+
+@pytest.fixture(scope="module")
+def compiled_tiny():
+    spec = ModelSpec(
+        "tiny",
+        "synthetic",
+        [
+            ConvSpec("c1", 3, 8, 3, padding=1, in_hw=12),
+            ConvSpec("c2", 8, 12, 3, padding=1, in_hw=12),
+        ],
+        total_layers=2,
+    )
+    ps = mine_pattern_set([spec.convs[1].make_weights()], k=6)
+    cm = ConvCostModel(SNAPDRAGON_855, "cpu", utilization=0.4)
+    return compile_model(spec, ps, cm, connectivity_rate=2.0, opt_level=OptLevel.LRE)
+
+
+class TestDeploymentRoundtrip:
+    def test_metadata_preserved(self, compiled_tiny, tmp_path):
+        path = tmp_path / "model.npz"
+        save_deployment(path, compiled_tiny)
+        meta, layers = load_deployment(path)
+        assert meta["name"] == "tiny-synthetic"
+        assert meta["device_unit"] == "cpu"
+        assert len(layers) == 2
+        assert meta["layers"][0]["lr"]["pattern"]["layout"] == "FKW"
+
+    def test_weights_bit_exact(self, compiled_tiny, tmp_path):
+        path = tmp_path / "model.npz"
+        save_deployment(path, compiled_tiny)
+        _, layers = load_deployment(path)
+        for original, restored in zip(compiled_tiny.layers, layers):
+            np.testing.assert_array_equal(restored.to_dense(), original.fkw.to_dense())
+
+    def test_restored_kernels_execute_identically(self, compiled_tiny, tmp_path):
+        rng = np.random.default_rng(0)
+        path = tmp_path / "model.npz"
+        save_deployment(path, compiled_tiny)
+        meta, layers = load_deployment(path)
+        for original, restored, layer_meta in zip(compiled_tiny.layers, layers, meta["layers"]):
+            x = rng.standard_normal((original.spec.in_channels, 12, 12)).astype(np.float32)
+            ref = original.kernel()(x)
+            fn = generate_kernel(restored, layer_meta["stride_attr"], layer_meta["padding"], "lre")
+            np.testing.assert_allclose(fn(x), ref, rtol=1e-5, atol=1e-5)
+
+    def test_pattern_sets_deduplicated(self, compiled_tiny, tmp_path):
+        path = tmp_path / "model.npz"
+        save_deployment(path, compiled_tiny)
+        meta, _ = load_deployment(path)
+        assert len(meta["pattern_sets"]) == 1  # both layers share one set

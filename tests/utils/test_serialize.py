@@ -1,0 +1,76 @@
+"""Serialization round-trips for models, pruning artifacts, and FKW."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.storage import FKWLayer
+from repro.models import build_small_cnn
+from repro.utils.serialize import (
+    load_fkw,
+    load_pruning,
+    load_state,
+    save_fkw,
+    save_pruning,
+    save_state,
+)
+
+
+class TestStateDictRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        model = build_small_cnn(channels=(8,), in_size=8, seed=1)
+        path = tmp_path / "model.npz"
+        save_state(path, model.state_dict())
+        restored = load_state(path)
+        fresh = build_small_cnn(channels=(8,), in_size=8, seed=2)
+        fresh.load_state_dict(restored)
+        for (na, pa), (nb, pb) in zip(model.named_parameters(), fresh.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_buffers_roundtrip(self, tmp_path):
+        model = build_small_cnn(channels=(8,), in_size=8)
+        for _, m in model.named_modules():
+            if hasattr(m, "running_mean") and isinstance(getattr(m, "running_mean", None), np.ndarray):
+                m.running_mean[:] = 3.0
+        path = tmp_path / "model.npz"
+        save_state(path, model.state_dict())
+        state = load_state(path)
+        bn_keys = [k for k in state if "running_mean" in k]
+        assert bn_keys
+        assert all(np.all(state[k] == 3.0) for k in bn_keys)
+
+
+class TestPruningRoundtrip:
+    def test_roundtrip(self, tmp_path, pruned_layer):
+        w, assignment, ps = pruned_layer
+        path = tmp_path / "pruning.npz"
+        save_pruning(path, ps, {"layer0": assignment, "layer1": assignment * 0})
+        ps2, assignments = load_pruning(path)
+        assert len(ps2) == len(ps)
+        assert [p.bitmask for p in ps2] == [p.bitmask for p in ps]
+        np.testing.assert_array_equal(assignments["layer0"], assignment)
+        np.testing.assert_array_equal(assignments["layer1"], assignment * 0)
+
+
+class TestFKWRoundtrip:
+    def test_roundtrip_dense_equal(self, tmp_path, pruned_layer):
+        w, assignment, ps = pruned_layer
+        fkw = FKWLayer.from_pruned(w, assignment, ps)
+        path = tmp_path / "layer.npz"
+        save_fkw(path, fkw)
+        restored = load_fkw(path)
+        np.testing.assert_array_equal(restored.to_dense(), fkw.to_dense())
+        assert restored.entries == fkw.entries
+        assert restored.num_kernels == fkw.num_kernels
+
+    def test_restored_layer_executes(self, tmp_path, pruned_layer, rng):
+        from repro.compiler.codegen import generate_kernel
+
+        w, assignment, ps = pruned_layer
+        fkw = FKWLayer.from_pruned(w, assignment, ps)
+        path = tmp_path / "layer.npz"
+        save_fkw(path, fkw)
+        restored = load_fkw(path)
+        x = rng.standard_normal((w.shape[1], 8, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            generate_kernel(restored)(x), generate_kernel(fkw)(x), rtol=1e-6, atol=1e-6
+        )

@@ -1,0 +1,76 @@
+"""Utility helpers: rng streams, formatting, logging facade."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    get_logger,
+    human_bytes,
+    human_time,
+    make_rng,
+    prod,
+    sizeof_fmt_table,
+    spawn,
+)
+
+
+class TestRng:
+    def test_default_seed_reproducible(self):
+        assert make_rng().integers(0, 1000) == make_rng().integers(0, 1000)
+
+    def test_explicit_seed(self):
+        a = make_rng(42).standard_normal(4)
+        b = make_rng(42).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_independent_streams(self):
+        children = spawn(make_rng(1), 3)
+        draws = [c.integers(0, 2**31) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [c.integers(0, 100) for c in spawn(make_rng(2), 2)]
+        b = [c.integers(0, 100) for c in spawn(make_rng(2), 2)]
+        assert a == b
+
+
+class TestFormatting:
+    def test_prod(self):
+        assert prod([2, 3, 4]) == 24
+        assert prod([]) == 1
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.0 KiB"
+        assert "MiB" in human_bytes(5 * 1024**2)
+        assert "GiB" in human_bytes(3 * 1024**3)
+
+    def test_human_time(self):
+        assert "us" in human_time(5e-6)
+        assert "ms" in human_time(0.05)
+        assert human_time(2.0) == "2.00 s"
+        assert "min" in human_time(300)
+
+    def test_table_alignment(self):
+        text = sizeof_fmt_table([[1, "long-value"]], ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("-")
+
+
+class TestLogger:
+    def test_namespaced(self):
+        log = get_logger("mytool")
+        assert log.name == "repro.mytool"
+
+    def test_repro_prefix_kept(self):
+        log = get_logger("repro.core.admm")
+        assert log.name == "repro.core.admm"
+
+    def test_handler_installed_once(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
