@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 tests plus a fast benchmark-collection pass.
+#
+# The benchmark modules are named bench_*.py, which pytest's default
+# python_files glob silently skips — so they can rot without anyone
+# noticing.  This script runs them with --benchmark-disable (experiment
+# logic + assertions execute; no timing calibration) so CI catches
+# import errors and stale APIs in benchmarks/ as well.
+#
+# Usage: scripts/check.sh [extra pytest args for the tier-1 run]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"
+
+echo "== benchmarks (benchmark-disabled fast pass) =="
+python -m pytest benchmarks/ -q --benchmark-disable -o python_files='bench_*.py test_*.py'
+
+echo "== check.sh OK =="

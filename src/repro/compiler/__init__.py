@@ -22,7 +22,7 @@ from repro.compiler.reorder import FKRResult, filter_kernel_reorder
 from repro.compiler.storage import FKWLayer, CSRLayer, COOLayer
 from repro.compiler.lre import LoadCounts, count_register_loads
 from repro.compiler.lr import LayerwiseRepresentation
-from repro.compiler.codegen import generate_kernel, generate_source
+from repro.compiler.codegen import KernelCache, generate_kernel, generate_source
 from repro.compiler.tuner import Schedule, ScheduleSpace, GATuner, PerformanceEstimator
 from repro.compiler.compile import CompiledLayer, CompiledModel, compile_layer, compile_model, OptLevel
 
@@ -35,6 +35,7 @@ __all__ = [
     "LoadCounts",
     "count_register_loads",
     "LayerwiseRepresentation",
+    "KernelCache",
     "generate_kernel",
     "generate_source",
     "Schedule",

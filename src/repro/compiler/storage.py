@@ -26,6 +26,7 @@ paper's "CSR implementation runs at dense speed" experiment.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -133,6 +134,26 @@ class FKWLayer:
     @property
     def nnz(self) -> int:
         return self.weights.size
+
+    def signature(self) -> str:
+        """Stable content digest of the packed layer.
+
+        Covers structure *and* values (all five Figure 10 arrays plus the
+        pattern coordinate table), so two layers share a signature iff
+        their generated kernels would be identical.  Used as the
+        :class:`repro.compiler.codegen.KernelCache` key; cached on first
+        use — FKW layers are immutable once packed.
+        """
+        if getattr(self, "_signature", None) is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(repr((self.shape, self.entries)).encode())
+            for arr in (self.offset, self.reorder, self.index, self.stride, self.weights):
+                h.update(f"{arr.dtype.str}{arr.shape}".encode())
+                h.update(np.ascontiguousarray(arr).tobytes())
+            coords = [tuple(self.pattern_set[pid].coords) for pid in range(1, len(self.pattern_set) + 1)]
+            h.update(repr(coords).encode())
+            self._signature = h.hexdigest()
+        return self._signature
 
     def filter_slice(self, position: int) -> slice:
         """Kernel range of the filter executed at ``position``."""

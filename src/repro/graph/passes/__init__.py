@@ -4,7 +4,7 @@ from repro.graph.passes.fold_batchnorm import fold_batchnorm
 from repro.graph.passes.fuse_activation import fuse_activation
 from repro.graph.passes.constant_fold import constant_fold
 from repro.graph.passes.layout import assign_layout
-from repro.graph.passes.memory_plan import plan_memory, MemoryPlan
+from repro.graph.passes.memory_plan import compute_liveness, plan_memory, MemoryPlan
 from repro.graph.passes.op_replacement import replace_ops
 from repro.graph.passes.dce import eliminate_dead_nodes
 
@@ -13,6 +13,7 @@ __all__ = [
     "fuse_activation",
     "constant_fold",
     "assign_layout",
+    "compute_liveness",
     "plan_memory",
     "MemoryPlan",
     "replace_ops",

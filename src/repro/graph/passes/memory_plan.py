@@ -37,19 +37,31 @@ def _buffer_bytes(shape: tuple[int, ...], elem: int = 4) -> int:
     return prod(shape) * elem
 
 
-def plan_memory(graph: Graph, elem_bytes: int = 4) -> MemoryPlan:
-    """First-fit static planner over liveness intervals."""
-    order = graph.toposort()
-    index = {n.name: i for i, n in enumerate(order)}
+def compute_liveness(graph: Graph, order: list | None = None) -> dict[str, int]:
+    """Last-use step per producer name over the topological order.
 
-    # Liveness: a buffer is born at its producer and dies after its last
-    # consumer (outputs live to the end).
+    A buffer is born at its producer and dies after its last consumer;
+    graph outputs are pinned to ``len(order)`` so they outlive every
+    step.  Names that are never consumed (dangling diagnostics nodes) do
+    not appear.  Shared by the static planner below and the executors'
+    run-time value retirement / buffer-arena recycling.
+    """
+    if order is None:
+        order = graph.toposort()
+    index = {n.name: i for i, n in enumerate(order)}
     last_use: dict[str, int] = {}
     for node in order:
         for inp in node.inputs:
             last_use[inp] = max(last_use.get(inp, 0), index[node.name])
     for out in graph.outputs:
         last_use[out] = len(order)
+    return last_use
+
+
+def plan_memory(graph: Graph, elem_bytes: int = 4) -> MemoryPlan:
+    """First-fit static planner over liveness intervals."""
+    order = graph.toposort()
+    last_use = compute_liveness(graph, order)
 
     plan = MemoryPlan()
     # Active allocations: list of (offset, size, death_step, name).

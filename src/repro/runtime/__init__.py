@@ -5,10 +5,27 @@ the semantic baseline every transformation is verified against.
 ``CompiledExecutor`` swaps pattern-pruned conv nodes for the compiler's
 generated FKW kernels, making "the compiled model computes the same
 function" a testable property end to end.
+
+The compiled path is engineered for batch-heavy serving:
+
+* **Batched kernels** — generated closures consume whole ``(N, C, H, W)``
+  batches in one call (no per-sample Python loop) with bias + activation
+  fused into the closure's epilogue.
+* **Kernel cache** — closures are memoised by FKW signature + schedule
+  knobs (:class:`repro.compiler.codegen.KernelCache`), so repeated
+  identical layers compile once.
+* **Buffer arena** — padded-input and output scratch buffers are
+  recycled across ``run()`` calls (:class:`repro.runtime.arena.BufferArena`),
+  and intermediates are retired the moment liveness says they are dead
+  (:func:`repro.graph.passes.memory_plan.compute_liveness`).
+
+``InferenceSession`` wires model export, graph optimization, and the
+executor choice into one user-facing entry point.
 """
 
 from repro.runtime.ops import eval_node
+from repro.runtime.arena import BufferArena
 from repro.runtime.executor import ReferenceExecutor, CompiledExecutor
 from repro.runtime.session import InferenceSession
 
-__all__ = ["eval_node", "ReferenceExecutor", "CompiledExecutor", "InferenceSession"]
+__all__ = ["eval_node", "BufferArena", "ReferenceExecutor", "CompiledExecutor", "InferenceSession"]

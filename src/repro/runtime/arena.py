@@ -1,0 +1,140 @@
+"""Shape-keyed scratch-buffer arena for the compiled runtime.
+
+The batched FKW kernels allocate two kinds of scratch per call: a padded
+copy of the layer input and a zeroed accumulator for the layer output.
+Re-allocating (and re-zeroing) both on every ``run()`` is pure overhead
+under steady traffic, so :class:`BufferArena` keeps them alive across
+calls:
+
+* **Padded-input scratch** is persistent per ``(input shape, padding)``
+  key.  The zero border is written once at allocation; later calls only
+  copy the interior (the border is never written with anything else, so
+  it stays zero) — the ``np.pad`` allocate-and-copy disappears from the
+  steady state.
+* **General buffers** (kernel outputs) cycle through a shape-keyed free
+  pool: the executor acquires them per node and releases them back when
+  liveness says the value is dead, so two same-shaped conv layers in a
+  network share one physical accumulator.
+
+Safety rules the executor relies on:
+
+* ``release`` only accepts buffers the arena itself allocated (tracked
+  by identity); foreign arrays — user inputs, reference-kernel outputs —
+  are silently ignored, so releasing indiscriminately is safe.
+* ``sanitize_output`` copies a result that aliases arena memory before
+  it escapes to the caller, so a later ``run()`` can never overwrite a
+  value the user still holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BufferArena:
+    """Reusable scratch buffers, keyed by shape (and padding for pads).
+
+    Not thread-safe: one arena per executor, one executor per thread.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        # id -> buffer for every array this arena ever allocated; holding
+        # the reference keeps ids stable (no reuse-after-gc confusion).
+        self._owned: dict[int, np.ndarray] = {}
+        self._pad: dict[tuple, np.ndarray] = {}
+        self.allocations = 0
+        self.reuses = 0
+        self.pad_allocations = 0
+        self.pad_reuses = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, shape: tuple[int, ...], dtype=np.float32, zero: bool = False) -> np.ndarray:
+        """Hand out a buffer of ``shape``, recycling a free one if possible."""
+        key = (tuple(shape), np.dtype(dtype).str)
+        pool = self._free.get(key)
+        if pool:
+            buf = pool.pop()
+            self.reuses += 1
+            if zero:
+                buf.fill(0)
+            return buf
+        self.allocations += 1
+        buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        self._owned[id(buf)] = buf
+        return buf
+
+    def release(self, arr: np.ndarray | None) -> None:
+        """Return an arena-owned buffer to the free pool (no-op otherwise)."""
+        if arr is None or id(arr) not in self._owned:
+            return
+        pool = self._free.setdefault((arr.shape, arr.dtype.str), [])
+        if any(b is arr for b in pool):  # guard against double release
+            return
+        pool.append(arr)
+
+    def owns(self, arr: np.ndarray) -> bool:
+        return id(arr) in self._owned
+
+    # ------------------------------------------------------------------
+    def padded(self, x: np.ndarray, padding: int) -> np.ndarray:
+        """Write ``x`` into a persistent zero-bordered scratch buffer.
+
+        Returns ``x`` itself when ``padding == 0`` (no copy at all).  The
+        returned buffer is only valid until the next ``padded`` call with
+        the same key — callers must consume it before then (the generated
+        kernels do: the pad scratch is dead once the conv returns).
+        """
+        if padding == 0:
+            return x
+        n, c, h, w = x.shape
+        key = (n, c, h, w, padding)
+        buf = self._pad.get(key)
+        if buf is None:
+            buf = np.zeros((n, c, h + 2 * padding, w + 2 * padding), np.float32)
+            self._pad[key] = buf
+            self.pad_allocations += 1
+        else:
+            self.pad_reuses += 1
+        buf[:, :, padding : padding + h, padding : padding + w] = x
+        return buf
+
+    def reclaim(self) -> None:
+        """Return every in-flight owned buffer to the free pool.
+
+        End-of-run backstop: a buffer whose value died while a view of it
+        was still live (e.g. FLATTEN aliasing a conv output) is skipped
+        by per-step retirement and would otherwise stay out of the pool
+        forever.  By the end of ``run()`` every in-flight buffer is dead
+        — the result has been detached via :meth:`sanitize_output` — so
+        pooling them all keeps the arena's footprint at the peak across
+        the distinct shapes seen (one scratch set per shape key; see
+        ROADMAP for eviction under many-shape traffic) instead of
+        growing with call count.
+        """
+        pooled = {id(b) for pool in self._free.values() for b in pool}
+        for buf in self._owned.values():
+            if id(buf) not in pooled:
+                self._free.setdefault((buf.shape, buf.dtype.str), []).append(buf)
+
+    # ------------------------------------------------------------------
+    def sanitize_output(self, arr: np.ndarray) -> np.ndarray:
+        """Copy ``arr`` if it aliases arena memory, else return it as-is."""
+        for buf in self._owned.values():
+            if arr is buf or np.may_share_memory(arr, buf):
+                return arr.copy()
+        return arr
+
+    def clear(self) -> None:
+        """Drop every buffer and reset counters (frees the memory)."""
+        self._free.clear()
+        self._owned.clear()
+        self._pad.clear()
+        self.allocations = self.reuses = 0
+        self.pad_allocations = self.pad_reuses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BufferArena(owned={len(self._owned)}, pads={len(self._pad)}, "
+            f"alloc={self.allocations}, reused={self.reuses})"
+        )

@@ -1,49 +1,124 @@
-"""Graph executors: reference (numpy) and compiled (FKW kernels)."""
+"""Graph executors: reference (numpy) and compiled (batched FKW kernels).
+
+Both executors walk the topological order with an execution plan built
+at construction time from :func:`~repro.graph.passes.memory_plan.compute_liveness`:
+each intermediate value is dropped from the environment right after its
+last consumer runs, so peak live memory during ``run()`` matches the
+static memory-plan pass instead of retaining every tensor to the end.
+
+:class:`CompiledExecutor` additionally dispatches pattern-pruned conv
+nodes to **whole-batch** generated kernels (no per-sample Python loop),
+with bias + activation fused into the closure, compiled closures shared
+through a :class:`~repro.compiler.codegen.KernelCache` (identical layers
+compile once), and padded-input/output scratch recycled across calls via
+a :class:`~repro.runtime.arena.BufferArena`.  Dead intermediates produced
+by compiled kernels are released back to the arena mid-run, so repeated
+same-shape layers share physical buffers.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.compiler.codegen import generate_kernel
+from repro.compiler.codegen import KernelCache, KernelFn
 from repro.compiler.reorder import filter_kernel_reorder
 from repro.compiler.storage import FKWLayer
 from repro.core.patterns import PatternSet
 from repro.graph.ir import Graph, OpKind
-from repro.runtime.ops import _apply_activation, eval_node
+from repro.graph.passes.memory_plan import compute_liveness
+from repro.runtime.arena import BufferArena
+from repro.runtime.ops import eval_node
 
 
 class ReferenceExecutor:
-    """Interpret a graph with reference numpy kernels."""
+    """Interpret a graph with reference numpy kernels.
+
+    Intermediates are freed as soon as their last consumer has run
+    (liveness-driven retirement), so long graphs don't accumulate every
+    activation in memory.
+    """
 
     def __init__(self, graph: Graph) -> None:
         graph.validate()
         self.graph = graph
         self._order = graph.toposort()
+        # Execution plan: which value names die after each step.  Graph
+        # outputs have last_use == len(order), so they are never retired.
+        steps = len(self._order)
+        self._dies_at: dict[int, list[str]] = {}
+        for name, last in compute_liveness(graph, self._order).items():
+            if last < steps:
+                self._dies_at.setdefault(last, []).append(name)
 
+    # ------------------------------------------------------------------
     def run(self, x: np.ndarray) -> np.ndarray:
         """Execute on a batched NCHW input; returns the graph output."""
+        return self._execute(x, arena=None)
+
+    def _dispatch(self, node, inputs: list[np.ndarray], arena) -> np.ndarray:
+        """Evaluate one node; subclasses intercept compiled nodes here."""
+        return eval_node(node, inputs)
+
+    def _execute(self, x: np.ndarray, arena: BufferArena | None) -> np.ndarray:
         values: dict[str, np.ndarray] = {}
         out = None
-        for node in self._order:
+        for step, node in enumerate(self._order):
             if node.op == OpKind.INPUT:
-                values[node.name] = x.astype(np.float32)
+                value = np.asarray(x, dtype=np.float32)
+            else:
+                inputs = [values[i] for i in node.inputs]
+                value = self._dispatch(node, inputs, arena)
+            values[node.name] = value
+            out = value
+            self._retire(values, step, arena)
+        result = values[self.graph.outputs[0]] if self.graph.outputs else out
+        if arena is not None:
+            # Never hand the caller a buffer the arena may recycle; then
+            # pool every in-flight buffer (including ones whose release
+            # was skipped because a since-dead view aliased them).
+            result = arena.sanitize_output(result)
+            values.clear()
+            arena.reclaim()
+        return result
+
+    def _retire(self, values: dict[str, np.ndarray], step: int, arena: BufferArena | None) -> None:
+        """Drop (and recycle) values whose last consumer was ``step``."""
+        for name in self._dies_at.get(step, ()):
+            dead = values.pop(name, None)
+            if arena is None or dead is None:
                 continue
-            inputs = [values[i] for i in node.inputs]
-            values[node.name] = eval_node(node, inputs)
-            out = values[node.name]
-        if not self.graph.outputs:
-            return out
-        return values[self.graph.outputs[0]]
+            # A view of this buffer may still be live (e.g. FLATTEN's
+            # reshape aliases the conv output) — keep it out of the pool.
+            if any(dead is live or np.may_share_memory(dead, live) for live in values.values()):
+                continue
+            arena.release(dead)
 
 
 class CompiledExecutor(ReferenceExecutor):
     """Execute pattern-pruned conv nodes through generated FKW kernels.
 
     Conv nodes whose name appears in ``assignments`` are packed to FKW
-    (with FKR) and dispatched to :func:`generate_kernel`; every other
-    node falls back to the reference kernel.  Output equality with
+    (with FKR) and dispatched to whole-batch closures from
+    :func:`~repro.compiler.codegen.generate_kernel` — bias and activation
+    fused, one call per node per batch; every other node falls back to
+    the reference kernel.  Output equality with
     :class:`ReferenceExecutor` is the compiler's end-to-end correctness
     property.
+
+    Args:
+        graph: optimized graph IR.
+        pattern_set / assignments: pruning artifacts; ``assignments``
+            maps conv node names to (F, C) pattern-id arrays.
+        opt_level: codegen variant (``'no-opt'`` | ``'reorder'`` | ``'lre'``
+            | ``'gemm'``).  ``'gemm'`` — the default — is the batch-serving
+            production level (per-coordinate scattered-weight BLAS
+            contractions over the pattern union); the other three mirror
+            the paper's Figure 7 ladder structurally.
+        kernel_cache: compile-once cache; a private one is created when
+            omitted.  Repeated identical layers share one closure
+            (``kernel_cache.hits`` counts the saves).
+        arena: scratch-buffer arena reused across ``run()`` calls; a
+            private one is created when omitted.
     """
 
     def __init__(
@@ -51,11 +126,16 @@ class CompiledExecutor(ReferenceExecutor):
         graph: Graph,
         pattern_set: PatternSet,
         assignments: dict[str, np.ndarray],
-        opt_level: str = "lre",
+        opt_level: str = "gemm",
+        kernel_cache: KernelCache | None = None,
+        arena: BufferArena | None = None,
     ) -> None:
         super().__init__(graph)
         self.pattern_set = pattern_set
-        self._compiled: dict[str, tuple] = {}
+        self.opt_level = opt_level
+        self.kernel_cache = kernel_cache if kernel_cache is not None else KernelCache()
+        self.arena = arena if arena is not None else BufferArena()
+        self._compiled: dict[str, KernelFn] = {}
         for name, assignment in assignments.items():
             if name not in graph.nodes:
                 raise KeyError(f"assignment for unknown node {name!r}")
@@ -65,28 +145,20 @@ class CompiledExecutor(ReferenceExecutor):
             weights = node.params["weight"]
             fkr = filter_kernel_reorder(assignment)
             fkw = FKWLayer.from_pruned(weights, assignment, pattern_set, fkr)
-            fn = generate_kernel(
-                fkw, node.attrs.get("stride", 1), node.attrs.get("padding", 0), opt_level
+            self._compiled[name] = self.kernel_cache.get(
+                fkw,
+                node.attrs.get("stride", 1),
+                node.attrs.get("padding", 0),
+                opt_level,
+                bias=node.params.get("bias"),
+                activation=node.attrs.get("activation"),
             )
-            self._compiled[name] = (fn, node.params.get("bias"), node.attrs.get("activation"))
 
     def run(self, x: np.ndarray) -> np.ndarray:
-        values: dict[str, np.ndarray] = {}
-        out = None
-        for node in self._order:
-            if node.op == OpKind.INPUT:
-                values[node.name] = x.astype(np.float32)
-                continue
-            inputs = [values[i] for i in node.inputs]
-            if node.name in self._compiled:
-                fn, bias, activation = self._compiled[node.name]
-                batch = np.stack([fn(sample) for sample in inputs[0]])
-                if bias is not None:
-                    batch += bias.reshape(1, -1, 1, 1)
-                values[node.name] = _apply_activation(batch, activation)
-            else:
-                values[node.name] = eval_node(node, inputs)
-            out = values[node.name]
-        if not self.graph.outputs:
-            return out
-        return values[self.graph.outputs[0]]
+        return self._execute(x, arena=self.arena)
+
+    def _dispatch(self, node, inputs: list[np.ndarray], arena) -> np.ndarray:
+        fn = self._compiled.get(node.name)
+        if fn is not None:
+            return fn(inputs[0], arena=arena)
+        return eval_node(node, inputs)

@@ -23,16 +23,18 @@ def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, stride: i
     out = np.concatenate(outs, axis=1).reshape(n, f, ho, wo)
     if bias is not None:
         out += bias.reshape(1, f, 1, 1)
-    return out.astype(np.float32)
+    return out.astype(np.float32, copy=False)
 
 
-def _apply_activation(x: np.ndarray, activation: str | None) -> np.ndarray:
+def _apply_activation(x: np.ndarray, activation: str | None, inplace: bool = False) -> np.ndarray:
+    """Fused activation epilogue; ``inplace`` is safe only on arrays the
+    caller just allocated (conv/linear/add outputs)."""
     if activation is None:
         return x
     if activation == "relu":
-        return np.maximum(x, 0.0)
+        return np.maximum(x, 0.0, out=x if inplace else None)
     if activation == "relu6":
-        return np.clip(x, 0.0, 6.0)
+        return np.clip(x, 0.0, 6.0, out=x if inplace else None)
     raise ValueError(f"unknown fused activation {activation!r}")
 
 
@@ -48,7 +50,7 @@ def eval_node(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
             node.attrs.get("padding", 0),
             node.attrs.get("groups", 1),
         )
-        return _apply_activation(out, node.attrs.get("activation"))
+        return _apply_activation(out, node.attrs.get("activation"), inplace=True)
     if op == OpKind.BATCHNORM:
         gamma = node.params["gamma"]
         beta = node.params["beta"]
@@ -75,9 +77,9 @@ def eval_node(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
         bias = node.params.get("bias")
         if bias is not None:
             out = out + bias
-        return _apply_activation(out.astype(np.float32), node.attrs.get("activation"))
+        return _apply_activation(out.astype(np.float32, copy=False), node.attrs.get("activation"), inplace=True)
     if op == OpKind.ADD:
-        return _apply_activation(inputs[0] + inputs[1], node.attrs.get("activation"))
+        return _apply_activation(inputs[0] + inputs[1], node.attrs.get("activation"), inplace=True)
     if op == OpKind.CONSTANT:
         return node.params["value"]
     if op == OpKind.OUTPUT:

@@ -3,6 +3,14 @@
 ``InferenceSession`` is the user-facing runtime entry: it exports the
 model to graph IR, runs PatDNN's graph-optimization pipeline, optionally
 swaps pruned conv layers to compiled FKW kernels, and executes batches.
+
+Batches execute as batches all the way down: the compiled executor
+dispatches whole ``(N, C, H, W)`` arrays to batched FKW kernels, reuses
+scratch buffers across ``run()`` calls through its
+:class:`~repro.runtime.arena.BufferArena`, and compiles each distinct
+layer once via its :class:`~repro.compiler.codegen.KernelCache` — so a
+session is cheap to construct for repeated-block networks and fast to
+call under sustained traffic.
 """
 
 from __future__ import annotations
@@ -27,6 +35,9 @@ class InferenceSession:
             pattern layers through compiled FKW kernels; omit for the
             reference (dense) interpreter.
         optimize_graph: apply BN-fold / fusion / replacement passes.
+        opt_level: codegen variant for compiled layers (``'no-opt'`` |
+            ``'reorder'`` | ``'lre'`` | ``'gemm'``; the default
+            ``'gemm'`` is the fastest batch-serving level).
     """
 
     def __init__(
@@ -36,7 +47,7 @@ class InferenceSession:
         pattern_set: PatternSet | None = None,
         assignments: dict[str, np.ndarray] | None = None,
         optimize_graph: bool = True,
-        opt_level: str = "lre",
+        opt_level: str = "gemm",
     ) -> None:
         model.eval()
         self.graph = build_graph(model, input_shape)
@@ -72,6 +83,16 @@ class InferenceSession:
             else:
                 raise ValueError(f"could not map pruned layer {name!r} to a graph conv node")
         return mapped
+
+    @property
+    def kernel_cache(self):
+        """Compile-once kernel cache of the compiled executor (or None)."""
+        return getattr(self.executor, "kernel_cache", None)
+
+    @property
+    def arena(self):
+        """Scratch-buffer arena of the compiled executor (or None)."""
+        return getattr(self.executor, "arena", None)
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """Inference on a batched NCHW array; returns logits."""

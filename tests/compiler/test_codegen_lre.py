@@ -28,15 +28,18 @@ def _fkw(seed=0, f=8, c=5, k=6, keep_frac=0.5):
     return w, FKWLayer.from_pruned(w, a * m, ps), rng
 
 
+OPT_LEVELS = ["no-opt", "reorder", "lre", "gemm"]
+
+
 class TestCodegenCorrectness:
-    @pytest.mark.parametrize("opt_level", ["no-opt", "reorder", "lre"])
+    @pytest.mark.parametrize("opt_level", OPT_LEVELS)
     def test_matches_reference(self, opt_level):
         w, fkw, rng = _fkw()
         x = rng.standard_normal((5, 9, 9)).astype(np.float32)
         fn = generate_kernel(fkw, 1, 1, opt_level)
         np.testing.assert_allclose(fn(x), _ref_conv(x, w), rtol=1e-4, atol=1e-4)
 
-    @pytest.mark.parametrize("opt_level", ["no-opt", "reorder", "lre"])
+    @pytest.mark.parametrize("opt_level", OPT_LEVELS)
     def test_stride2(self, opt_level):
         w, fkw, rng = _fkw(seed=1)
         x = rng.standard_normal((5, 9, 9)).astype(np.float32)
@@ -46,9 +49,9 @@ class TestCodegenCorrectness:
     def test_variants_agree(self):
         w, fkw, rng = _fkw(seed=2)
         x = rng.standard_normal((5, 7, 7)).astype(np.float32)
-        outs = [generate_kernel(fkw, 1, 1, lvl)(x) for lvl in ("no-opt", "reorder", "lre")]
-        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-5, atol=1e-5)
-        np.testing.assert_allclose(outs[1], outs[2], rtol=1e-5, atol=1e-5)
+        outs = [generate_kernel(fkw, 1, 1, lvl)(x) for lvl in OPT_LEVELS]
+        for a, b in zip(outs, outs[1:]):
+            np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-5)
 
     def test_bad_input_shape_raises(self):
         w, fkw, rng = _fkw()
@@ -61,7 +64,8 @@ class TestCodegenCorrectness:
         with pytest.raises(ValueError):
             generate_kernel(fkw, opt_level="super")
 
-    def test_fully_pruned_filter_outputs_zero(self):
+    @pytest.mark.parametrize("opt_level", OPT_LEVELS)
+    def test_fully_pruned_filter_outputs_zero(self, opt_level):
         rng = np.random.default_rng(3)
         ps = PatternSet(enumerate_candidate_patterns()[:4])
         w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
@@ -69,8 +73,51 @@ class TestCodegenCorrectness:
         a[2, :] = 0
         w[2] = 0.0
         fkw = FKWLayer.from_pruned(w, a, ps)
-        out = generate_kernel(fkw)(rng.standard_normal((3, 6, 6)).astype(np.float32))
+        out = generate_kernel(fkw, opt_level=opt_level)(rng.standard_normal((3, 6, 6)).astype(np.float32))
         assert np.all(out[2] == 0)
+
+
+class TestBatchedKernels:
+    """The batched contract: (N, C, H, W) in, (N, F, Ho, Wo) out."""
+
+    @pytest.mark.parametrize("opt_level", OPT_LEVELS)
+    def test_batch_equals_per_sample(self, opt_level):
+        w, fkw, rng = _fkw(seed=8)
+        x = rng.standard_normal((3, 5, 9, 9)).astype(np.float32)
+        fn = generate_kernel(fkw, 1, 1, opt_level)
+        batched = fn(x)
+        per_sample = np.stack([fn(sample) for sample in x])
+        assert batched.shape == per_sample.shape
+        np.testing.assert_allclose(batched, per_sample, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("opt_level", OPT_LEVELS)
+    def test_padding_zero_no_copy_path(self, opt_level):
+        w, fkw, rng = _fkw(seed=9)
+        x = rng.standard_normal((2, 5, 9, 9)).astype(np.float32)
+        got = generate_kernel(fkw, 1, 0, opt_level)(x)
+        expected = np.stack([_ref_conv(s, w, 1, 0) for s in x])
+        np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-4)
+
+    @pytest.mark.parametrize("opt_level", OPT_LEVELS)
+    def test_fused_bias_activation(self, opt_level):
+        w, fkw, rng = _fkw(seed=10)
+        bias = rng.standard_normal(w.shape[0]).astype(np.float32)
+        x = rng.standard_normal((2, 5, 9, 9)).astype(np.float32)
+        fn = generate_kernel(fkw, 1, 1, opt_level, bias=bias, activation="relu")
+        plain = generate_kernel(fkw, 1, 1, opt_level)(x)
+        expected = np.maximum(plain + bias.reshape(1, -1, 1, 1), 0.0)
+        np.testing.assert_allclose(fn(x), expected, rtol=1e-5, atol=1e-6)
+
+    def test_bad_activation_raises(self):
+        _, fkw, _ = _fkw()
+        with pytest.raises(ValueError):
+            generate_kernel(fkw, activation="gelu")
+
+    def test_bad_batched_shape_raises(self):
+        _, fkw, _ = _fkw()
+        fn = generate_kernel(fkw)
+        with pytest.raises(ValueError):
+            fn(np.zeros((2, 3, 9, 9), dtype=np.float32))  # wrong channel count
 
 
 class TestGeneratedSource:
@@ -95,6 +142,11 @@ class TestGeneratedSource:
     def test_header_mentions_format(self):
         _, fkw, _ = _fkw()
         assert "format=FKW" in generate_source(fkw, "lre")
+
+    def test_gemm_reuses_slices_across_filters(self):
+        _, fkw, _ = _fkw()
+        src = generate_source(fkw, "gemm")
+        assert "sgemm" in src and "pattern-union" in src
 
 
 class TestLRECounts:

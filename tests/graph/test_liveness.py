@@ -1,0 +1,48 @@
+"""compute_liveness: the shared liveness core of planner and executors."""
+
+import numpy as np
+
+from repro.graph.ir import Graph, Node, OpKind, run_shape_inference
+from repro.graph.passes import compute_liveness
+from repro.runtime import ReferenceExecutor
+
+
+def _chain_graph():
+    g = Graph("chain")
+    g.add(Node("x", OpKind.INPUT, attrs={"shape": (2, 4, 4)}))
+    g.add(Node("r1", OpKind.RELU, inputs=["x"]))
+    g.add(Node("r2", OpKind.RELU, inputs=["r1"]))
+    g.add(Node("add", OpKind.ADD, inputs=["r1", "r2"]))
+    g.outputs = ["add"]
+    run_shape_inference(g)
+    return g
+
+
+class TestComputeLiveness:
+    def test_last_use_is_last_consumer(self):
+        g = _chain_graph()
+        order = g.toposort()
+        last_use = compute_liveness(g, order)
+        idx = {n.name: i for i, n in enumerate(order)}
+        assert last_use["x"] == idx["r1"]
+        assert last_use["r1"] == idx["add"]  # consumed by r2 AND add
+        assert last_use["r2"] == idx["add"]
+
+    def test_outputs_pinned_past_end(self):
+        g = _chain_graph()
+        order = g.toposort()
+        assert compute_liveness(g, order)["add"] == len(order)
+
+    def test_order_defaults_to_toposort(self):
+        g = _chain_graph()
+        assert compute_liveness(g) == compute_liveness(g, g.toposort())
+
+    def test_reference_executor_retires_dead_values(self):
+        """The executor's retirement plan mirrors liveness exactly."""
+        g = _chain_graph()
+        ex = ReferenceExecutor(g)
+        dying = {name for names in ex._dies_at.values() for name in names}
+        assert dying == {"x", "r1", "r2"}  # everything but the output
+        x = np.random.default_rng(0).standard_normal((2, 2, 4, 4)).astype(np.float32)
+        expected = np.maximum(x, 0) + np.maximum(np.maximum(x, 0), 0)
+        np.testing.assert_allclose(ex.run(x), expected, rtol=1e-6, atol=1e-6)

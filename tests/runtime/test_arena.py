@@ -1,0 +1,116 @@
+"""BufferArena: pooling, pad scratch, ownership, and output sanitation."""
+
+import numpy as np
+
+from repro.runtime.arena import BufferArena
+
+
+class TestAcquireRelease:
+    def test_acquire_zeroed(self):
+        arena = BufferArena()
+        buf = arena.acquire((2, 3), zero=True)
+        assert buf.shape == (2, 3) and np.all(buf == 0)
+
+    def test_release_then_acquire_reuses(self):
+        arena = BufferArena()
+        buf = arena.acquire((4, 4), zero=True)
+        buf.fill(7.0)
+        arena.release(buf)
+        again = arena.acquire((4, 4), zero=True)
+        assert again is buf
+        assert np.all(again == 0)  # re-zeroed on reuse
+        assert arena.reuses == 1 and arena.allocations == 1
+
+    def test_different_shapes_different_buffers(self):
+        arena = BufferArena()
+        a = arena.acquire((2, 2))
+        arena.release(a)
+        b = arena.acquire((3, 3))
+        assert b is not a
+        assert arena.allocations == 2
+
+    def test_foreign_array_release_is_noop(self):
+        arena = BufferArena()
+        foreign = np.zeros((2, 2), np.float32)
+        arena.release(foreign)  # must not enter the pool
+        got = arena.acquire((2, 2))
+        assert got is not foreign
+
+    def test_double_release_guard(self):
+        arena = BufferArena()
+        buf = arena.acquire((2, 2))
+        arena.release(buf)
+        arena.release(buf)
+        first = arena.acquire((2, 2))
+        second = arena.acquire((2, 2))
+        assert first is not second  # buf was pooled once, not twice
+
+    def test_owns(self):
+        arena = BufferArena()
+        buf = arena.acquire((1,))
+        assert arena.owns(buf)
+        assert not arena.owns(np.zeros(1, np.float32))
+
+
+class TestPaddedScratch:
+    def test_padding_zero_returns_input(self):
+        arena = BufferArena()
+        x = np.ones((1, 2, 3, 3), np.float32)
+        assert arena.padded(x, 0) is x
+        assert arena.pad_allocations == 0
+
+    def test_border_is_zero_interior_copied(self):
+        arena = BufferArena()
+        x = np.full((2, 3, 4, 4), 5.0, np.float32)
+        xp = arena.padded(x, 1)
+        assert xp.shape == (2, 3, 6, 6)
+        np.testing.assert_array_equal(xp[:, :, 1:5, 1:5], x)
+        assert np.all(xp[:, :, 0, :] == 0) and np.all(xp[:, :, :, -1] == 0)
+
+    def test_scratch_reused_and_border_stays_zero(self):
+        arena = BufferArena()
+        x1 = np.full((1, 1, 2, 2), 3.0, np.float32)
+        buf1 = arena.padded(x1, 1)
+        x2 = np.full((1, 1, 2, 2), -4.0, np.float32)
+        buf2 = arena.padded(x2, 1)
+        assert buf2 is buf1
+        assert arena.pad_reuses == 1
+        np.testing.assert_array_equal(buf2[0, 0, 1:3, 1:3], x2[0, 0])
+        assert np.all(buf2[0, 0, 0, :] == 0)
+
+    def test_distinct_padding_distinct_scratch(self):
+        arena = BufferArena()
+        x = np.ones((1, 1, 4, 4), np.float32)
+        a = arena.padded(x, 1)
+        b = arena.padded(x, 2)
+        assert a is not b and a.shape != b.shape
+
+
+class TestSanitizeOutput:
+    def test_owned_buffer_copied(self):
+        arena = BufferArena()
+        buf = arena.acquire((2, 2), zero=True)
+        out = arena.sanitize_output(buf)
+        assert out is not buf
+        np.testing.assert_array_equal(out, buf)
+
+    def test_view_of_owned_buffer_copied(self):
+        arena = BufferArena()
+        buf = arena.acquire((2, 4), zero=True)
+        view = buf[0]
+        assert arena.sanitize_output(view) is not view
+
+    def test_foreign_array_passes_through(self):
+        arena = BufferArena()
+        arena.acquire((2, 2))
+        foreign = np.ones((3, 3), np.float32)
+        assert arena.sanitize_output(foreign) is foreign
+
+    def test_clear_resets(self):
+        arena = BufferArena()
+        buf = arena.acquire((2, 2))
+        arena.release(buf)
+        arena.padded(np.ones((1, 1, 2, 2), np.float32), 1)
+        arena.clear()
+        assert arena.allocations == 0 and arena.pad_allocations == 0
+        assert not arena.owns(buf)
