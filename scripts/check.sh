@@ -15,6 +15,13 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
 
+# Named gate for the concurrent-serving suites (also part of tier-1;
+# kept explicit and cheap so a serving regression is unmissable in CI
+# output).  The benchmarks pass below picks up the concurrent-serving
+# throughput bench (bench_serving_concurrent.py) via the bench_*.py glob.
+echo "== serving concurrency stress tests =="
+python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py -q
+
 echo "== benchmarks (benchmark-disabled fast pass) =="
 python -m pytest benchmarks/ -q --benchmark-disable -o python_files='bench_*.py test_*.py'
 

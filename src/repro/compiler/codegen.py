@@ -54,6 +54,7 @@ Two products per layer:
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections.abc import Callable
 
 import numpy as np
@@ -368,9 +369,14 @@ class KernelCache:
     nodes with identical pruned weights, stride/padding, bias, and
     activation share one closure — repeated VGG-style blocks compile
     once per distinct layer.  ``hits`` / ``misses`` expose the effect.
+
+    Thread-safe: lookups, compiles, and counter updates run under an
+    internal lock, so one cache may back executors shared across
+    threads (compilation of a given key happens exactly once).
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._kernels: dict[tuple, KernelFn] = {}
         self.hits = 0
         self.misses = 0
@@ -385,18 +391,20 @@ class KernelCache:
         activation: str | None = None,
     ) -> KernelFn:
         key = (fkw.signature(), stride, padding, opt_level, _bias_digest(bias), activation)
-        fn = self._kernels.get(key)
-        if fn is not None:
-            self.hits += 1
+        with self._lock:
+            fn = self._kernels.get(key)
+            if fn is not None:
+                self.hits += 1
+                return fn
+            self.misses += 1
+            fn = generate_kernel(fkw, stride, padding, opt_level, bias=bias, activation=activation)
+            self._kernels[key] = fn
             return fn
-        self.misses += 1
-        fn = generate_kernel(fkw, stride, padding, opt_level, bias=bias, activation=activation)
-        self._kernels[key] = fn
-        return fn
 
     def clear(self) -> None:
-        self._kernels.clear()
-        self.hits = self.misses = 0
+        with self._lock:
+            self._kernels.clear()
+            self.hits = self.misses = 0
 
     def __len__(self) -> int:
         return len(self._kernels)

@@ -20,12 +20,26 @@ The compiled path is engineered for batch-heavy serving:
   (:func:`repro.graph.passes.memory_plan.compute_liveness`).
 
 ``InferenceSession`` wires model export, graph optimization, and the
-executor choice into one user-facing entry point.
+executor choice into one user-facing entry point, and the stack is
+thread-safe end to end: many client threads may share one session, and
+:class:`repro.runtime.serving.MicroBatchServer` (or
+``InferenceSession.run_async``) coalesces their concurrent single-sample
+requests into efficient micro-batches.
 """
 
 from repro.runtime.ops import eval_node
 from repro.runtime.arena import BufferArena
 from repro.runtime.executor import ReferenceExecutor, CompiledExecutor
+from repro.runtime.serving import MicroBatchServer, ServingConfig, ServingStats
 from repro.runtime.session import InferenceSession
 
-__all__ = ["eval_node", "BufferArena", "ReferenceExecutor", "CompiledExecutor", "InferenceSession"]
+__all__ = [
+    "eval_node",
+    "BufferArena",
+    "ReferenceExecutor",
+    "CompiledExecutor",
+    "InferenceSession",
+    "MicroBatchServer",
+    "ServingConfig",
+    "ServingStats",
+]

@@ -14,6 +14,12 @@ compile once), and padded-input/output scratch recycled across calls via
 a :class:`~repro.runtime.arena.BufferArena`.  Dead intermediates produced
 by compiled kernels are released back to the arena mid-run, so repeated
 same-shape layers share physical buffers.
+
+Both executors are safe to share across threads: per-run state lives in
+locals, the kernel cache locks its lookups, and the arena tracks
+in-flight scratch per thread (see :mod:`repro.runtime.arena`) — so one
+``CompiledExecutor`` can back a multi-threaded serving front-end
+(:mod:`repro.runtime.serving`) without per-thread executor copies.
 """
 
 from __future__ import annotations
@@ -119,6 +125,9 @@ class CompiledExecutor(ReferenceExecutor):
             (``kernel_cache.hits`` counts the saves).
         arena: scratch-buffer arena reused across ``run()`` calls; a
             private one is created when omitted.
+        arena_max_bytes: retained-scratch cap for the private arena (LRU
+            eviction under many-shape traffic); ignored when an explicit
+            ``arena`` is passed.
     """
 
     def __init__(
@@ -129,12 +138,13 @@ class CompiledExecutor(ReferenceExecutor):
         opt_level: str = "gemm",
         kernel_cache: KernelCache | None = None,
         arena: BufferArena | None = None,
+        arena_max_bytes: int | None = None,
     ) -> None:
         super().__init__(graph)
         self.pattern_set = pattern_set
         self.opt_level = opt_level
         self.kernel_cache = kernel_cache if kernel_cache is not None else KernelCache()
-        self.arena = arena if arena is not None else BufferArena()
+        self.arena = arena if arena is not None else BufferArena(max_bytes=arena_max_bytes)
         self._compiled: dict[str, KernelFn] = {}
         for name, assignment in assignments.items():
             if name not in graph.nodes:

@@ -1,0 +1,363 @@
+"""Micro-batching serving front-end for the compiled runtime.
+
+PatDNN's batched FKW kernels are dramatically cheaper per sample at
+batch 8 than at batch 1 (one BLAS contraction per pattern-union
+coordinate amortises over the whole batch), but real traffic arrives as
+single samples from many concurrent clients.  :class:`MicroBatchServer`
+bridges the two: client threads :meth:`~MicroBatchServer.submit`
+individual samples (or small batches) and get back
+:class:`concurrent.futures.Future`\\ s, while a single dispatcher thread
+coalesces queued requests into micro-batches — up to
+:attr:`ServingConfig.max_batch` samples, waiting at most
+:attr:`ServingConfig.max_wait_ms` for stragglers — runs them through the
+shared executor in one call, and scatters the result rows back to each
+request's future.
+
+Because all model execution happens on the dispatcher thread against
+one shared :class:`~repro.runtime.executor.CompiledExecutor`, the kernel
+cache and buffer arena are maximally warm; because the executor stack is
+itself thread-safe, callers may *also* bypass the queue and call
+``session.run`` directly from other threads (mixed traffic is fine).
+
+Usage::
+
+    from repro.runtime import InferenceSession, MicroBatchServer, ServingConfig
+
+    session = InferenceSession(model, (3, 32, 32), pattern_set=ps,
+                               assignments=result.assignments)
+
+    # explicit server ...
+    with MicroBatchServer(session.run, ServingConfig(max_batch=8)) as server:
+        futures = [server.submit(x) for x in samples]          # many threads
+        logits = [f.result() for f in futures]
+        print(server.stats.mean_batch)                         # > 1 under load
+
+    # ... or the session's built-in front-end
+    fut = session.run_async(sample)                            # lazy server
+    logits = fut.result()
+    session.close()
+
+Requests whose samples have different (C, H, W) shapes are coalesced
+into the same dispatch window but executed as separate shape groups, so
+heterogeneous traffic is correct (just not cross-shape batched).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import weakref
+from collections.abc import Callable
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ServingConfig", "ServingStats", "MicroBatchServer"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs for the micro-batching dispatcher.
+
+    Attributes:
+        max_batch: target samples per dispatched micro-batch; the
+            dispatcher stops collecting once the batch reaches this many
+            samples (a multi-sample request arriving last may overflow
+            it slightly rather than be split).
+        max_wait_ms: how long the dispatcher waits for more requests
+            after the first one arrives — the latency price paid for
+            batching opportunity.  0 disables coalescing-by-waiting
+            (only requests already queued are batched).
+        queue_depth: bound on queued requests; ``submit`` blocks once
+            the backlog reaches this many (simple backpressure).
+    """
+
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    queue_depth: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+
+
+@dataclass
+class ServingStats:
+    """Counters accumulated by the dispatcher (read any time)."""
+
+    requests: int = 0
+    samples: int = 0
+    batches: int = 0
+    max_batch_seen: int = 0
+    errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def mean_batch(self) -> float:
+        """Average samples per dispatched batch (1.0 = no coalescing)."""
+        return self.samples / self.batches if self.batches else 0.0
+
+
+class _Request:
+    __slots__ = ("x", "n", "future")
+
+    def __init__(self, x: np.ndarray, n: int, future: Future) -> None:
+        self.x = x
+        self.n = n
+        self.future = future
+
+
+_SHUTDOWN = object()
+
+
+def _fail_pending(q: queue.Queue, capacity: threading.BoundedSemaphore) -> None:
+    """Fail whatever is still queued after the server object itself died."""
+    while True:
+        try:
+            item = q.get_nowait()
+        except queue.Empty:
+            return
+        if item is _SHUTDOWN:
+            continue
+        capacity.release()
+        if item.future.set_running_or_notify_cancel():
+            item.future.set_exception(
+                RuntimeError("MicroBatchServer was garbage-collected with requests pending")
+            )
+
+
+def _dispatch_worker(server_ref, q: queue.Queue, capacity: threading.BoundedSemaphore) -> None:
+    """Dispatcher thread body.
+
+    Module-level on purpose: the thread must not keep the server alive.
+    It blocks on the bare queue holding only a weak server reference,
+    takes a strong reference per dispatch window, and exits when it sees
+    the shutdown sentinel — enqueued by ``close()`` or by the server's
+    ``weakref.finalize`` when the object is garbage-collected.
+    """
+    while True:
+        item = q.get()
+        server = server_ref()
+        if server is None:
+            if item is not _SHUTDOWN:
+                q.put(item)  # fail it along with the rest of the backlog
+            _fail_pending(q, capacity)
+            return
+        if item is _SHUTDOWN:
+            server._drain_remaining()
+            return
+        shutdown = server._collect_and_dispatch(item)
+        del server  # drop the strong ref before blocking on the queue again
+        if shutdown:
+            return
+
+
+class MicroBatchServer:
+    """Coalesce concurrent inference requests into micro-batches.
+
+    Args:
+        runner: batched inference callable ``(N, C, H, W) -> (N, ...)``
+            — typically ``session.run`` or ``executor.run``.  Executed
+            only on the dispatcher thread.
+        config: batching knobs (:class:`ServingConfig`); a default one
+            is used when omitted.
+
+    The server is a context manager; :meth:`close` drains the queue and
+    joins the dispatcher.  ``submit`` after close raises
+    ``RuntimeError``.
+    """
+
+    def __init__(self, runner: Callable[[np.ndarray], np.ndarray], config: ServingConfig | None = None) -> None:
+        if not callable(runner):
+            run = getattr(runner, "run", None)
+            if not callable(run):
+                raise TypeError("runner must be callable or expose a .run method")
+            runner = run
+        self._runner = runner
+        self.config = config if config is not None else ServingConfig()
+        self.stats = ServingStats()
+        # Backpressure lives in the semaphore, not the queue: submit
+        # blocks on _capacity *outside* _submit_lock, so a full backlog
+        # can never wedge the lock and stop close() from closing.  The
+        # queue itself is unbounded; put_nowait under the lock cannot
+        # block.  The dispatcher releases one permit per request taken.
+        self._queue: queue.Queue = queue.Queue()
+        self._capacity = threading.BoundedSemaphore(self.config.queue_depth)
+        self._closed = threading.Event()
+        # serialises the closed-check+enqueue in submit against close()
+        # setting the flag: once close() holds this lock, no request can
+        # slip into the queue behind the shutdown sentinel and hang.
+        self._submit_lock = threading.Lock()
+        # The worker holds only a *weak* reference to the server (strong
+        # ref taken per window, dropped before each blocking get), and
+        # the finalizer wakes it with the shutdown sentinel when the
+        # server is garbage-collected — a server dropped without close()
+        # must not leak its dispatcher thread or pin the executor/arena.
+        self._dispatcher = threading.Thread(
+            target=_dispatch_worker,
+            args=(weakref.ref(self), self._queue, self._capacity),
+            name="repro-microbatch-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        self._finalizer = weakref.finalize(self, self._queue.put, _SHUTDOWN)
+
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> Future:
+        """Enqueue one request; returns a future of the logits.
+
+        ``x`` is one ``(C, H, W)`` sample or a small ``(N, C, H, W)``
+        batch.  The future resolves to the corresponding ``(N, ...)``
+        output rows (a bare sample is promoted to ``N == 1``, matching
+        ``InferenceSession.run``).  Blocks when ``queue_depth`` requests
+        are already waiting.
+        """
+        x = np.asarray(x)
+        if x.ndim == 3:
+            x = x[None]
+        if x.ndim != 4:
+            raise ValueError(f"expected (C, H, W) or (N, C, H, W) input, got shape {x.shape}")
+        future: Future = Future()
+        self._capacity.acquire()  # backpressure: block outside the lock
+        try:
+            with self._submit_lock:
+                if self._closed.is_set():
+                    raise RuntimeError("MicroBatchServer is closed")
+                self._queue.put_nowait(_Request(x, x.shape[0], future))
+        except BaseException:
+            self._capacity.release()  # permit travels with the request
+            raise
+        return future
+
+    def run(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience: ``submit(x).result(timeout)``."""
+        return self.submit(x).result(timeout)
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting requests, drain the backlog, join the thread."""
+        with self._submit_lock:
+            if self._closed.is_set():
+                return
+            self._closed.set()
+        self._finalizer.detach()
+        # every request that passed submit's closed-check is already in
+        # the queue, ahead of this sentinel — none can be stranded
+        self._queue.put(_SHUTDOWN)
+        self._dispatcher.join(timeout)
+
+    def __enter__(self) -> MicroBatchServer:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _collect_and_dispatch(self, first: _Request) -> bool:
+        """One dispatch window, seeded by ``first``; True means shutdown."""
+        self._capacity.release()
+        batch = [first]
+        samples = first.n
+        deadline = time.monotonic() + self.config.max_wait_ms / 1e3
+        shutdown = False
+        while samples < self.config.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    nxt = self._queue.get(timeout=remaining)
+                else:  # window over: take only what is already queued
+                    nxt = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if nxt is _SHUTDOWN:
+                shutdown = True
+                break
+            self._capacity.release()
+            batch.append(nxt)
+            samples += nxt.n
+        self._dispatch(batch)
+        if shutdown:
+            self._drain_remaining()
+        return shutdown
+
+    def _drain_remaining(self) -> None:
+        """Serve everything still queued at shutdown (no coalescing wait).
+
+        The backlog is dispatched in ``max_batch``-sized chunks — at the
+        default ``queue_depth`` a single concatenated mega-batch would be
+        a large transient allocation (and a batch size the arena scratch
+        was never warmed for).
+        """
+        chunk: list[_Request] = []
+        samples = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            self._capacity.release()
+            chunk.append(item)
+            samples += item.n
+            if samples >= self.config.max_batch:
+                self._dispatch(chunk)
+                chunk, samples = [], 0
+        if chunk:
+            self._dispatch(chunk)
+
+    def _dispatch(self, batch: list[_Request]) -> None:
+        """Group a dispatch window by sample shape, run, scatter results."""
+        # Claim every future first: set_running_or_notify_cancel() returns
+        # False for a future the client already cancelled (dropped here)
+        # and transitions the rest to RUNNING, after which a racing
+        # cancel() can no longer succeed — set_result/set_exception below
+        # cannot hit InvalidStateError and kill the dispatcher.
+        batch = [req for req in batch if req.future.set_running_or_notify_cancel()]
+        # group by sample shape AND dtype: concatenating mixed dtypes
+        # would silently promote one client's request because of what
+        # unrelated traffic happened to share its dispatch window
+        groups: dict[tuple, list[_Request]] = {}
+        for req in batch:
+            groups.setdefault((req.x.shape[1:], req.x.dtype.str), []).append(req)
+        for group in groups.values():
+            # The whole group — concatenate, run, scatter — is guarded:
+            # any failure (runner raised, runner returned garbage the
+            # scatter chokes on, MemoryError in concatenate) resolves
+            # every not-yet-resolved future instead of killing the
+            # dispatcher thread with clients blocked forever.
+            try:
+                xs = group[0].x if len(group) == 1 else np.concatenate([r.x for r in group])
+                out = self._runner(xs)
+                if out.shape[0] != xs.shape[0]:
+                    # a wrong leading dim would not choke the scatter —
+                    # it would silently hand co-batched clients truncated
+                    # or empty rows; make it an error on every future
+                    raise ValueError(
+                        f"runner returned {out.shape[0]} rows for a batch of "
+                        f"{xs.shape[0]} samples"
+                    )
+                offset = 0
+                for req in group:
+                    # copy the rows so one request's result doesn't pin
+                    # the whole micro-batch array in memory
+                    rows = out[offset : offset + req.n]
+                    offset += req.n
+                    req.future.set_result(rows.copy() if len(group) > 1 else rows)
+                with self.stats._lock:
+                    self.stats.requests += len(group)
+                    self.stats.samples += xs.shape[0]
+                    self.stats.batches += 1
+                    self.stats.max_batch_seen = max(self.stats.max_batch_seen, xs.shape[0])
+            except BaseException as exc:  # propagate to every waiting client
+                with self.stats._lock:
+                    self.stats.errors += len(group)
+                for req in group:
+                    if not req.future.done():
+                        req.future.set_exception(exc)

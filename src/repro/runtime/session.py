@@ -11,9 +11,19 @@ scratch buffers across ``run()`` calls through its
 layer once via its :class:`~repro.compiler.codegen.KernelCache` — so a
 session is cheap to construct for repeated-block networks and fast to
 call under sustained traffic.
+
+A session is safe to share across threads: ``run()`` may be called
+concurrently (the executor stack is thread-safe), and
+:meth:`InferenceSession.run_async` routes requests through a lazily
+started micro-batching front-end
+(:class:`~repro.runtime.serving.MicroBatchServer`) that coalesces
+concurrent single-sample traffic into efficient micro-batches.
 """
 
 from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
 
 import numpy as np
 
@@ -23,6 +33,7 @@ from repro.graph.builder import build_graph
 from repro.graph.ir import OpKind
 from repro.graph.pass_manager import default_pipeline
 from repro.runtime.executor import CompiledExecutor, ReferenceExecutor
+from repro.runtime.serving import MicroBatchServer, ServingConfig
 
 
 class InferenceSession:
@@ -32,12 +43,19 @@ class InferenceSession:
         model: trained ``repro.nn`` model (eval-mode statistics are used).
         input_shape: (C, H, W) of one sample.
         pattern_set / assignments: pass the pruning artifacts to execute
-            pattern layers through compiled FKW kernels; omit for the
-            reference (dense) interpreter.
+            pattern layers through compiled FKW kernels; omit *both* for
+            the reference (dense) interpreter.  Passing one without the
+            other (or with ``assignments`` empty) raises — the session
+            never silently falls back to dense execution.
         optimize_graph: apply BN-fold / fusion / replacement passes.
         opt_level: codegen variant for compiled layers (``'no-opt'`` |
             ``'reorder'`` | ``'lre'`` | ``'gemm'``; the default
             ``'gemm'`` is the fastest batch-serving level).
+        arena_max_bytes: optional cap on the compiled executor's retained
+            scratch (LRU-evicted beyond it; see
+            :class:`~repro.runtime.arena.BufferArena`).
+        serving_config: batching knobs for the :meth:`run_async`
+            front-end (defaults apply when omitted).
     """
 
     def __init__(
@@ -48,42 +66,131 @@ class InferenceSession:
         assignments: dict[str, np.ndarray] | None = None,
         optimize_graph: bool = True,
         opt_level: str = "gemm",
+        arena_max_bytes: int | None = None,
+        serving_config: ServingConfig | None = None,
     ) -> None:
         model.eval()
         self.graph = build_graph(model, input_shape)
         self.pass_report = None
         if optimize_graph:
             self.pass_report = default_pipeline().run(self.graph)
+        if (pattern_set is not None) != bool(assignments):
+            # One pruning artifact without the other: the old behaviour
+            # silently served dense, which masked broken pruning
+            # pipelines.  Fail loudly instead.
+            missing = "assignments" if pattern_set is not None else "pattern_set"
+            given = "pattern_set" if pattern_set is not None else "assignments"
+            raise ValueError(
+                f"{given} was provided but {missing} is "
+                f"{'empty' if assignments == {} else 'missing'}: compiled execution "
+                "needs both pruning artifacts. Pass both to run FKW kernels, or "
+                "omit both for the reference (dense) interpreter."
+            )
         if pattern_set is not None and assignments:
-            graph_assignments = self._map_assignments(assignments)
+            graph_assignments = self._map_assignments(assignments, pattern_set)
             self.executor: ReferenceExecutor = CompiledExecutor(
-                self.graph, pattern_set, graph_assignments, opt_level
+                self.graph,
+                pattern_set,
+                graph_assignments,
+                opt_level,
+                arena_max_bytes=arena_max_bytes,
             )
         else:
             self.executor = ReferenceExecutor(self.graph)
+        self._serving_config = serving_config
+        self._server: MicroBatchServer | None = None
+        self._server_lock = threading.Lock()
 
-    def _map_assignments(self, assignments: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    # ------------------------------------------------------------------
+    def _map_assignments(
+        self, assignments: dict[str, np.ndarray], pattern_set: PatternSet
+    ) -> dict[str, np.ndarray]:
         """Match pruner layer names (module paths) to graph conv nodes.
 
         Convs are emitted in module traversal order, which matches the
-        pruner's ``named_modules`` order, so we zip them positionally and
-        verify by weight shape.
+        pruner's ``named_modules`` order, so candidates are consumed
+        positionally — but a candidate must match by (F, C) shape *and*
+        kernel size, **and** its weight sparsity must be consistent with
+        the assignment (every nonzero weight entry inside the assigned
+        pattern; id-0 kernels fully zero).  Shape alone is ambiguous —
+        consecutive same-shaped convs, or a conv the pruner skipped,
+        would silently mis-map — so shape matches whose sparsity
+        contradicts the assignment are passed over (that is exactly the
+        pruner-skipped-conv case), and if *no* consistent candidate
+        remains the mapping errors instead of guessing.  A consistent
+        match is numerically safe by construction: consistency means the
+        FKW packing of that node's weights under this assignment is
+        exact.  Graph passes that rescale weights per output channel (BN
+        folding) preserve sparsity, so the check is robust to the
+        optimization pipeline.
         """
         conv_nodes = [n for n in self.graph.toposort() if n.op == OpKind.CONV2D]
-        items = list(assignments.items())
+        k = pattern_set.kernel_size
         mapped: dict[str, np.ndarray] = {}
         node_idx = 0
-        for name, assignment in items:
+        for name, assignment in assignments.items():
+            shape = tuple(assignment.shape)
+            rejected: list[str] = []
             while node_idx < len(conv_nodes):
                 node = conv_nodes[node_idx]
                 node_idx += 1
-                if node.params["weight"].shape[:2] == assignment.shape:
+                w = node.params["weight"]
+                if w.shape[:2] != shape or w.shape[2:] != (k, k):
+                    continue
+                mismatch = self._sparsity_mismatch(w, assignment, pattern_set)
+                if mismatch is None:
                     mapped[node.name] = assignment
                     break
+                rejected.append(f"{node.name!r} ({mismatch})")
             else:
-                raise ValueError(f"could not map pruned layer {name!r} to a graph conv node")
+                detail = (
+                    "; shape-matching candidates rejected because their weights "
+                    "contradict the assignment: " + ", ".join(rejected)
+                    if rejected
+                    else ""
+                )
+                raise ValueError(
+                    f"could not map pruned layer {name!r} to a graph conv node: no "
+                    f"remaining conv has {shape[0]} filters x {shape[1]} channels "
+                    f"with {k}x{k} kernels whose sparsity is consistent with the "
+                    f"assignment{detail}. Either the assignment order does not follow "
+                    "module traversal order, or the model's weights were not actually "
+                    "pattern-pruned; refusing to guess."
+                )
         return mapped
 
+    @staticmethod
+    def _sparsity_mismatch(
+        weight: np.ndarray, assignment: np.ndarray, pattern_set: PatternSet
+    ) -> str | None:
+        """Explain why ``weight`` cannot carry ``assignment`` (None = ok).
+
+        A pattern-pruned weight tensor has nonzeros only inside each
+        kernel's assigned pattern, and connectivity-pruned kernels
+        (id 0) are fully zero.  Per-output-channel rescaling (BN fold)
+        keeps zeros zero, so consistency survives graph optimization.
+        """
+        lo, hi = int(assignment.min()), int(assignment.max())
+        if lo < 0 or hi > len(pattern_set):
+            # e.g. assignments produced against a larger pattern universe
+            return (
+                f"pattern ids span {lo}..{hi} but this pattern set has only "
+                f"{len(pattern_set)} patterns (ids 1..{len(pattern_set)}, 0 = pruned)"
+            )
+        allowed = pattern_set.masks_for(assignment) != 0
+        allowed[assignment == 0] = False  # id 0 wraps in masks_for; means "empty kernel"
+        outside = (weight != 0) & ~allowed
+        if outside.any():
+            f, c = np.argwhere(outside.reshape(*assignment.shape, -1).any(axis=-1))[0]
+            n_bad = int(outside.sum())
+            return (
+                f"{n_bad} nonzero weight entr{'y lies' if n_bad == 1 else 'ies lie'} "
+                f"outside the assigned pattern(s), first at kernel "
+                f"(filter {int(f)}, channel {int(c)})"
+            )
+        return None
+
+    # ------------------------------------------------------------------
     @property
     def kernel_cache(self):
         """Compile-once kernel cache of the compiled executor (or None)."""
@@ -99,3 +206,52 @@ class InferenceSession:
         if x.ndim == 3:
             x = x[None]
         return self.executor.run(x)
+
+    # ------------------------------------------------------------------
+    def run_async(self, x: np.ndarray) -> Future:
+        """Submit a request to the micro-batching front-end.
+
+        Lazily starts one :class:`~repro.runtime.serving.MicroBatchServer`
+        over this session's executor on first use; concurrent callers
+        from many threads are coalesced into shared micro-batches.
+        Returns a future of the ``(N, ...)`` logits (``N == 1`` for a
+        bare ``(C, H, W)`` sample).
+        """
+        while True:
+            server = self._server
+            if server is None:
+                with self._server_lock:
+                    if self._server is None:
+                        self._server = MicroBatchServer(self.executor.run, self._serving_config)
+                    server = self._server
+            try:
+                return server.submit(x)
+            except RuntimeError:
+                # raced a concurrent close(): the session itself is still
+                # open (close + run_async restarting is supported), so
+                # retire the closed server and retry on a fresh one
+                with self._server_lock:
+                    if self._server is server:
+                        self._server = None
+
+    #: alias matching the queue vocabulary of :class:`MicroBatchServer`
+    submit = run_async
+
+    @property
+    def serving_stats(self):
+        """Batching stats of the async front-end (None before first use)."""
+        server = self._server
+        return server.stats if server is not None else None
+
+    def close(self) -> None:
+        """Shut down the async front-end (idempotent; ``run`` still works)."""
+        with self._server_lock:
+            if self._server is not None:
+                self._server.close()
+                self._server = None
+
+    def __enter__(self) -> InferenceSession:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -117,3 +117,133 @@ class TestInferenceSession:
         )
         np.testing.assert_allclose(session.run(x8), expected, rtol=1e-3, atol=1e-3)
         assert session.pass_report is not None
+
+
+class TestSessionArtifactValidation:
+    """The session must never silently fall back to dense execution."""
+
+    def _artifacts(self):
+        model = build_small_cnn(channels=(8, 16), in_size=8, seed=7)
+        ps = PatternSet(enumerate_candidate_patterns()[:8])
+        masks = extract_masks(model, ps, connectivity_rate=2.0)
+        apply_masks(model, masks)
+        from repro.core.projections import project_kernel_pattern
+
+        assignments = {}
+        for name, module in model.named_modules():
+            if isinstance(module, nn.Conv2d):
+                _, a = project_kernel_pattern(module.weight.data, ps)
+                energy = (module.weight.data.reshape(a.shape[0], a.shape[1], -1) ** 2).sum(axis=2)
+                assignments[name] = (a * (energy > 0)).astype(np.int32)
+        return model, ps, assignments
+
+    def test_pattern_set_with_empty_assignments_raises(self):
+        """Regression: this combination used to silently build a dense
+        ReferenceExecutor, masking broken pruning pipelines."""
+        model, ps, _ = self._artifacts()
+        with pytest.raises(ValueError, match="empty"):
+            InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments={})
+
+    def test_pattern_set_without_assignments_raises(self):
+        model, ps, _ = self._artifacts()
+        with pytest.raises(ValueError, match="missing"):
+            InferenceSession(model, (3, 8, 8), pattern_set=ps)
+
+    def test_assignments_without_pattern_set_raises(self):
+        model, _, assignments = self._artifacts()
+        with pytest.raises(ValueError, match="pattern_set"):
+            InferenceSession(model, (3, 8, 8), assignments=assignments)
+
+    def test_both_artifacts_build_compiled_executor(self):
+        model, ps, assignments = self._artifacts()
+        session = InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=assignments)
+        assert isinstance(session.executor, CompiledExecutor)
+
+    def test_neither_artifact_builds_reference_executor(self):
+        model, _, _ = self._artifacts()
+        session = InferenceSession(model, (3, 8, 8))
+        assert type(session.executor) is ReferenceExecutor
+
+
+class TestAssignmentMapping:
+    """_map_assignments must verify, not guess, when shapes are ambiguous."""
+
+    def _artifacts(self, channels=(8, 16)):
+        model = build_small_cnn(channels=channels, in_size=8, seed=7)
+        ps = PatternSet(enumerate_candidate_patterns()[:8])
+        masks = extract_masks(model, ps, connectivity_rate=2.0)
+        apply_masks(model, masks)
+        from repro.core.projections import project_kernel_pattern
+
+        assignments = {}
+        for name, module in model.named_modules():
+            if isinstance(module, nn.Conv2d):
+                _, a = project_kernel_pattern(module.weight.data, ps)
+                energy = (module.weight.data.reshape(a.shape[0], a.shape[1], -1) ** 2).sum(axis=2)
+                assignments[name] = (a * (energy > 0)).astype(np.int32)
+        return model, ps, assignments
+
+    def test_same_shaped_consecutive_convs_map_in_order(self, x8):
+        """Two consecutive (8, 8) convs: positional mapping + sparsity
+        verification together resolve what shape alone cannot."""
+        model, ps, assignments = self._artifacts(channels=(8, 8, 8))
+        expected = _model_outputs(model, x8)
+        session = InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=assignments)
+        np.testing.assert_allclose(session.run(x8), expected, rtol=1e-3, atol=1e-3)
+
+    def test_contradicting_assignment_rejected(self):
+        """An assignment whose patterns don't cover any candidate's
+        nonzeros cannot be mapped — must raise, not mis-map."""
+        model, ps, assignments = self._artifacts()
+        bad = dict(assignments)
+        key = list(bad)[1]
+        # rotate every kernel to a different pattern id than the weights obey
+        bad[key] = np.where(bad[key] == 0, 0, bad[key] % len(ps) + 1).astype(np.int32)
+        with pytest.raises(ValueError, match="contradict"):
+            InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=bad)
+
+    def test_partially_pruned_model_skips_unpruned_same_shape_conv(self, x8):
+        """Only the last of three convs is pruned; the two dense convs in
+        front (one of them same-shaped) must be passed over, not block
+        the mapping."""
+        from repro.core.projections import project_kernel_pattern
+
+        model = build_small_cnn(channels=(8, 8, 8), in_size=8, seed=7)
+        ps = PatternSet(enumerate_candidate_patterns()[:8])
+        convs = [(n, m) for n, m in model.named_modules() if isinstance(m, nn.Conv2d)]
+        name, last = convs[-1]
+        w, a = project_kernel_pattern(last.weight.data, ps)
+        last.weight.data = w
+        model.eval()
+        expected = _model_outputs(model, x8)
+        session = InferenceSession(
+            model, (3, 8, 8), pattern_set=ps, assignments={name: a.astype(np.int32)}
+        )
+        assert isinstance(session.executor, CompiledExecutor)
+        assert len(session.executor._compiled) == 1
+        np.testing.assert_allclose(session.run(x8), expected, rtol=1e-3, atol=1e-3)
+
+    def test_out_of_range_pattern_ids_rejected_cleanly(self):
+        """Assignments from a larger pattern universe must raise the
+        diagnostic ValueError, not a raw IndexError from masks_for."""
+        model, ps, assignments = self._artifacts()
+        bad = dict(assignments)
+        key = list(bad)[0]
+        bad[key] = np.full_like(bad[key], len(ps) + 5)
+        with pytest.raises(ValueError, match="pattern ids span"):
+            InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=bad)
+
+    def test_unmappable_shape_rejected(self):
+        model, ps, assignments = self._artifacts()
+        bad = dict(assignments)
+        bad["ghost"] = np.ones((99, 99), np.int32)
+        with pytest.raises(ValueError, match="could not map"):
+            InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=bad)
+
+    def test_dense_weights_with_pruned_assignment_rejected(self):
+        """Pruning artifacts against a model whose weights were never
+        actually pruned (e.g. reloaded dense checkpoint) must raise."""
+        model, ps, assignments = self._artifacts()
+        dense = build_small_cnn(channels=(8, 16), in_size=8, seed=123)  # unpruned
+        with pytest.raises(ValueError, match="contradict"):
+            InferenceSession(dense, (3, 8, 8), pattern_set=ps, assignments=assignments)

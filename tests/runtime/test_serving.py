@@ -1,0 +1,431 @@
+"""Micro-batching serving front-end and shared-session thread safety.
+
+The load-bearing claims under test:
+
+* a session shared by many threads computes exactly what per-thread
+  executors compute (no scratch-buffer cross-contamination);
+* the micro-batch dispatcher coalesces concurrent requests, scatters
+  results to the right futures, and propagates errors;
+* a capped arena keeps its retained footprint bounded under a
+  many-shape request stream while outputs stay correct.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.masking import apply_masks, extract_masks
+from repro.core.patterns import PatternSet, enumerate_candidate_patterns
+from repro.core.projections import project_kernel_pattern
+from repro.graph.builder import build_graph
+from repro.models import build_small_cnn
+from repro.runtime import (
+    CompiledExecutor,
+    InferenceSession,
+    MicroBatchServer,
+    ReferenceExecutor,
+    ServingConfig,
+)
+from repro.utils.rng import make_rng
+
+N_THREADS = 8
+N_ITERS = 10
+
+
+def _pruned_model(seed=7):
+    model = build_small_cnn(channels=(8, 16), in_size=8, seed=seed)
+    ps = PatternSet(enumerate_candidate_patterns()[:8])
+    masks = extract_masks(model, ps, connectivity_rate=2.0)
+    apply_masks(model, masks)
+    model.eval()
+    assignments = {}
+    for name, module in model.named_modules():
+        if isinstance(module, nn.Conv2d):
+            _, a = project_kernel_pattern(module.weight.data, ps)
+            energy = (module.weight.data.reshape(a.shape[0], a.shape[1], -1) ** 2).sum(axis=2)
+            assignments[name] = (a * (energy > 0)).astype(np.int32)
+    return model, ps, assignments
+
+
+@pytest.fixture(scope="module")
+def compiled_session():
+    model, ps, assignments = _pruned_model()
+    return InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=assignments)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = make_rng(11)
+    return [rng.standard_normal((2, 3, 8, 8)).astype(np.float32) for _ in range(N_THREADS)]
+
+
+def _hammer(n_threads, fn):
+    """Run ``fn(thread_idx)`` on n threads; re-raise the first failure."""
+    errors = []
+
+    def worker(i):
+        try:
+            fn(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# Shared-session stress: concurrent runs must match serial semantics
+# ----------------------------------------------------------------------
+class TestSharedSessionStress:
+    def test_shared_reference_session_bitwise_vs_per_thread_executor(self, inputs):
+        """N threads on one reference session == fresh per-thread executors."""
+        model = build_small_cnn(channels=(8, 16), in_size=8, seed=3)
+        shared = InferenceSession(model, (3, 8, 8))
+
+        def worker(i):
+            mine = ReferenceExecutor(shared.graph)
+            for _ in range(N_ITERS):
+                got = shared.run(inputs[i])
+                expected = mine.run(inputs[i])
+                assert np.array_equal(got, expected)  # bitwise
+
+        _hammer(N_THREADS, worker)
+
+    def test_shared_compiled_session_bitwise_vs_serial_baseline(self, compiled_session, inputs):
+        """Concurrency must not perturb compiled outputs at all: the same
+        session, same input, run single-threaded first, is the bitwise
+        baseline (same batch shape -> identical kernel arithmetic)."""
+        session = compiled_session
+        baselines = [session.run(x) for x in inputs]
+
+        def worker(i):
+            for _ in range(N_ITERS):
+                assert np.array_equal(session.run(inputs[i]), baselines[i])
+
+        _hammer(N_THREADS, worker)
+        # scratch was actually shared and recycled across those runs
+        assert session.arena.reuses > 0
+
+    def test_shared_compiled_session_matches_reference(self, compiled_session, inputs):
+        """And the concurrent compiled outputs are the right numbers."""
+        session = compiled_session
+        ref = ReferenceExecutor(session.graph)
+        expected = [ref.run(x) for x in inputs]
+
+        def worker(i):
+            for _ in range(N_ITERS):
+                np.testing.assert_allclose(
+                    session.run(inputs[i]), expected[i], rtol=1e-4, atol=1e-5
+                )
+
+        _hammer(N_THREADS, worker)
+
+
+# ----------------------------------------------------------------------
+# Micro-batch server behaviour
+# ----------------------------------------------------------------------
+class TestMicroBatchServer:
+    def test_single_request_bitwise_vs_direct_run(self, compiled_session, inputs):
+        """With max_batch=1 nothing is coalesced: results are bitwise
+        identical to calling the executor directly."""
+        with MicroBatchServer(
+            compiled_session.executor.run, ServingConfig(max_batch=1, max_wait_ms=0)
+        ) as server:
+            for x in inputs[:3]:
+                assert np.array_equal(server.run(x), compiled_session.run(x))
+
+    def test_concurrent_submits_are_coalesced_and_correct(self, compiled_session, inputs):
+        session = compiled_session
+        ref = ReferenceExecutor(session.graph)
+        singles = [x[:1] for x in inputs]
+        expected = [ref.run(x) for x in singles]
+        with MicroBatchServer(session.run, ServingConfig(max_batch=8, max_wait_ms=20)) as server:
+            results: dict[int, np.ndarray] = {}
+
+            def worker(i):
+                for _ in range(N_ITERS):
+                    results[i] = server.submit(singles[i]).result(timeout=30)
+
+            _hammer(N_THREADS, worker)
+            stats = server.stats
+            assert stats.requests == N_THREADS * N_ITERS
+            assert stats.samples == N_THREADS * N_ITERS
+            # coalescing actually happened: fewer dispatches than requests
+            assert stats.batches < stats.requests
+            assert stats.mean_batch > 1.0
+            assert stats.max_batch_seen > 1
+        for i, out in results.items():
+            assert out.shape == expected[i].shape
+            np.testing.assert_allclose(out, expected[i], rtol=1e-4, atol=1e-5)
+
+    def test_bare_sample_promoted(self, compiled_session):
+        with MicroBatchServer(compiled_session.run, ServingConfig(max_wait_ms=0)) as server:
+            out = server.run(np.zeros((3, 8, 8), np.float32))
+            assert out.shape == (1, 10)
+
+    def test_mixed_dtypes_grouped_not_promoted(self):
+        """Same-shape requests of different dtypes must not be
+        concatenated — co-batched traffic would silently promote them."""
+        with MicroBatchServer(lambda x: x, ServingConfig(max_batch=8, max_wait_ms=50)) as server:
+            f32 = server.submit(np.ones((1, 1, 2, 2), np.float32))
+            f64 = server.submit(np.ones((1, 1, 2, 2), np.float64))
+            assert f32.result(timeout=10).dtype == np.float32
+            assert f64.result(timeout=10).dtype == np.float64
+
+    def test_dropped_server_does_not_leak_dispatcher_thread(self):
+        """A server dropped without close() must shut its dispatcher down
+        via the gc finalizer instead of leaking the thread (and the
+        executor/arena it references)."""
+        import gc
+
+        server = MicroBatchServer(lambda x: x)
+        thread = server._dispatcher
+        assert thread.is_alive()
+        del server
+        gc.collect()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_mixed_shapes_grouped_not_mixed(self):
+        """Requests of different sample shapes share a dispatch window but
+        run as separate shape groups."""
+        calls = []
+
+        def runner(x):
+            calls.append(x.shape)
+            return x * 2.0
+
+        with MicroBatchServer(runner, ServingConfig(max_batch=16, max_wait_ms=50)) as server:
+            a = np.ones((1, 2, 4, 4), np.float32)
+            b = np.ones((1, 2, 6, 6), np.float32)
+            futs = [server.submit(a), server.submit(a), server.submit(b)]
+            outs = [f.result(timeout=10) for f in futs]
+        np.testing.assert_array_equal(outs[0], a * 2)
+        np.testing.assert_array_equal(outs[2], b * 2)
+        assert all(shape[2:] in ((4, 4), (6, 6)) for shape in calls)
+        # the two (4,4) requests were batched together at some point or
+        # dispatched singly — but never concatenated with the (6,6) one
+        assert not any(shape[2:] == (4, 6) or shape[1] == 4 for shape in calls)
+
+    def test_oversized_request_served_whole(self):
+        with MicroBatchServer(lambda x: x + 1, ServingConfig(max_batch=2, max_wait_ms=0)) as server:
+            x = np.zeros((5, 1, 2, 2), np.float32)
+            out = server.run(x)
+            assert out.shape == x.shape and np.all(out == 1)
+
+    def test_runner_returning_garbage_fails_futures_not_dispatcher(self):
+        """A runner returning something the scatter chokes on must resolve
+        the futures with the error and leave the dispatcher alive."""
+        calls = []
+
+        def runner(x):
+            calls.append(x.shape)
+            return None if len(calls) == 1 else x
+
+        with MicroBatchServer(runner, ServingConfig(max_batch=1, max_wait_ms=0)) as server:
+            bad = server.submit(np.zeros((1, 1, 2, 2), np.float32))
+            with pytest.raises((TypeError, AttributeError)):
+                bad.result(timeout=10)
+            # dispatcher survived and serves the next request
+            good = server.submit(np.ones((1, 1, 2, 2), np.float32))
+            np.testing.assert_array_equal(good.result(timeout=10), np.ones((1, 1, 2, 2)))
+            assert server.stats.errors == 1
+
+    def test_runner_row_count_mismatch_errors_all_futures(self):
+        """A runner returning fewer rows than samples must fail the whole
+        group loudly — never resolve a co-batched client with an empty
+        or truncated slice."""
+        with MicroBatchServer(lambda x: x[:1], ServingConfig(max_batch=4, max_wait_ms=50)) as server:
+            futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(3)]
+            for fut in futs:
+                with pytest.raises(ValueError, match="rows for a batch of"):
+                    fut.result(timeout=10)
+
+    def test_shutdown_drain_respects_max_batch(self):
+        """The close() backlog drain must chunk by max_batch, not run one
+        concatenated mega-batch."""
+        gate = threading.Event()
+
+        def runner(x):
+            gate.wait(5)
+            return x
+
+        server = MicroBatchServer(runner, ServingConfig(max_batch=2, max_wait_ms=0))
+        futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(9)]
+        gate.set()
+        server.close(timeout=30)
+        for fut in futs:
+            assert fut.result(timeout=1).shape == (1, 1, 2, 2)
+        assert server.stats.max_batch_seen <= 2
+
+    def test_runner_error_propagates_to_every_future(self):
+        def runner(x):
+            raise RuntimeError("kernel exploded")
+
+        with MicroBatchServer(runner, ServingConfig(max_batch=4, max_wait_ms=20)) as server:
+            futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(3)]
+            for fut in futs:
+                with pytest.raises(RuntimeError, match="kernel exploded"):
+                    fut.result(timeout=10)
+            assert server.stats.errors == 3
+
+    def test_close_drains_backlog(self):
+        slow = threading.Event()
+
+        def runner(x):
+            slow.wait(0.05)
+            return x
+
+        server = MicroBatchServer(runner, ServingConfig(max_batch=1, max_wait_ms=0))
+        futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(6)]
+        server.close(timeout=30)
+        for fut in futs:
+            assert fut.result(timeout=1) is not None
+
+    def test_cancelled_future_skipped_dispatcher_survives(self):
+        """A client cancelling its future must not kill the dispatcher or
+        starve the other requests in the same window."""
+        gate = threading.Event()
+
+        def runner(x):
+            gate.wait(5)
+            return x + 1
+
+        with MicroBatchServer(runner, ServingConfig(max_batch=1, max_wait_ms=0)) as server:
+            # first request occupies the dispatcher while we queue + cancel
+            blocked = server.submit(np.zeros((1, 1, 2, 2), np.float32))
+            doomed = server.submit(np.zeros((1, 1, 2, 2), np.float32))
+            survivor = server.submit(np.zeros((1, 1, 2, 2), np.float32))
+            assert doomed.cancel()
+            gate.set()
+            assert np.all(blocked.result(timeout=10) == 1)
+            assert np.all(survivor.result(timeout=10) == 1)  # dispatcher alive
+            with pytest.raises(Exception):
+                doomed.result(timeout=1)
+
+    def test_submit_after_close_raises(self):
+        server = MicroBatchServer(lambda x: x)
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(np.zeros((1, 1, 2, 2), np.float32))
+
+    def test_rejects_bad_input_ndim(self):
+        with MicroBatchServer(lambda x: x) as server:
+            with pytest.raises(ValueError, match="expected"):
+                server.submit(np.zeros((2, 2), np.float32))
+
+    def test_accepts_object_with_run_method(self, compiled_session):
+        with MicroBatchServer(compiled_session.executor, ServingConfig(max_wait_ms=0)) as server:
+            out = server.run(np.zeros((1, 3, 8, 8), np.float32))
+            assert out.shape == (1, 10)
+
+    def test_rejects_non_runner(self):
+        with pytest.raises(TypeError, match="callable"):
+            MicroBatchServer(object())
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_batch": 0}, {"max_wait_ms": -1.0}, {"queue_depth": 0}]
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Session-level async API
+# ----------------------------------------------------------------------
+class TestSessionAsyncAPI:
+    def test_run_async_lazy_server_and_close(self):
+        model, ps, assignments = _pruned_model(seed=5)
+        with InferenceSession(
+            model,
+            (3, 8, 8),
+            pattern_set=ps,
+            assignments=assignments,
+            serving_config=ServingConfig(max_batch=4, max_wait_ms=10),
+        ) as session:
+            assert session.serving_stats is None  # not started yet
+            x = make_rng(1).standard_normal((1, 3, 8, 8)).astype(np.float32)
+            expected = session.run(x)
+
+            def worker(i):
+                for _ in range(N_ITERS):
+                    got = session.run_async(x).result(timeout=30)
+                    np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-5)
+
+            _hammer(N_THREADS, worker)
+            stats = session.serving_stats
+            assert stats is not None and stats.requests == N_THREADS * N_ITERS
+        # context-manager exit closed the server; plain run still works
+        assert session.run(x).shape == (1, 10)
+
+    def test_run_async_retries_when_racing_a_close(self):
+        """run_async holding a reference to a server that close() just
+        shut down must transparently restart instead of surfacing the
+        server's RuntimeError."""
+        model, ps, assignments = _pruned_model(seed=6)
+        session = InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=assignments)
+        x = np.zeros((1, 3, 8, 8), np.float32)
+        session.run_async(x).result(timeout=30)
+        # close the server behind the session's back: the stale reference
+        # is exactly what a concurrent close() leaves a racing run_async
+        session._server.close()
+        out = session.run_async(x).result(timeout=30)
+        assert out.shape == (1, 10)
+        session.close()
+
+    def test_run_async_restarts_after_close(self):
+        model, ps, assignments = _pruned_model(seed=6)
+        session = InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=assignments)
+        x = np.zeros((1, 3, 8, 8), np.float32)
+        first = session.run_async(x).result(timeout=30)
+        session.close()
+        second = session.run_async(x).result(timeout=30)  # fresh server
+        np.testing.assert_array_equal(first, second)
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Arena growth cap under many-shape traffic
+# ----------------------------------------------------------------------
+class TestArenaCapUnderManyShapes:
+    def test_footprint_bounded_and_outputs_correct(self):
+        model, ps, assignments = _pruned_model(seed=9)
+        graph = build_graph(model, (3, 8, 8))
+        ref = ReferenceExecutor(graph)
+        cap = 256 * 1024
+        session = InferenceSession(
+            model, (3, 8, 8), pattern_set=ps, assignments=assignments, arena_max_bytes=cap
+        )
+        rng = make_rng(4)
+        # every distinct batch size keys distinct pad/output scratch — a
+        # many-shape request stream in miniature
+        for n in list(range(1, 24)) * 2:
+            x = rng.standard_normal((n, 3, 8, 8)).astype(np.float32)
+            np.testing.assert_allclose(session.run(x), ref.run(x), rtol=1e-4, atol=1e-5)
+            assert session.arena.footprint_bytes <= cap
+        assert session.arena.evictions > 0
+
+    def test_uncapped_arena_grows_past_cap_worth_of_shapes(self):
+        """Control: without the cap the same traffic retains more scratch."""
+        model, ps, assignments = _pruned_model(seed=9)
+        capped = InferenceSession(
+            model, (3, 8, 8), pattern_set=ps, assignments=assignments, arena_max_bytes=256 * 1024
+        )
+        free = InferenceSession(model, (3, 8, 8), pattern_set=ps, assignments=assignments)
+        rng = make_rng(4)
+        for n in range(1, 16):
+            x = rng.standard_normal((n, 3, 8, 8)).astype(np.float32)
+            capped.run(x)
+            free.run(x)
+        assert free.arena.footprint_bytes > capped.arena.footprint_bytes
+        assert capped.arena.footprint_bytes <= 256 * 1024
