@@ -15,12 +15,15 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
 
-# Named gate for the concurrent-serving suites (also part of tier-1;
-# kept explicit and cheap so a serving regression is unmissable in CI
-# output).  The benchmarks pass below picks up the concurrent-serving
-# throughput bench (bench_serving_concurrent.py) via the bench_*.py glob.
-echo "== serving concurrency stress tests =="
-python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py -q
+# Named gate for the serving suites (also part of tier-1; kept explicit
+# and cheap so a serving regression is unmissable in CI output): the
+# in-process micro-batcher + arena, and the multi-process cluster stack
+# (spawned shard workers, shared-memory transport, crash recovery).
+# The benchmarks pass below picks up the serving throughput benches
+# (bench_serving_concurrent.py, bench_serving_cluster.py) via the glob.
+echo "== serving concurrency + cluster stress tests =="
+python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py \
+                 tests/runtime/test_shm_ring.py tests/runtime/test_cluster.py -q
 
 echo "== benchmarks (benchmark-disabled fast pass) =="
 python -m pytest benchmarks/ -q --benchmark-disable -o python_files='bench_*.py test_*.py'

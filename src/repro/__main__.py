@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__main__`` guard is load-bearing: multiprocessing's ``spawn``
+start method (used by ``repro.runtime.cluster`` workers, e.g. under the
+``serve`` subcommand) re-imports this module in every child process —
+without the guard each worker would recursively re-run the CLI.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

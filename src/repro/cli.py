@@ -7,6 +7,7 @@ Subcommands::
     python -m repro devices                     # device catalog
     python -m repro latency vgg16 --unit gpu    # engine comparison for a model
     python -m repro compile vgg16 --layer L4    # compile one layer, show artifacts
+    python -m repro serve --shards 2            # multi-process sharded serving demo
 """
 
 from __future__ import annotations
@@ -80,6 +81,78 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Spin up a sharded server on a pattern-pruned small CNN and hammer
+    it with closed-loop clients; print the aggregated cluster stats."""
+    import os
+    import tempfile
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.runtime import ServingConfig
+    from repro.runtime.cluster import ShardedServer, projected_smallcnn_spec
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print(f"== capture: projection-pruned smallcnn ({args.in_size}x{args.in_size}) ==")
+        spec = projected_smallcnn_spec(
+            os.path.join(tmp, "bundle.npz"),
+            in_size=args.in_size,
+            serving_config=ServingConfig(max_batch=args.max_batch),
+        )
+        session = spec.build()
+        rng = np.random.default_rng(0)
+        samples = [
+            rng.standard_normal((1, 3, args.in_size, args.in_size)).astype(np.float32)
+            for _ in range(args.clients)
+        ]
+        expected = [session.run(s) for s in samples]
+        session.close()
+
+        per_client = max(1, args.requests // args.clients)
+        total = per_client * args.clients
+        print(f"== serving {total} requests from {args.clients} closed-loop clients "
+              f"over {args.shards} shard(s) ==")
+        errors: list[BaseException] = []
+        with ShardedServer(spec, num_shards=args.shards) as server:
+
+            def client(i: int) -> None:
+                try:
+                    for _ in range(per_client):
+                        out = server.submit(samples[i]).result(timeout=120)
+                        np.testing.assert_allclose(out, expected[i], rtol=1e-4, atol=1e-5)
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(args.clients)]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            if errors:
+                raise errors[0]
+            server.close()
+            stats = server.cluster_stats
+
+        print(f"outputs verified against the single-process session (rtol 1e-4)")
+        print(f"throughput: {total / elapsed:.0f} req/s ({elapsed:.2f} s wallclock)\n")
+        header = f"{'shard':>5s} {'pid':>8s} {'requests':>9s} {'errors':>7s} {'respawns':>9s} " \
+                 f"{'batches':>8s} {'mean batch':>11s} {'p50 ms':>8s} {'p95 ms':>8s}"
+        print(header)
+        for entry in stats["shards"]:
+            serving = entry["serving"] or {}
+            print(f"{entry['shard']:>5d} {entry['pid']:>8d} {entry['requests']:>9d} "
+                  f"{entry['errors']:>7d} {entry['respawns']:>9d} "
+                  f"{serving.get('batches', 0):>8d} {serving.get('mean_batch', 0.0):>11.2f} "
+                  f"{serving.get('p50_ms', 0.0):>8.2f} {serving.get('p95_ms', 0.0):>8.2f}")
+        print(f"\ntotal: {stats['requests']} requests, {stats['errors']} errors, "
+              f"{stats['respawns']} respawns, cluster mean batch {stats['mean_batch']:.2f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description="PatDNN reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -104,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="snapdragon855")
     p.add_argument("--source", action="store_true", help="print generated source")
     p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("serve", help="multi-process sharded serving demo (small CNN)")
+    p.add_argument("--shards", type=int, default=2, help="worker process count")
+    p.add_argument("--clients", type=int, default=8, help="closed-loop client threads")
+    p.add_argument("--requests", type=int, default=256, help="total requests to serve")
+    p.add_argument("--max-batch", type=int, default=8, help="per-worker micro-batch size")
+    p.add_argument("--in-size", type=int, default=8, help="input H=W of the demo CNN")
+    p.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -31,7 +31,9 @@ from repro.runtime.ops import eval_node
 from repro.runtime.arena import BufferArena
 from repro.runtime.executor import ReferenceExecutor, CompiledExecutor
 from repro.runtime.serving import MicroBatchServer, ServingConfig, ServingStats
-from repro.runtime.session import InferenceSession
+from repro.runtime.session import InferenceSession, SessionSpec
+from repro.runtime.shm_ring import ShmSlotRing
+from repro.runtime.cluster import ShardedServer, ShardCrashedError
 
 __all__ = [
     "eval_node",
@@ -39,7 +41,11 @@ __all__ = [
     "ReferenceExecutor",
     "CompiledExecutor",
     "InferenceSession",
+    "SessionSpec",
     "MicroBatchServer",
     "ServingConfig",
     "ServingStats",
+    "ShmSlotRing",
+    "ShardedServer",
+    "ShardCrashedError",
 ]

@@ -1,0 +1,663 @@
+"""Multi-process sharded serving: worker pool + shared-memory transport.
+
+One :class:`~repro.runtime.serving.MicroBatchServer` tops out at a
+single Python process — aggregate throughput is capped by the GIL and
+one arena/kernel-cache domain.  :class:`ShardedServer` scales past that
+by replicating the whole compiled engine across OS processes, the same
+way PatDNN-class runtimes replicate compiled models across execution
+units:
+
+* **Worker pool** — N worker processes, each rebuilding its own
+  :class:`~repro.runtime.session.InferenceSession` (plus its in-process
+  micro-batching front-end) from a picklable
+  :class:`~repro.runtime.session.SessionSpec`.  Sessions hold compiled
+  kernel closures and cannot be pickled; the spec + on-disk artifact
+  bundle can.
+* **Shared-memory transport** — request and response tensors move
+  through per-worker :class:`~repro.runtime.shm_ring.ShmSlotRing`
+  slots instead of being pickled through the control pipe; only tiny
+  ``(request id, slot, shape, dtype)`` tuples cross the pipe.  A
+  request's slot does double duty (input in, output back out), so slot
+  lifecycle stays entirely router-owned and the slot count doubles as
+  per-shard backpressure.
+* **Load-aware router** — :meth:`ShardedServer.submit` keeps the PR 2
+  futures API and routes each request to the live shard with the fewest
+  outstanding requests.
+* **Self-healing** — a health monitor pings workers for liveness and
+  serving stats; a crashed shard fails its in-flight futures with
+  :class:`ShardCrashedError` (clients see errors, never hangs) and is
+  respawned automatically.  A shard that keeps dying young (e.g. its
+  bundle path is unreadable in the worker) is marked permanently failed
+  instead of respawn-looping.
+
+Usage::
+
+    from repro.runtime import SessionSpec, ShardedServer
+
+    spec = SessionSpec.capture("smallcnn", model, (3, 16, 16), "bundle.npz",
+                               pattern_set=ps, assignments=result.assignments,
+                               model_kwargs={"channels": (16, 32), "in_size": 16})
+    with ShardedServer(spec, num_shards=4) as server:
+        futures = [server.submit(x) for x in samples]      # many threads
+        outs = [f.result() for f in futures]
+        print(server.cluster_stats["mean_batch"])
+
+Workers are spawned (not forked) by default: a forked child would
+inherit arbitrary lock/thread state from a serving process mid-flight,
+and the spec is picklable precisely so spawn works.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from concurrent.futures import Future
+from math import prod
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.runtime.session import SessionSpec
+from repro.runtime.shm_ring import ShmSlotRing
+
+__all__ = ["ShardedServer", "ShardCrashedError", "projected_smallcnn_spec"]
+
+#: a shard dying within this many seconds of spawn, before serving
+#: anything, counts as an "early death" (permanent failure after two)
+_FAST_FAIL_S = 5.0
+
+
+class ShardCrashedError(RuntimeError):
+    """The shard holding this request died before responding."""
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(spec: SessionSpec, ring_name: str, slots: int, slot_bytes: int, conn) -> None:
+    """Shard worker body (module-level: must be importable under spawn).
+
+    Rebuilds the session from the spec, then serves the control pipe:
+    each ``req`` payload is copied out of its shared-memory slot,
+    submitted to the session's micro-batching front-end, and the
+    response written back into the *same* slot when the future resolves.
+    """
+    send_lock = threading.Lock()
+
+    def _send(msg) -> None:
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                pass  # router is gone; nothing useful left to do with results
+
+    try:
+        session = spec.build()
+    except BaseException as exc:  # surface build failures instead of respawn-looping
+        _send(("fatal", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+
+    ring = ShmSlotRing.attach(ring_name, slots, slot_bytes)
+
+    def _reply(req_id: int, slot: int, fut: Future) -> None:
+        exc = fut.exception()
+        if exc is not None:
+            _send(("err", req_id, slot, f"{type(exc).__name__}: {exc}"))
+            return
+        out = np.ascontiguousarray(fut.result())
+        if out.nbytes > ring.slot_bytes:
+            _send(
+                ("err", req_id, slot,
+                 f"output of {out.nbytes} bytes exceeds the {ring.slot_bytes}-byte slot")
+            )
+            return
+        shape, dtype = ring.write(slot, out)
+        _send(("res", req_id, slot, shape, dtype))
+
+    stats = None  # the ServingStats object outlives session.close()
+    try:
+        _send(("ready", os.getpid()))
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # router died; daemon worker just exits
+            kind = msg[0]
+            if kind == "stop":
+                return
+            if kind == "ping":
+                stats = session.serving_stats or stats
+                _send(("pong", msg[1], stats.snapshot() if stats is not None else None))
+            elif kind == "req":
+                _, req_id, slot, shape, dtype = msg
+                x = ring.read(slot, shape, dtype)  # copy: slot is reusable for the reply
+                stats = session.serving_stats or stats
+                fut = session.submit(x)
+                fut.add_done_callback(lambda f, r=req_id, s=slot: _reply(r, s, f))
+    finally:
+        stats = session.serving_stats or stats
+        session.close()  # graceful drain: in-flight futures resolve, replies go out
+        _send(("bye", stats.snapshot() if stats is not None else None))
+        ring.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Router-side shard bookkeeping
+# ----------------------------------------------------------------------
+class _Shard:
+    """One worker incarnation as seen by the router."""
+
+    def __init__(self, index: int, process, conn, ring: ShmSlotRing) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.ring = ring
+        self.lock = threading.Lock()  # pending/slot_of/counters
+        self.send_lock = threading.Lock()
+        self.pending: dict[int, Future] = {}
+        self.slot_of: dict[int, int] = {}
+        self.ready = threading.Event()
+        self.down = False
+        self.permanent = False  # down for good: no replacement is coming
+        self.fail_reason: str | None = None
+        self.spawned_at = time.monotonic()
+        self.recv_thread: threading.Thread | None = None
+        self.worker_stats: dict | None = None
+        # cumulative across incarnations of this shard index
+        self.requests = 0
+        self.errors = 0
+        self.respawns = 0
+        self.early_deaths = 0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.pending)
+
+
+class ShardedServer:
+    """Serve one model from N worker processes behind a load-aware router.
+
+    Args:
+        spec: picklable session recipe every worker rebuilds.
+        num_shards: worker process count.
+        slots_per_shard: shared-memory slots per worker — the bound on
+            that worker's outstanding requests (backpressure).
+        max_request_samples: largest ``N`` accepted per request; also
+            sizes the slots (``max(input, output) elements x N x
+            float32``), so larger requests raise instead of overflowing.
+        health_interval_s: monitor period for liveness pings and
+            serving-stats refresh.
+        mp_start: multiprocessing start method (``spawn`` default; see
+            module docstring).
+        worker_env: extra environment for workers (e.g. pin BLAS threads
+            with ``{"OPENBLAS_NUM_THREADS": "1"}`` so shards don't fight
+            over cores); applied around spawn, parent env restored.
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        num_shards: int = 2,
+        *,
+        slots_per_shard: int = 16,
+        max_request_samples: int = 16,
+        health_interval_s: float = 0.5,
+        mp_start: str = "spawn",
+        worker_env: dict[str, str] | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if slots_per_shard < 1:
+            raise ValueError(f"slots_per_shard must be >= 1, got {slots_per_shard}")
+        self.spec = spec
+        self.num_shards = num_shards
+        self.slots_per_shard = slots_per_shard
+        self.max_request_samples = max_request_samples
+        self.health_interval_s = health_interval_s
+        self._worker_env = dict(worker_env) if worker_env else None
+        self._ctx = get_context(mp_start)
+        elems = max(prod(spec.input_shape), prod(spec.probe_output_shape()))
+        self._slot_bytes = max_request_samples * elems * np.dtype(np.float32).itemsize
+        self._lock = threading.Lock()  # shard list mutation + down transitions
+        self._closed = False
+        self._req_ids = itertools.count()
+        self._retired_rings: list[ShmSlotRing] = []
+        self._shards: list[_Shard] = []
+        try:
+            for i in range(num_shards):
+                self._shards.append(self._spawn_shard(i))
+        except BaseException:
+            # don't leak already-spawned workers/segments when a later
+            # spawn fails (e.g. /dev/shm exhausted): nothing can call
+            # close() on an object whose constructor raised
+            self._closed = True  # recv threads must not respawn what we reap
+            for shard in self._shards:
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+                self._retire_ring(shard.ring)
+            for ring in self._retired_rings:
+                ring.unlink()
+            raise
+        self._stop_monitor = threading.Event()
+        self._ping_seq = itertools.count(1)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # Spawning / crash handling
+    # ------------------------------------------------------------------
+    def _spawn_shard(self, index: int) -> _Shard:
+        ring = ShmSlotRing.create(self.slots_per_shard, self._slot_bytes)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.spec, ring.name, self.slots_per_shard, ring.slot_bytes, child_conn),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        saved_env: dict[str, str | None] = {}
+        if self._worker_env:
+            saved_env = {k: os.environ.get(k) for k in self._worker_env}
+            os.environ.update(self._worker_env)
+        try:
+            process.start()
+        finally:
+            for key, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        child_conn.close()  # parent keeps one end; EOF then tracks the worker's life
+        shard = _Shard(index, process, parent_conn, ring)
+        shard.recv_thread = threading.Thread(
+            target=self._recv_loop, args=(shard,), name=f"repro-shard-{index}-recv", daemon=True
+        )
+        shard.recv_thread.start()
+        return shard
+
+    def _recv_loop(self, shard: _Shard) -> None:
+        """Per-shard response pump: resolves futures, frees slots."""
+        while True:
+            try:
+                msg = shard.conn.recv()
+            except (EOFError, OSError):
+                self._handle_shard_down(shard, "worker process died")
+                return
+            kind = msg[0]
+            if kind == "res":
+                _, req_id, slot, shape, dtype = msg
+                try:
+                    out = shard.ring.read(slot, shape, dtype)
+                except Exception as exc:  # torn ring (shard raced a close)
+                    out, read_err = None, exc
+                else:
+                    read_err = None
+                with shard.lock:
+                    fut = shard.pending.pop(req_id, None)
+                    shard.slot_of.pop(req_id, None)
+                self._release_slot(shard, slot)
+                if fut is not None and fut.set_running_or_notify_cancel():
+                    if read_err is None:
+                        fut.set_result(out)
+                    else:
+                        fut.set_exception(read_err)
+            elif kind == "err":
+                _, req_id, slot, text = msg
+                with shard.lock:
+                    fut = shard.pending.pop(req_id, None)
+                    shard.slot_of.pop(req_id, None)
+                    shard.errors += 1
+                self._release_slot(shard, slot)
+                if fut is not None and fut.set_running_or_notify_cancel():
+                    fut.set_exception(RuntimeError(f"shard {shard.index}: {text}"))
+            elif kind == "pong":
+                shard.worker_stats = msg[2]
+            elif kind == "bye":
+                shard.worker_stats = msg[1]
+            elif kind == "ready":
+                shard.ready.set()
+            elif kind == "fatal":
+                shard.fail_reason = f"worker failed to build session: {msg[1]}"
+
+    @staticmethod
+    def _release_slot(shard: _Shard, slot: int) -> None:
+        try:
+            shard.ring.release(slot)
+        except (RuntimeError, ValueError):
+            pass  # ring already torn down with the shard
+
+    def _retire_ring(self, ring: ShmSlotRing) -> None:
+        """Best-effort close now, unlink deferred to server close().
+
+        ``SharedMemory.close`` raises ``BufferError`` if another thread
+        is mid ``write``/``read`` with a live view on the buffer — a
+        real window when a shard dies under concurrent submits.  The
+        retired list retries close at server shutdown, when no request
+        threads can be touching the ring anymore.
+        """
+        try:
+            ring.close()
+        except BufferError:
+            pass
+        self._retired_rings.append(ring)
+
+    def _handle_shard_down(self, shard: _Shard, reason: str) -> None:
+        """Fail a dead shard's in-flight requests; respawn unless closing.
+
+        Idempotent per incarnation — the first caller (recv thread on
+        EOF, submit on a broken pipe, or the monitor) wins.
+        """
+        with self._lock:
+            if shard.down:
+                return
+            shard.down = True
+            closing = self._closed
+            lifetime = time.monotonic() - shard.spawned_at
+            # a reported build failure is an early death no matter how
+            # long the spawn+build took — respawning it cannot help
+            early = shard.fail_reason is not None or (
+                lifetime < _FAST_FAIL_S and not shard.ready.is_set()
+            )
+            shard.early_deaths = shard.early_deaths + 1 if early else 0
+        with shard.lock:
+            doomed = dict(shard.pending)
+            shard.pending.clear()
+            shard.slot_of.clear()
+            shard.errors += len(doomed)
+        detail = shard.fail_reason or reason
+        for fut in doomed.values():
+            if fut.set_running_or_notify_cancel():
+                fut.set_exception(
+                    ShardCrashedError(
+                        f"shard {shard.index} crashed with the request in flight ({detail})"
+                    )
+                )
+        if shard.process.is_alive():  # pipe died first (shouldn't happen) — reap anyway
+            shard.process.terminate()
+        shard.process.join(timeout=5.0)
+        self._retire_ring(shard.ring)  # closed best-effort now, unlinked at close()
+        if closing:
+            return
+        if shard.early_deaths >= 2:
+            shard.permanent = True
+            shard.fail_reason = (
+                f"shard {shard.index} permanently failed: died {shard.early_deaths}x "
+                f"right after spawn before serving ({detail})"
+            )
+            return
+        with self._lock:
+            if self._closed or self._shards[shard.index] is not shard:
+                return
+            replacement = self._spawn_shard(shard.index)
+            replacement.requests = shard.requests
+            replacement.errors = shard.errors
+            replacement.respawns = shard.respawns + 1
+            replacement.early_deaths = shard.early_deaths
+            self._shards[shard.index] = replacement
+
+    def _monitor_loop(self) -> None:
+        """Liveness + stats heartbeat (crash detection itself is mostly
+        event-driven: a dead worker's pipe EOFs its recv thread)."""
+        while not self._stop_monitor.wait(self.health_interval_s):
+            for shard in list(self._shards):
+                if shard.down:
+                    continue
+                if not shard.process.is_alive():
+                    self._handle_shard_down(shard, "worker process died")
+                    continue
+                try:
+                    with shard.send_lock:
+                        shard.conn.send(("ping", next(self._ping_seq)))
+                except (BrokenPipeError, OSError):
+                    self._handle_shard_down(shard, "health ping failed")
+
+    # ------------------------------------------------------------------
+    # Client API (same futures vocabulary as MicroBatchServer)
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> Future:
+        """Route one request to the least-loaded shard; future of logits.
+
+        ``x`` is one ``(C, H, W)`` sample or an ``(N, C, H, W)`` batch
+        with ``N <= max_request_samples``.  Blocks for backpressure when
+        every shard's slot ring is full.  A request whose shard dies
+        before its response lands fails with :class:`ShardCrashedError`
+        (requests not yet sent are transparently retried elsewhere).
+        """
+        x = np.asarray(x)
+        if x.ndim == 3:
+            x = x[None]
+        if x.ndim != 4:
+            raise ValueError(f"expected (C, H, W) or (N, C, H, W) input, got shape {x.shape}")
+        if x.shape[0] > self.max_request_samples:
+            raise ValueError(
+                f"request holds {x.shape[0]} samples but max_request_samples is "
+                f"{self.max_request_samples}; split it client-side"
+            )
+        if x.nbytes > self._slot_bytes:
+            raise ValueError(
+                f"request of {x.nbytes} bytes ({x.dtype}) exceeds the "
+                f"{self._slot_bytes}-byte transport slots (sized for float32)"
+            )
+        future: Future = Future()
+        req_id = next(self._req_ids)
+        while True:
+            if self._closed:
+                raise RuntimeError("ShardedServer is closed")
+            shard = self._pick_shard()
+            if shard is None:  # every shard is mid-respawn: wait it out
+                time.sleep(0.05)
+                continue
+            try:
+                slot = shard.ring.acquire(timeout=0.05)
+            except RuntimeError:  # ring closed: shard died while we waited
+                continue
+            if slot is None:  # shard full — re-pick (load may have shifted)
+                continue
+            with shard.lock:
+                if shard.down:
+                    self._release_slot(shard, slot)
+                    continue
+                shard.pending[req_id] = future
+                shard.slot_of[req_id] = slot
+            try:
+                shape, dtype = shard.ring.write(slot, x)
+                with shard.send_lock:
+                    shard.conn.send(("req", req_id, slot, shape, dtype))
+                with shard.lock:
+                    shard.requests += 1
+                return future
+            except Exception:
+                with shard.lock:
+                    owned = shard.pending.pop(req_id, None)
+                    shard.slot_of.pop(req_id, None)
+                self._handle_shard_down(shard, "request transport failed")
+                if owned is None:
+                    # the crash handler beat us to the future and failed it
+                    return future
+
+    #: alias matching ``InferenceSession.run_async`` / ``submit``
+    run_async = submit
+
+    def run(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience: ``submit(x).result(timeout)``."""
+        return self.submit(x).result(timeout)
+
+    def _pick_shard(self) -> _Shard | None:
+        """Least-outstanding-requests routing over live shards.
+
+        Returns ``None`` during the transient window where every shard
+        is down but at least one respawn is still coming (the caller
+        waits and retries); raises only when failure is permanent.
+        """
+        live = [s for s in self._shards if not s.down]
+        if live:
+            return min(live, key=lambda s: s.outstanding)
+        if any(not s.permanent for s in self._shards):
+            return None
+        reasons = sorted({s.fail_reason for s in self._shards if s.fail_reason})
+        raise RuntimeError(
+            "no live shards to route to" + (f" ({'; '.join(reasons)})" if reasons else "")
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> list[int | None]:
+        """Current worker PID per shard index (None before spawn)."""
+        return [s.process.pid for s in self._shards]
+
+    @property
+    def cluster_stats(self) -> dict:
+        """Aggregated router + worker counters (read any time).
+
+        Per-shard: router-side ``requests``/``errors``/``outstanding``/
+        ``respawns`` plus the worker's own serving-stats snapshot
+        (``None`` until its first health pong).  Global: sums, plus
+        worker-side batch counters and the cluster-wide mean batch.
+        """
+        shards = []
+        totals = {"requests": 0, "errors": 0, "outstanding": 0, "respawns": 0}
+        batches = samples = 0
+        for s in self._shards:
+            serving = s.worker_stats
+            alive = not s.down and s.process.is_alive()
+            entry = {
+                "shard": s.index,
+                "pid": s.process.pid,
+                "alive": alive,
+                "requests": s.requests,
+                "errors": s.errors,
+                "outstanding": s.outstanding,
+                "respawns": s.respawns,
+                "serving": serving,
+            }
+            shards.append(entry)
+            totals["requests"] += s.requests
+            totals["errors"] += s.errors
+            totals["outstanding"] += s.outstanding
+            totals["respawns"] += s.respawns
+            if serving:
+                batches += serving.get("batches", 0)
+                samples += serving.get("samples", 0)
+        return {
+            "shards": shards,
+            **totals,
+            "alive_shards": sum(1 for e in shards if e["alive"]),
+            "worker_batches": batches,
+            "worker_samples": samples,
+            "mean_batch": samples / batches if batches else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 30.0) -> None:
+        """Graceful drain: stop accepting, let workers finish in-flight
+        requests, reap processes, release shared memory (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop_monitor.set()
+        self._monitor.join(timeout=5.0)
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            if shard.down:
+                continue
+            try:
+                with shard.send_lock:
+                    shard.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for shard in self._shards:
+            shard.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if shard.process.is_alive():  # drain overran the deadline
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+        for shard in self._shards:
+            if shard.recv_thread is not None:
+                shard.recv_thread.join(timeout=5.0)
+            # workers drained before exiting, so normally nothing is left
+            with shard.lock:
+                leftovers = dict(shard.pending)
+                shard.pending.clear()
+                shard.slot_of.clear()
+                shard.errors += len(leftovers)
+            for fut in leftovers.values():
+                if fut.set_running_or_notify_cancel():
+                    fut.set_exception(
+                        RuntimeError("ShardedServer closed with the request unanswered")
+                    )
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            self._retire_ring(shard.ring)
+        for ring in self._retired_rings:
+            try:
+                ring.close()
+            except BufferError:  # a straggler thread still holds a view
+                pass
+            ring.unlink()
+        self._retired_rings.clear()
+
+    def __enter__(self) -> "ShardedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Demo spec (CLI / examples / benchmarks)
+# ----------------------------------------------------------------------
+def projected_smallcnn_spec(
+    bundle_path: str,
+    *,
+    channels: tuple[int, ...] = (8, 16),
+    in_size: int = 8,
+    num_patterns: int = 8,
+    connectivity_rate: float = 2.0,
+    seed: int = 7,
+    **spec_kwargs,
+) -> SessionSpec:
+    """Build a pattern-pruned small CNN by direct projection and capture
+    it as a :class:`SessionSpec` (bundle written to ``bundle_path``).
+
+    One-shot hard projection instead of ADMM — seconds, not minutes —
+    which is exactly what the serving demos and benchmarks need: a model
+    whose conv layers genuinely execute through compiled FKW kernels.
+    """
+    from repro.core.masking import apply_masks, extract_masks
+    from repro.core.patterns import PatternSet, enumerate_candidate_patterns
+    from repro.core.projections import project_kernel_pattern
+    from repro.models import build_small_cnn
+    from repro import nn
+
+    model = build_small_cnn(channels=channels, in_size=in_size, seed=seed)
+    ps = PatternSet(enumerate_candidate_patterns()[:num_patterns])
+    apply_masks(model, extract_masks(model, ps, connectivity_rate=connectivity_rate))
+    model.eval()
+    assignments = {}
+    for name, module in model.named_modules():
+        if isinstance(module, nn.Conv2d):
+            _, a = project_kernel_pattern(module.weight.data, ps)
+            energy = (module.weight.data.reshape(a.shape[0], a.shape[1], -1) ** 2).sum(axis=2)
+            assignments[name] = (a * (energy > 0)).astype(np.int32)
+    model_kwargs = {"channels": tuple(channels), "in_size": in_size, "seed": seed}
+    return SessionSpec.capture(
+        "smallcnn",
+        model,
+        (3, in_size, in_size),
+        str(bundle_path),
+        pattern_set=ps,
+        assignments=assignments,
+        model_kwargs=model_kwargs,
+        **spec_kwargs,
+    )

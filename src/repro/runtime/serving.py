@@ -66,17 +66,26 @@ class ServingConfig:
             dispatcher stops collecting once the batch reaches this many
             samples (a multi-sample request arriving last may overflow
             it slightly rather than be split).
-        max_wait_ms: how long the dispatcher waits for more requests
-            after the first one arrives — the latency price paid for
-            batching opportunity.  0 disables coalescing-by-waiting
-            (only requests already queued are batched).
+        max_wait_ms: upper bound on how long the dispatcher waits for
+            more requests after the first one arrives — the latency
+            price paid for batching opportunity.  0 disables
+            coalescing-by-waiting (only requests already queued are
+            batched).
         queue_depth: bound on queued requests; ``submit`` blocks once
             the backlog reaches this many (simple backpressure).
+        adaptive_wait: load-aware batching window.  When the backlog at
+            a window's start is already ``max_batch`` requests deep,
+            waiting buys nothing (the batch fills straight from the
+            queue), so the effective window halves; a window that
+            expires without filling its batch (light load) grows it
+            back toward ``max_wait_ms``.  The current effective window
+            is exposed as :attr:`ServingStats.effective_wait_ms`.
     """
 
     max_batch: int = 8
     max_wait_ms: float = 2.0
     queue_depth: int = 1024
+    adaptive_wait: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -85,6 +94,11 @@ class ServingConfig:
             raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+
+
+#: latency reservoir size: enough for stable p95 estimates, bounded so
+#: a long-lived server never grows (it is a sliding window, not a log)
+_LATENCY_RESERVOIR = 2048
 
 
 @dataclass
@@ -96,21 +110,73 @@ class ServingStats:
     batches: int = 0
     max_batch_seen: int = 0
     errors: int = 0
+    #: current effective coalescing window (== ``max_wait_ms`` unless
+    #: ``adaptive_wait`` has shrunk it under sustained backlog)
+    effective_wait_ms: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    # Sliding-window reservoir of per-request latencies (queue wait +
+    # dispatch + kernel time, submit to resolution).  A preallocated
+    # ring, never an unbounded list.
+    _latency_ring: np.ndarray = field(
+        default_factory=lambda: np.zeros(_LATENCY_RESERVOIR, dtype=np.float64), repr=False
+    )
+    _latency_count: int = field(default=0, repr=False)
 
     @property
     def mean_batch(self) -> float:
         """Average samples per dispatched batch (1.0 = no coalescing)."""
         return self.samples / self.batches if self.batches else 0.0
 
+    def _record_latency(self, latency_ms: float) -> None:
+        """Append one request latency (caller holds ``_lock``)."""
+        self._latency_ring[self._latency_count % _LATENCY_RESERVOIR] = latency_ms
+        self._latency_count += 1
+
+    def _latency_percentile(self, q: float) -> float:
+        with self._lock:
+            n = min(self._latency_count, _LATENCY_RESERVOIR)
+            if n == 0:
+                return 0.0
+            window = self._latency_ring[:n].copy()
+        return float(np.percentile(window, q))
+
+    @property
+    def p50_ms(self) -> float:
+        """Median request latency over the sliding window (0.0 = none)."""
+        return self._latency_percentile(50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile request latency over the sliding window."""
+        return self._latency_percentile(95.0)
+
+    def snapshot(self) -> dict:
+        """Picklable point-in-time copy (for cross-process reporting)."""
+        with self._lock:
+            counters = {
+                "requests": self.requests,
+                "samples": self.samples,
+                "batches": self.batches,
+                "max_batch_seen": self.max_batch_seen,
+                "errors": self.errors,
+                "effective_wait_ms": self.effective_wait_ms,
+            }
+        counters["mean_batch"] = (
+            counters["samples"] / counters["batches"] if counters["batches"] else 0.0
+        )
+        counters["p50_ms"] = self.p50_ms
+        counters["p95_ms"] = self.p95_ms
+        return counters
+
 
 class _Request:
-    __slots__ = ("x", "n", "future")
+    __slots__ = ("x", "n", "future", "t_submit")
 
     def __init__(self, x: np.ndarray, n: int, future: Future) -> None:
         self.x = x
         self.n = n
         self.future = future
+        self.t_submit = time.monotonic()
 
 
 _SHUTDOWN = object()
@@ -182,6 +248,10 @@ class MicroBatchServer:
         self._runner = runner
         self.config = config if config is not None else ServingConfig()
         self.stats = ServingStats()
+        # effective coalescing window, adapted per dispatch window when
+        # config.adaptive_wait is set (dispatcher-thread-only state)
+        self._wait_ms = self.config.max_wait_ms
+        self.stats.effective_wait_ms = self._wait_ms
         # Backpressure lives in the semaphore, not the queue: submit
         # blocks on _capacity *outside* _submit_lock, so a full backlog
         # can never wedge the lock and stop close() from closing.  The
@@ -262,10 +332,12 @@ class MicroBatchServer:
     def _collect_and_dispatch(self, first: _Request) -> bool:
         """One dispatch window, seeded by ``first``; True means shutdown."""
         self._capacity.release()
+        depth_at_start = self._queue.qsize()
         batch = [first]
         samples = first.n
-        deadline = time.monotonic() + self.config.max_wait_ms / 1e3
+        deadline = time.monotonic() + self._wait_ms / 1e3
         shutdown = False
+        expired = False
         while samples < self.config.max_batch:
             remaining = deadline - time.monotonic()
             try:
@@ -274,6 +346,7 @@ class MicroBatchServer:
                 else:  # window over: take only what is already queued
                     nxt = self._queue.get_nowait()
             except queue.Empty:
+                expired = True
                 break
             if nxt is _SHUTDOWN:
                 shutdown = True
@@ -281,10 +354,35 @@ class MicroBatchServer:
             self._capacity.release()
             batch.append(nxt)
             samples += nxt.n
+        self._adapt_wait(depth_at_start, samples, expired)
         self._dispatch(batch)
         if shutdown:
             self._drain_remaining()
         return shutdown
+
+    def _adapt_wait(self, depth_at_start: int, samples: int, expired: bool) -> None:
+        """Load-aware window sizing (dispatcher thread only).
+
+        A backlog already ``max_batch`` requests deep at window start
+        means waiting is pure latency (the batch fills straight from the
+        queue) — halve the window.  A window that expired with an
+        unfilled batch means load is light and batching opportunity is
+        being left on the table — grow it back toward the configured
+        maximum (additive term so growth restarts from a zero window).
+        """
+        cfg = self.config
+        if not cfg.adaptive_wait or cfg.max_wait_ms == 0:
+            return
+        if depth_at_start >= cfg.max_batch:
+            self._wait_ms *= 0.5
+            if self._wait_ms < 1e-3:  # below clock resolution: stop pretending
+                self._wait_ms = 0.0
+        elif expired and samples < cfg.max_batch:
+            self._wait_ms = min(cfg.max_wait_ms, self._wait_ms * 1.5 + 0.05)
+        else:
+            return
+        with self.stats._lock:
+            self.stats.effective_wait_ms = self._wait_ms
 
     def _drain_remaining(self) -> None:
         """Serve everything still queued at shutdown (no coalescing wait).
@@ -350,11 +448,14 @@ class MicroBatchServer:
                     rows = out[offset : offset + req.n]
                     offset += req.n
                     req.future.set_result(rows.copy() if len(group) > 1 else rows)
+                resolved = time.monotonic()
                 with self.stats._lock:
                     self.stats.requests += len(group)
                     self.stats.samples += xs.shape[0]
                     self.stats.batches += 1
                     self.stats.max_batch_seen = max(self.stats.max_batch_seen, xs.shape[0])
+                    for req in group:
+                        self.stats._record_latency((resolved - req.t_submit) * 1e3)
             except BaseException as exc:  # propagate to every waiting client
                 with self.stats._lock:
                     self.stats.errors += len(group)

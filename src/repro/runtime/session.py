@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -34,6 +36,119 @@ from repro.graph.ir import OpKind
 from repro.graph.pass_manager import default_pipeline
 from repro.runtime.executor import CompiledExecutor, ReferenceExecutor
 from repro.runtime.serving import MicroBatchServer, ServingConfig
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A picklable recipe for rebuilding an :class:`InferenceSession`.
+
+    Sessions themselves cannot cross process boundaries — they hold
+    compiled kernel closures, arenas, and locks — so multi-process
+    serving (:class:`repro.runtime.cluster.ShardedServer`) ships this
+    spec instead: the model is named by its registry entry, the weights
+    and pruning artifacts live in an on-disk bundle written by
+    :func:`repro.utils.serialize.save_session_bundle`, and every worker
+    calls :meth:`build` to reconstruct an identical session.  Rebuilt
+    sessions are bitwise-equivalent to the originating one: the bundle
+    stores exact array bytes and graph optimization is deterministic.
+
+    Attributes:
+        model: name in :mod:`repro.models.registry` (e.g. ``smallcnn``).
+        input_shape: (C, H, W) of one sample.
+        bundle_path: ``.npz`` session bundle (state dict + optional
+            pruning artifacts).
+        model_kwargs: keyword arguments for the registry builder — must
+            reproduce the architecture the bundle's state dict fits.
+        output_shape: per-sample output shape, recorded at capture time
+            so transports can size buffers without building a model;
+            recomputed by :meth:`probe_output_shape` when ``None``.
+    """
+
+    model: str
+    input_shape: tuple[int, int, int]
+    bundle_path: str
+    model_kwargs: dict[str, Any] = field(default_factory=dict)
+    optimize_graph: bool = True
+    opt_level: str = "gemm"
+    arena_max_bytes: int | None = None
+    serving_config: ServingConfig | None = None
+    output_shape: tuple[int, ...] | None = None
+
+    @classmethod
+    def capture(
+        cls,
+        model_name: str,
+        model: nn.Module,
+        input_shape: tuple[int, int, int],
+        bundle_path: str,
+        pattern_set: PatternSet | None = None,
+        assignments: dict[str, np.ndarray] | None = None,
+        *,
+        model_kwargs: dict[str, Any] | None = None,
+        **spec_kwargs: Any,
+    ) -> SessionSpec:
+        """Snapshot a live (possibly pruned) model into a spec + bundle.
+
+        Writes the session bundle to ``bundle_path`` and returns the
+        spec pointing at it.  ``model_kwargs`` must rebuild the same
+        architecture through the registry (weights come from the
+        bundle, so initialization seeds do not matter).
+        """
+        from repro.models.registry import get_trainable
+        from repro.utils.serialize import save_session_bundle
+
+        get_trainable(model_name, **(model_kwargs or {}))  # fail fast on bad names/kwargs
+        written = save_session_bundle(bundle_path, model.state_dict(), pattern_set, assignments)
+        out_shape = spec_kwargs.pop("output_shape", None)
+        if out_shape is None:
+            out_shape = _graph_output_shape(build_graph(model, input_shape))
+        return cls(
+            model=model_name,
+            input_shape=tuple(input_shape),
+            bundle_path=str(written),
+            model_kwargs=dict(model_kwargs or {}),
+            output_shape=tuple(out_shape),
+            **spec_kwargs,
+        )
+
+    def build(self) -> InferenceSession:
+        """Reconstruct the session (registry model + bundle artifacts)."""
+        from repro.models.registry import get_trainable
+        from repro.utils.serialize import load_session_bundle
+
+        model = get_trainable(self.model, **self.model_kwargs)
+        state, pattern_set, assignments = load_session_bundle(self.bundle_path)
+        model.load_state_dict(state)
+        return InferenceSession(
+            model,
+            self.input_shape,
+            pattern_set=pattern_set,
+            assignments=assignments or None,
+            optimize_graph=self.optimize_graph,
+            opt_level=self.opt_level,
+            arena_max_bytes=self.arena_max_bytes,
+            serving_config=self.serving_config,
+        )
+
+    def probe_output_shape(self) -> tuple[int, ...]:
+        """Per-sample output shape (cheap graph-only probe when not
+        recorded at capture time — no kernels are compiled)."""
+        if self.output_shape is not None:
+            return tuple(self.output_shape)
+        from repro.models.registry import get_trainable
+
+        model = get_trainable(self.model, **self.model_kwargs)
+        return _graph_output_shape(build_graph(model, self.input_shape))
+
+
+def _graph_output_shape(graph) -> tuple[int, ...]:
+    """Per-sample shape of a graph's (single) output value."""
+    node = graph.nodes[graph.outputs[0]]
+    while not node.out_shape and node.inputs:  # OUTPUT nodes mirror their producer
+        node = graph.nodes[node.inputs[0]]
+    if not node.out_shape:
+        raise ValueError(f"graph {graph.name!r} has no inferred output shape")
+    return tuple(node.out_shape)
 
 
 class InferenceSession:

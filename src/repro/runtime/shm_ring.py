@@ -1,0 +1,181 @@
+"""Fixed-slot shared-memory rings: tensor transport between processes.
+
+Moving request/response tensors between a router process and its shard
+workers through ``multiprocessing.Pipe`` would pickle every array —
+a serialize/copy/deserialize round trip per request.  :class:`ShmSlotRing`
+removes the pickling: one ``multiprocessing.shared_memory`` segment is
+carved into ``slots`` fixed-size slots, array bytes are copied straight
+into a slot on one side and straight out on the other, and only a tiny
+control tuple (request id, slot index, shape, dtype) crosses the pipe.
+
+Slot lifecycle is deliberately single-owner: the *creating* side (the
+router) acquires and releases slots; the attached side (a worker) only
+reads and writes slot contents.  A request's slot does double duty — the
+router writes the input into it, the worker overwrites it with the
+output, and the router frees it after copying the result out — so no
+free-list coordination ever crosses the process boundary, and the slot
+count is a natural bound on per-worker outstanding requests
+(backpressure, exactly like ``ServingConfig.queue_depth`` in-process).
+
+The ring is transport only: it never interprets the bytes.  Shape and
+dtype travel in the control message (:meth:`write` returns the header to
+send), so heterogeneous shapes and dtypes share one ring as long as each
+payload fits ``slot_bytes``.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmSlotRing"]
+
+_ALIGN = 64  # slot alignment: keeps every slot cache-line aligned
+
+
+class ShmSlotRing:
+    """``slots`` fixed-size byte slots in one shared-memory segment.
+
+    Construct through :meth:`create` (owner side: allocates the segment
+    and manages the free list) or :meth:`attach` (worker side: maps an
+    existing segment by name; read/write only).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, slots: int, slot_bytes: int, owner: bool) -> None:
+        self._shm = shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._owner = owner
+        self._closed = False
+        if owner:
+            # LIFO free list: the most recently released slot is hottest
+            # in cache.  Condition guards the list and wakes blocked
+            # acquirers on release.
+            self._free = list(reversed(range(slots)))
+            self._available = threading.Condition(threading.Lock())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int) -> "ShmSlotRing":
+        """Allocate a new segment with ``slots`` slots of ``slot_bytes``."""
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        slot_bytes = -(-slot_bytes // _ALIGN) * _ALIGN
+        shm = shared_memory.SharedMemory(create=True, size=slots * slot_bytes)
+        return cls(shm, slots, slot_bytes, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_bytes: int) -> "ShmSlotRing":
+        """Map an existing segment created by :meth:`create`.
+
+        ``slot_bytes`` must be the *aligned* value read back from the
+        creating ring (``ring.slot_bytes``), not the requested one.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        if shm.size < slots * slot_bytes:
+            size = shm.size
+            shm.close()
+            raise ValueError(
+                f"segment {name!r} holds {size} bytes but {slots} x {slot_bytes} "
+                f"= {slots * slot_bytes} were expected"
+            )
+        return cls(shm, slots, slot_bytes, owner=False)
+
+    @property
+    def name(self) -> str:
+        """OS name of the segment (pass to :meth:`attach` in the worker)."""
+        return self._shm.name
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle (owner side only)
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: float | None = None) -> int | None:
+        """Take a free slot index; ``None`` on timeout (all slots busy)."""
+        if not self._owner:
+            raise RuntimeError("only the creating side manages slot lifecycle")
+        with self._available:
+            if not self._available.wait_for(lambda: bool(self._free) or self._closed, timeout):
+                return None
+            if self._closed:
+                raise RuntimeError("ring is closed")
+            return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list (wakes one blocked acquirer)."""
+        if not self._owner:
+            raise RuntimeError("only the creating side manages slot lifecycle")
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range 0..{self.slots - 1}")
+        with self._available:
+            if slot in self._free:
+                raise ValueError(f"slot {slot} is already free (double release)")
+            self._free.append(slot)
+            self._available.notify()
+
+    @property
+    def free_slots(self) -> int:
+        """Number of currently free slots (owner side)."""
+        with self._available:
+            return len(self._free)
+
+    # ------------------------------------------------------------------
+    # Payload transfer (both sides)
+    # ------------------------------------------------------------------
+    def write(self, slot: int, arr: np.ndarray) -> tuple[tuple[int, ...], str]:
+        """Copy ``arr``'s bytes into ``slot``; returns the (shape, dtype)
+        header the receiving side needs to :meth:`read` it back."""
+        arr = np.ascontiguousarray(arr)
+        if arr.nbytes > self.slot_bytes:
+            raise ValueError(
+                f"array of {arr.nbytes} bytes (shape {arr.shape}, {arr.dtype}) "
+                f"exceeds the {self.slot_bytes}-byte slot capacity"
+            )
+        view = np.ndarray(arr.shape, arr.dtype, buffer=self._shm.buf, offset=slot * self.slot_bytes)
+        view[...] = arr
+        del view  # drop the buffer export before anyone closes the segment
+        return arr.shape, arr.dtype.str
+
+    def read(self, slot: int, shape: tuple[int, ...], dtype: str) -> np.ndarray:
+        """Copy a payload out of ``slot`` (the copy owns its memory, so
+        the slot may be reused or the segment closed afterwards)."""
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        if nbytes > self.slot_bytes:
+            raise ValueError(
+                f"header describes {nbytes} bytes (shape {tuple(shape)}, {dt}) "
+                f"but slots hold only {self.slot_bytes}"
+            )
+        view = np.ndarray(tuple(shape), dt, buffer=self._shm.buf, offset=slot * self.slot_bytes)
+        out = view.copy()
+        del view
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the segment (both sides; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            with self._available:
+                self._available.notify_all()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after every side closed)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. double cleanup)
+            pass
+
+    def __enter__(self) -> "ShmSlotRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

@@ -69,6 +69,66 @@ def load_pruning(path: str | Path) -> tuple[PatternSet, dict[str, np.ndarray]]:
     return pattern_set, assignments
 
 
+def save_session_bundle(
+    path: str | Path,
+    state: dict[str, np.ndarray],
+    pattern_set: PatternSet | None = None,
+    assignments: dict[str, np.ndarray] | None = None,
+) -> Path:
+    """Persist everything a worker needs to rebuild an inference session.
+
+    One ``.npz`` holding the model state dict plus (optionally) the
+    pruning artifacts — the on-disk half of
+    :class:`repro.runtime.session.SessionSpec`.  Pass ``pattern_set``
+    and ``assignments`` together or not at all, mirroring
+    ``InferenceSession``'s contract.
+
+    Returns the path actually written: ``savez`` appends ``.npz`` to a
+    suffixless path, and recording the pre-normalization path would send
+    every worker's ``load`` to a file that does not exist.
+    """
+    if (pattern_set is None) != (not assignments):
+        raise ValueError(
+            "pattern_set and assignments must be provided together (compiled "
+            "bundle) or both omitted (dense bundle)"
+        )
+    arrays = {f"state::{name}": a for name, a in state.items()}
+    if pattern_set is not None and assignments:
+        arrays.update({f"assignment::{name}": a for name, a in assignments.items()})
+        arrays["__pattern_set__"] = np.frombuffer(
+            _pattern_set_meta(pattern_set).encode(), dtype=np.uint8
+        )
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_session_bundle(
+    path: str | Path,
+) -> tuple[dict[str, np.ndarray], PatternSet | None, dict[str, np.ndarray]]:
+    """Inverse of :func:`save_session_bundle`.
+
+    Returns ``(state, pattern_set, assignments)``; ``pattern_set`` is
+    ``None`` and ``assignments`` empty for a dense bundle.  Insertion
+    order of ``assignments`` is preserved (the session maps pruner layer
+    names to conv nodes positionally).
+    """
+    state: dict[str, np.ndarray] = {}
+    assignments: dict[str, np.ndarray] = {}
+    pattern_set: PatternSet | None = None
+    with np.load(path) as data:
+        for key in data.files:
+            if key.startswith("state::"):
+                state[key.split("::", 1)[1]] = data[key]
+            elif key.startswith("assignment::"):
+                assignments[key.split("::", 1)[1]] = data[key]
+            elif key == "__pattern_set__":
+                pattern_set = _pattern_set_from_meta(bytes(data[key]).decode())
+    return state, pattern_set, assignments
+
+
 def save_fkw(path: str | Path, fkw: FKWLayer) -> None:
     """Persist one packed FKW layer (the deployable weight format)."""
     np.savez_compressed(

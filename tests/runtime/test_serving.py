@@ -341,6 +341,113 @@ class TestMicroBatchServer:
 
 
 # ----------------------------------------------------------------------
+# Adaptive batching window + latency tracking
+# ----------------------------------------------------------------------
+class TestAdaptiveWait:
+    def test_deep_backlog_shrinks_window(self):
+        """A queue already >= max_batch deep at window start means waiting
+        buys nothing — the effective window must come down."""
+        gate = threading.Event()
+
+        def runner(x):
+            gate.wait(0.002)
+            return x
+
+        cfg = ServingConfig(max_batch=2, max_wait_ms=20.0)
+        server = MicroBatchServer(runner, cfg)
+        assert server.stats.effective_wait_ms == 20.0
+        futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(24)]
+        gate.set()
+        for fut in futs:
+            fut.result(timeout=30)
+        assert server.stats.effective_wait_ms < cfg.max_wait_ms
+        server.close()
+
+    def test_light_load_grows_window_back(self):
+        gate = threading.Event()
+
+        def runner(x):
+            gate.wait(5)
+            return x
+
+        cfg = ServingConfig(max_batch=2, max_wait_ms=4.0)
+        with MicroBatchServer(runner, cfg) as server:
+            # flood while the runner is gated: every dispatch window opens
+            # against a deep backlog, so the window halves repeatedly
+            futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(24)]
+            gate.set()
+            for fut in futs:
+                fut.result(timeout=30)
+            shrunken = server.stats.effective_wait_ms
+            assert shrunken < cfg.max_wait_ms / 2
+            # paced singles: every window expires unfilled -> growth back
+            # toward (and capped at) the configured maximum
+            for _ in range(24):
+                server.submit(np.zeros((1, 1, 2, 2), np.float32)).result(timeout=30)
+            assert server.stats.effective_wait_ms > shrunken
+            assert server.stats.effective_wait_ms <= cfg.max_wait_ms
+
+    def test_adaptive_disabled_keeps_fixed_window(self):
+        cfg = ServingConfig(max_batch=2, max_wait_ms=5.0, adaptive_wait=False)
+        with MicroBatchServer(lambda x: x, cfg) as server:
+            futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(16)]
+            for fut in futs:
+                fut.result(timeout=30)
+            assert server.stats.effective_wait_ms == 5.0
+
+    def test_zero_wait_stays_zero(self):
+        with MicroBatchServer(lambda x: x, ServingConfig(max_batch=4, max_wait_ms=0)) as server:
+            for _ in range(6):
+                server.run(np.zeros((1, 1, 2, 2), np.float32), timeout=30)
+            assert server.stats.effective_wait_ms == 0.0
+
+
+class TestLatencyTracking:
+    def test_percentiles_populated_and_ordered(self):
+        def runner(x):
+            time.sleep(0.002)
+            return x
+
+        with MicroBatchServer(runner, ServingConfig(max_batch=4, max_wait_ms=1.0)) as server:
+            futs = [server.submit(np.zeros((1, 1, 2, 2), np.float32)) for _ in range(20)]
+            for fut in futs:
+                fut.result(timeout=30)
+            stats = server.stats
+            assert stats.p50_ms >= 2.0  # every request waited for the runner
+            assert stats.p95_ms >= stats.p50_ms
+
+    def test_no_traffic_percentiles_zero(self):
+        with MicroBatchServer(lambda x: x) as server:
+            assert server.stats.p50_ms == 0.0
+            assert server.stats.p95_ms == 0.0
+
+    def test_reservoir_bounded_sliding_window(self):
+        """The reservoir is a fixed ring: old latencies age out and memory
+        never grows with request count."""
+        from repro.runtime.serving import _LATENCY_RESERVOIR, ServingStats
+
+        stats = ServingStats()
+        for _ in range(_LATENCY_RESERVOIR):
+            stats._record_latency(1000.0)
+        for _ in range(_LATENCY_RESERVOIR):
+            stats._record_latency(1.0)  # overwrites the whole window
+        assert stats._latency_ring.shape == (_LATENCY_RESERVOIR,)
+        assert stats.p95_ms == 1.0
+
+    def test_snapshot_is_picklable_and_complete(self):
+        import pickle
+
+        with MicroBatchServer(lambda x: x, ServingConfig(max_wait_ms=0)) as server:
+            server.run(np.zeros((1, 1, 2, 2), np.float32), timeout=30)
+            snap = pickle.loads(pickle.dumps(server.stats.snapshot()))
+        assert snap["requests"] == 1 and snap["samples"] == 1
+        for key in ("batches", "errors", "mean_batch", "max_batch_seen",
+                    "effective_wait_ms", "p50_ms", "p95_ms"):
+            assert key in snap
+        assert snap["p50_ms"] > 0
+
+
+# ----------------------------------------------------------------------
 # Session-level async API
 # ----------------------------------------------------------------------
 class TestSessionAsyncAPI:

@@ -1,0 +1,149 @@
+"""Shared-memory slot ring: payload fidelity and slot lifecycle.
+
+The ring is the tensor transport under multi-process serving, so the
+load-bearing claims are byte-exact round trips (any corruption here is
+silent wrong answers downstream), strict slot accounting (double
+release / exhaustion must be loud), and capacity checks on both ends.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.shm_ring import ShmSlotRing
+
+
+@pytest.fixture()
+def ring():
+    with ShmSlotRing.create(slots=4, slot_bytes=256) as r:
+        yield r
+
+
+class TestPayloadTransfer:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32, np.uint8])
+    def test_write_read_roundtrip_bitwise(self, ring, dtype):
+        rng = np.random.default_rng(0)
+        arr = (rng.standard_normal((2, 4, 4)) * 100).astype(dtype)
+        slot = ring.acquire()
+        shape, dt = ring.write(slot, arr)
+        assert shape == (2, 4, 4) and np.dtype(dt) == np.dtype(dtype)
+        out = ring.read(slot, shape, dt)
+        assert out.dtype == arr.dtype
+        np.testing.assert_array_equal(out, arr)
+
+    def test_read_returns_owning_copy(self, ring):
+        arr = np.arange(8, dtype=np.float32)
+        slot = ring.acquire()
+        ring.write(slot, arr)
+        out = ring.read(slot, (8,), "<f4")
+        ring.write(slot, np.zeros(8, np.float32))  # slot reused
+        np.testing.assert_array_equal(out, arr)  # copy unaffected
+
+    def test_non_contiguous_input_handled(self, ring):
+        arr = np.arange(32, dtype=np.float32).reshape(4, 8)[:, ::2]
+        slot = ring.acquire()
+        shape, dt = ring.write(slot, arr)
+        np.testing.assert_array_equal(ring.read(slot, shape, dt), arr)
+
+    def test_slots_are_independent(self, ring):
+        a, b = ring.acquire(), ring.acquire()
+        ring.write(a, np.full(4, 1.0, np.float32))
+        ring.write(b, np.full(4, 2.0, np.float32))
+        assert ring.read(a, (4,), "<f4")[0] == 1.0
+        assert ring.read(b, (4,), "<f4")[0] == 2.0
+
+    def test_oversized_write_rejected(self, ring):
+        slot = ring.acquire()
+        with pytest.raises(ValueError, match="slot capacity"):
+            ring.write(slot, np.zeros(1024, np.float64))
+
+    def test_oversized_read_header_rejected(self, ring):
+        with pytest.raises(ValueError, match="slots hold only"):
+            ring.read(0, (1024,), "<f8")
+
+
+class TestAttachedSide:
+    def test_attach_sees_owner_writes(self, ring):
+        arr = np.arange(6, dtype=np.float32)
+        slot = ring.acquire()
+        shape, dt = ring.write(slot, arr)
+        attached = ShmSlotRing.attach(ring.name, ring.slots, ring.slot_bytes)
+        try:
+            np.testing.assert_array_equal(attached.read(slot, shape, dt), arr)
+            # and the reverse direction (worker writes the response back)
+            attached.write(slot, arr * 2)
+            np.testing.assert_array_equal(ring.read(slot, shape, dt), arr * 2)
+        finally:
+            attached.close()
+
+    def test_attach_cannot_manage_slots(self, ring):
+        attached = ShmSlotRing.attach(ring.name, ring.slots, ring.slot_bytes)
+        try:
+            with pytest.raises(RuntimeError, match="creating side"):
+                attached.acquire()
+            with pytest.raises(RuntimeError, match="creating side"):
+                attached.release(0)
+        finally:
+            attached.close()
+
+    def test_attach_size_mismatch_rejected(self, ring):
+        with pytest.raises(ValueError, match="were expected"):
+            ShmSlotRing.attach(ring.name, ring.slots * 100, ring.slot_bytes)
+
+
+class TestSlotLifecycle:
+    def test_exhaustion_then_release_unblocks(self, ring):
+        slots = [ring.acquire(timeout=1) for _ in range(ring.slots)]
+        assert ring.free_slots == 0
+        assert ring.acquire(timeout=0.05) is None  # exhausted: timeout, not hang
+        got = []
+        waiter = threading.Thread(target=lambda: got.append(ring.acquire(timeout=5)))
+        waiter.start()
+        ring.release(slots[0])
+        waiter.join(timeout=5)
+        assert got == [slots[0]]
+
+    def test_double_release_rejected(self, ring):
+        slot = ring.acquire()
+        ring.release(slot)
+        with pytest.raises(ValueError, match="double release"):
+            ring.release(slot)
+
+    def test_release_out_of_range_rejected(self, ring):
+        with pytest.raises(ValueError, match="out of range"):
+            ring.release(99)
+
+    def test_slot_bytes_aligned(self):
+        with ShmSlotRing.create(slots=2, slot_bytes=100) as r:
+            assert r.slot_bytes % 64 == 0 and r.slot_bytes >= 100
+
+    def test_acquire_after_close_raises(self):
+        r = ShmSlotRing.create(slots=1, slot_bytes=64)
+        r.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            r.acquire(timeout=1)
+        r.unlink()
+
+    def test_close_wakes_blocked_acquirer(self):
+        r = ShmSlotRing.create(slots=1, slot_bytes=64)
+        r.acquire()
+        failures = []
+
+        def blocked():
+            try:
+                r.acquire(timeout=10)
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        r.close()
+        t.join(timeout=5)
+        assert len(failures) == 1  # woke with the closed error, no 10s hang
+        r.unlink()
+
+    @pytest.mark.parametrize("kwargs", [{"slots": 0, "slot_bytes": 64}, {"slots": 1, "slot_bytes": 0}])
+    def test_create_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ShmSlotRing.create(**kwargs)

@@ -15,6 +15,12 @@ class TestParser:
         assert args.dataset == "imagenet"
         assert args.unit == "cpu"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 2
+        assert args.clients == 8
+        assert args.max_batch == 8
+
 
 class TestCommands:
     def test_devices(self, capsys):
@@ -48,3 +54,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "patdnn-pattern" in out
         assert "tflite" in out
+
+    def test_serve_sharded_demo(self, capsys):
+        """End-to-end: 2 spawned shards serve a few hundred verified
+        requests and the aggregated cluster stats are printed."""
+        assert main(["serve", "--shards", "2", "--clients", "4", "--requests", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "over 2 shard(s)" in out
+        assert "outputs verified" in out
+        assert "total: 200 requests, 0 errors, 0 respawns" in out
+        # per-shard stat rows made it out (least-outstanding routing used both)
+        lines = [l for l in out.splitlines() if l.strip().startswith(("0 ", "1 "))]
+        assert len(lines) == 2

@@ -8,9 +8,11 @@ from repro.models import build_small_cnn
 from repro.utils.serialize import (
     load_fkw,
     load_pruning,
+    load_session_bundle,
     load_state,
     save_fkw,
     save_pruning,
+    save_session_bundle,
     save_state,
 )
 
@@ -49,6 +51,39 @@ class TestPruningRoundtrip:
         assert [p.bitmask for p in ps2] == [p.bitmask for p in ps]
         np.testing.assert_array_equal(assignments["layer0"], assignment)
         np.testing.assert_array_equal(assignments["layer1"], assignment * 0)
+
+
+class TestSessionBundleRoundtrip:
+    def test_compiled_bundle_roundtrip(self, tmp_path, pruned_layer):
+        _, assignment, ps = pruned_layer
+        model = build_small_cnn(channels=(8,), in_size=8, seed=1)
+        path = tmp_path / "bundle.npz"
+        assignments = {"features.0": assignment, "features.3": assignment * 0}
+        save_session_bundle(path, model.state_dict(), ps, assignments)
+        state, ps2, restored = load_session_bundle(path)
+        assert [p.bitmask for p in ps2] == [p.bitmask for p in ps]
+        # insertion order preserved: the session maps names positionally
+        assert list(restored) == list(assignments)
+        for name in assignments:
+            np.testing.assert_array_equal(restored[name], assignments[name])
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(state[key], value)
+
+    def test_dense_bundle_roundtrip(self, tmp_path):
+        model = build_small_cnn(channels=(8,), in_size=8, seed=1)
+        path = tmp_path / "dense.npz"
+        save_session_bundle(path, model.state_dict())
+        state, ps, assignments = load_session_bundle(path)
+        assert ps is None and assignments == {}
+        assert set(state) == set(model.state_dict())
+
+    def test_partial_artifacts_rejected(self, tmp_path, pruned_layer):
+        _, assignment, ps = pruned_layer
+        state = build_small_cnn(channels=(8,), in_size=8).state_dict()
+        with pytest.raises(ValueError, match="together"):
+            save_session_bundle(tmp_path / "x.npz", state, ps, None)
+        with pytest.raises(ValueError, match="together"):
+            save_session_bundle(tmp_path / "x.npz", state, None, {"a": assignment})
 
 
 class TestFKWRoundtrip:
