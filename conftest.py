@@ -1,0 +1,78 @@
+"""Repo-wide pytest configuration: a hand-rolled per-test ``--timeout``.
+
+The serving suites spawn worker processes, SIGSTOP/SIGKILL them, and
+inject faults; the failure mode of a bug there is not a red assertion
+but a *hang* (a future that never resolves, a join on a stopped
+process).  Without a watchdog, a hang eats the whole CI budget and the
+log ends mid-test with no culprit.
+
+``pytest-timeout`` is not available in this environment, so this is the
+minimal equivalent: ``--timeout <seconds>`` arms a daemon timer around
+each test.  If the test (including its fixtures' setup/teardown for
+that node) is still running when the timer fires, every thread's stack
+is dumped to stderr — naming the wedged frame — and the process exits
+hard.  ``os._exit`` is deliberate: a hung test often holds
+non-daemon threads or stopped children that would block a graceful
+``pytest.exit``.
+
+No option means no watchdog (local debugging stays unconstrained);
+``scripts/check.sh`` passes an explicit budget for CI.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+import sys
+import threading
+
+import pytest
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-test watchdog in seconds: dump all thread stacks "
+                 "and abort the run if a single test exceeds it",
+        )
+    except ValueError:
+        # another plugin already owns --timeout (e.g. pytest-timeout
+        # appears in the environment later): defer to it
+        pass
+
+
+def _abort(item, timeout: float) -> None:
+    # lift pytest's fd-level capture first, or the dump dies with the
+    # process inside a capture tempfile nobody will ever read
+    capman = item.config.pluginmanager.getplugin("capturemanager")
+    if capman is not None:
+        try:
+            capman.suspend_global_capture(in_=True)
+        except Exception:
+            pass
+    sys.stderr.write(
+        f"\n\n== WATCHDOG: {item.nodeid!r} still running after {timeout:g}s "
+        f"— dumping threads and aborting ==\n"
+    )
+    sys.stderr.flush()
+    faulthandler.dump_traceback(file=sys.stderr)
+    sys.stderr.flush()
+    os._exit(70)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    timeout = item.config.getoption("--timeout", None)
+    if not timeout or timeout <= 0:
+        yield
+        return
+    timer = threading.Timer(timeout, _abort, args=(item, timeout))
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()

@@ -1,18 +1,19 @@
 """Sharded serving: scale one pruned model across worker processes.
 
 PR 2's micro-batching server coalesces concurrent requests inside one
-process; this example takes the next scaling step from the ROADMAP —
-multi-session sharding across processes:
+process; this example takes the next scaling steps from the ROADMAP —
+multi-session sharding across processes, made resilient:
 
 1. build a pattern-pruned small CNN (one-shot projection, no ADMM) and
    capture it as a picklable ``SessionSpec`` + on-disk artifact bundle,
 2. stand up a ``ShardedServer``: worker processes each rebuild the
    session from the spec, tensors move over shared-memory slot rings,
-   and a least-outstanding-requests router spreads the load,
-3. drive it with closed-loop client threads and read the aggregated
-   cluster stats,
-4. kill a worker mid-traffic and watch the router fail the affected
-   futures, respawn the shard, and keep serving.
+   and a breaker-gated, latency-aware router spreads the load,
+3. SIGKILL a worker mid-traffic: the router retries the affected
+   requests on healthy shards and respawns the dead one — **zero**
+   client-visible errors, every output still verified,
+4. read the resilience counters (retries, breaker trips, shed) off
+   ``cluster_stats``.
 
 Run:  python examples/sharded_serving.py
 """
@@ -27,7 +28,7 @@ import time
 
 import numpy as np
 
-from repro.runtime import ServingConfig, ShardCrashedError
+from repro.runtime import ServingConfig
 from repro.runtime.cluster import ShardedServer, projected_smallcnn_spec
 
 N_SHARDS = 2
@@ -37,8 +38,13 @@ IN_SIZE = 12
 
 
 def drive(server, samples, expected, requests_per_client):
-    """Closed-loop clients; returns (wallclock s, crashed-request count)."""
-    crashed = [0]
+    """Closed-loop clients; returns (wallclock s, typed-error count).
+
+    A bare exception (wrong output, hang, untyped error) propagates and
+    fails the demo; typed resilience errors are counted — with retries
+    on, that count should be zero even through a worker kill.
+    """
+    typed = [0]
     errors: list[BaseException] = []
 
     def client(i):
@@ -46,8 +52,10 @@ def drive(server, samples, expected, requests_per_client):
             for _ in range(requests_per_client):
                 try:
                     out = server.submit(samples[i]).result(timeout=60)
-                except ShardCrashedError:
-                    crashed[0] += 1  # real clients would retry; we just count
+                except RuntimeError as exc:
+                    if type(exc) is RuntimeError:
+                        raise  # not a typed resilience error: a real bug
+                    typed[0] += 1
                     continue
                 np.testing.assert_allclose(out, expected[i], rtol=1e-4, atol=1e-5)
         except BaseException as exc:  # noqa: BLE001 - surfaced below
@@ -61,7 +69,7 @@ def drive(server, samples, expected, requests_per_client):
         t.join()
     if errors:
         raise errors[0]
-    return time.perf_counter() - start, crashed[0]
+    return time.perf_counter() - start, typed[0]
 
 
 def main():
@@ -86,6 +94,7 @@ def main():
     session.close()
 
     print(f"\n== 2. serve through {N_SHARDS} worker processes ==")
+    # default ResilienceConfig: 2 retries, per-shard circuit breakers
     with ShardedServer(spec, num_shards=N_SHARDS, health_interval_s=0.2) as server:
         print(f"  worker pids: {server.worker_pids()}")
         elapsed, _ = drive(server, samples, expected, REQUESTS_PER_CLIENT)
@@ -96,19 +105,33 @@ def main():
         for entry in stats["shards"]:
             serving = entry["serving"] or {}
             print(f"  shard {entry['shard']}: {entry['requests']} requests, "
+                  f"breaker {entry['breaker']['state']}, "
                   f"mean batch {serving.get('mean_batch', 0.0):.2f}, "
                   f"p95 {serving.get('p95_ms', 0.0):.2f} ms")
 
-        print("\n== 3. kill a worker mid-traffic (self-healing) ==")
+        print("\n== 3. SIGKILL a worker mid-traffic (retries make it invisible) ==")
         victim_pid = server.worker_pids()[0]
         killer = threading.Timer(0.15, lambda: os.kill(victim_pid, signal.SIGKILL))
         killer.start()
-        elapsed, crashed = drive(server, samples, expected, REQUESTS_PER_CLIENT)
+        elapsed, typed = drive(server, samples, expected, REQUESTS_PER_CLIENT)
         killer.join()
         stats = server.cluster_stats
-        print(f"  killed pid {victim_pid}; {crashed} in-flight request(s) got "
-              f"ShardCrashedError (no hangs), router respawned {stats['respawns']} shard(s)")
-        print(f"  new pids: {server.worker_pids()}; alive shards: {stats['alive_shards']}")
+        print(f"  killed pid {victim_pid}: {typed} client-visible error(s) "
+              f"(in-flight requests were resubmitted to healthy shards)")
+        print(f"  router respawned {stats['respawns']} shard(s); "
+              f"new pids: {server.worker_pids()}; alive shards: {stats['alive_shards']}")
+        if typed:
+            raise SystemExit("expected zero client-visible errors with retries on")
+
+        print("\n== 4. resilience counters (cluster_stats) ==")
+        print(f"  retries: {stats['retries']}, hedges: {stats['hedges']}, "
+              f"shed: {stats['shed']}, timed out: {stats['timed_out']}, "
+              f"corrupt caught: {stats['corrupt']}")
+        for entry in stats["shards"]:
+            b = entry["breaker"]
+            print(f"  shard {entry['shard']} breaker: {b['state']} "
+                  f"(trips {b['trips']}, failures {b['failures']}, "
+                  f"successes {b['successes']})")
         server.close()
         stats = server.cluster_stats
 

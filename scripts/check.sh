@@ -7,25 +7,41 @@
 # logic + assertions execute; no timing calibration) so CI catches
 # import errors and stale APIs in benchmarks/ as well.
 #
+# Every pytest run carries a per-test --timeout (the hand-rolled
+# watchdog in the root conftest.py): the serving/chaos suites' failure
+# mode is a hang, and a hang must name its test and die, not eat the CI
+# budget.
+#
 # Usage: scripts/check.sh [extra pytest args for the tier-1 run]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
-python -m pytest -x -q "$@"
+python -m pytest -x -q --timeout 300 "$@"
 
 # Named gate for the serving suites (also part of tier-1; kept explicit
 # and cheap so a serving regression is unmissable in CI output): the
-# in-process micro-batcher + arena, and the multi-process cluster stack
-# (spawned shard workers, shared-memory transport, crash recovery).
+# in-process micro-batcher + arena, the multi-process cluster stack
+# (spawned shard workers, shared-memory transport, crash recovery), and
+# the resilience layer (retries, breakers, deadlines, slot hygiene).
 # The benchmarks pass below picks up the serving throughput benches
-# (bench_serving_concurrent.py, bench_serving_cluster.py) via the glob.
+# (bench_serving_concurrent.py, bench_serving_cluster.py,
+# bench_serving_chaos.py) via the glob.
 echo "== serving concurrency + cluster stress tests =="
 python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py \
-                 tests/runtime/test_shm_ring.py tests/runtime/test_cluster.py -q
+                 tests/runtime/test_shm_ring.py tests/runtime/test_cluster.py \
+                 tests/runtime/test_resilience.py -q --timeout 300
+
+# The chaos matrix is the resilience acceptance gate: seeded fault
+# injection (crash/stall/slow/corrupt/slot-exhaust) against the full
+# stack — every request must resolve as the correct result or a typed
+# error, with the run's counters matching the plan's replay exactly.
+echo "== chaos suite (seeded fault injection) =="
+python -m pytest tests/runtime/test_chaos.py -q --timeout 300
 
 echo "== benchmarks (benchmark-disabled fast pass) =="
-python -m pytest benchmarks/ -q --benchmark-disable -o python_files='bench_*.py test_*.py'
+python -m pytest benchmarks/ -q --benchmark-disable --timeout 600 \
+                 -o python_files='bench_*.py test_*.py'
 
 echo "== check.sh OK =="

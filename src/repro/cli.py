@@ -91,9 +91,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.runtime import ServingConfig
+    from repro.runtime import FaultPlan, ResilienceConfig, ServingConfig
     from repro.runtime.cluster import ShardedServer, projected_smallcnn_spec
 
+    resilience = ResilienceConfig(max_retries=args.retries)
+    faults = None
+    if args.chaos > 0:
+        # split the chaos budget over the recoverable kinds: every faulted
+        # request must still resolve correctly (retries) or with a typed
+        # error (deadline) — the CLI demo doubles as a chaos smoke test
+        faults = FaultPlan(
+            seed=args.chaos_seed,
+            crash_rate=args.chaos / 3,
+            slow_rate=args.chaos / 3,
+            corrupt_rate=args.chaos / 3,
+            start_after=args.shards * 2,  # let warmup traffic through
+        )
+    deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
     with tempfile.TemporaryDirectory() as tmp:
         print(f"== capture: projection-pruned smallcnn ({args.in_size}x{args.in_size}) ==")
         spec = projected_smallcnn_spec(
@@ -115,12 +129,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"== serving {total} requests from {args.clients} closed-loop clients "
               f"over {args.shards} shard(s) ==")
         errors: list[BaseException] = []
-        with ShardedServer(spec, num_shards=args.shards) as server:
+        shed = 0
+        shed_lock = threading.Lock()
+        with ShardedServer(
+            spec, num_shards=args.shards, resilience=resilience, faults=faults
+        ) as server:
 
             def client(i: int) -> None:
+                nonlocal shed
                 try:
                     for _ in range(per_client):
-                        out = server.submit(samples[i]).result(timeout=120)
+                        try:
+                            out = server.submit(samples[i], deadline=deadline).result(timeout=120)
+                        except RuntimeError as exc:
+                            if type(exc) is RuntimeError:
+                                raise
+                            with shed_lock:  # typed shed/deadline error: expected under chaos
+                                shed += 1
+                            continue
                         np.testing.assert_allclose(out, expected[i], rtol=1e-4, atol=1e-5)
                 except BaseException as exc:  # noqa: BLE001 - reported below
                     errors.append(exc)
@@ -140,16 +166,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"outputs verified against the single-process session (rtol 1e-4)")
         print(f"throughput: {total / elapsed:.0f} req/s ({elapsed:.2f} s wallclock)\n")
         header = f"{'shard':>5s} {'pid':>8s} {'requests':>9s} {'errors':>7s} {'respawns':>9s} " \
-                 f"{'batches':>8s} {'mean batch':>11s} {'p50 ms':>8s} {'p95 ms':>8s}"
+                 f"{'breaker':>9s} {'batches':>8s} {'mean batch':>11s} {'p50 ms':>8s} {'p95 ms':>8s}"
         print(header)
         for entry in stats["shards"]:
             serving = entry["serving"] or {}
             print(f"{entry['shard']:>5d} {entry['pid']:>8d} {entry['requests']:>9d} "
                   f"{entry['errors']:>7d} {entry['respawns']:>9d} "
+                  f"{entry['breaker']['state']:>9s} "
                   f"{serving.get('batches', 0):>8d} {serving.get('mean_batch', 0.0):>11.2f} "
                   f"{serving.get('p50_ms', 0.0):>8.2f} {serving.get('p95_ms', 0.0):>8.2f}")
         print(f"\ntotal: {stats['requests']} requests, {stats['errors']} errors, "
               f"{stats['respawns']} respawns, cluster mean batch {stats['mean_batch']:.2f}")
+        print(f"resilience: {stats['retries']} retries, {stats['hedges']} hedges, "
+              f"{stats['shed']} shed, {stats['timed_out']} timed out, "
+              f"{stats['corrupt']} corrupt payloads caught; "
+              f"{shed} client-visible typed errors")
+        if stats["injected_faults"] is not None:
+            injected = ", ".join(f"{k}={v}" for k, v in stats["injected_faults"].items() if v)
+            print(f"injected (router-side decisions): {injected or 'none'}")
     return 0
 
 
@@ -184,6 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=256, help="total requests to serve")
     p.add_argument("--max-batch", type=int, default=8, help="per-worker micro-batch size")
     p.add_argument("--in-size", type=int, default=8, help="input H=W of the demo CNN")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per request (0 = crashes surface immediately)")
+    p.add_argument("--deadline-ms", type=float, default=0.0,
+                   help="per-request latency budget in ms (0 = none)")
+    p.add_argument("--chaos", type=float, default=0.0,
+                   help="total injected-fault rate in [0,1) split over crash/slow/corrupt")
+    p.add_argument("--chaos-seed", type=int, default=7, help="fault plan seed")
     p.set_defaults(fn=_cmd_serve)
     return parser
 

@@ -25,11 +25,31 @@ thread-safe end to end: many client threads may share one session, and
 :class:`repro.runtime.serving.MicroBatchServer` (or
 ``InferenceSession.run_async``) coalesces their concurrent single-sample
 requests into efficient micro-batches.
+
+Serving is **resilient** end to end (:mod:`repro.runtime.resilience`):
+requests carry deadlines through every tier, over-budget or over-capacity
+work is shed with typed errors (:class:`DeadlineExceededError`,
+:class:`QueueFullError`), shard crashes are retried transparently within
+a bounded budget (:class:`ResilienceConfig`), per-shard circuit breakers
+route around wedged workers, shared-memory payloads are
+checksum-verified (:class:`CorruptedPayloadError`), and a seeded
+:class:`FaultPlan` (:mod:`repro.runtime.faults`) makes all of it
+reproducibly testable.
 """
 
 from repro.runtime.ops import eval_node
 from repro.runtime.arena import BufferArena
 from repro.runtime.executor import ReferenceExecutor, CompiledExecutor
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    CorruptedPayloadError,
+    DeadlineExceededError,
+    InjectedFaultError,
+    QueueFullError,
+    RequestTimeoutError,
+    ResilienceConfig,
+)
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.serving import MicroBatchServer, ServingConfig, ServingStats
 from repro.runtime.session import InferenceSession, SessionSpec
 from repro.runtime.shm_ring import ShmSlotRing
@@ -48,4 +68,13 @@ __all__ = [
     "ShmSlotRing",
     "ShardedServer",
     "ShardCrashedError",
+    "ResilienceConfig",
+    "CircuitBreaker",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "CorruptedPayloadError",
+    "RequestTimeoutError",
+    "InjectedFaultError",
+    "FaultPlan",
+    "FaultInjector",
 ]

@@ -16,35 +16,59 @@ units:
 * **Shared-memory transport** — request and response tensors move
   through per-worker :class:`~repro.runtime.shm_ring.ShmSlotRing`
   slots instead of being pickled through the control pipe; only tiny
-  ``(request id, slot, shape, dtype)`` tuples cross the pipe.  A
-  request's slot does double duty (input in, output back out), so slot
-  lifecycle stays entirely router-owned and the slot count doubles as
-  per-shard backpressure.
-* **Load-aware router** — :meth:`ShardedServer.submit` keeps the PR 2
-  futures API and routes each request to the live shard with the fewest
-  outstanding requests.
+  ``(request id, slot, shape, dtype, crc, deadline)`` tuples cross the
+  pipe.  Payloads are CRC-checksummed both ways, so a corrupted slot
+  raises :class:`~repro.runtime.resilience.CorruptedPayloadError`
+  (and is retried) instead of silently returning wrong numbers.
+* **Resilient, latency-aware router** — :meth:`ShardedServer.submit`
+  keeps the PR 2 futures API; each request's payload is retained while
+  in flight, so a shard crash (or corrupted response, or stall timeout)
+  transparently **retries** the request on a healthy shard, bounded by
+  :attr:`~repro.runtime.resilience.ResilienceConfig.max_retries` —
+  clients only see :class:`ShardCrashedError` once the retry budget is
+  exhausted.  Optional **hedging** duplicates a slow request onto a
+  second shard with strict only-once result delivery.  Routing weighs
+  the workers' own p50/p95 latency reservoirs alongside outstanding
+  counts (:func:`~repro.runtime.resilience.route_score`), and a
+  per-shard **circuit breaker** (closed → open → half-open) takes a
+  failing or stalled shard out of rotation until a probe succeeds.
+* **Deadlines & admission control** — ``submit(x, deadline=...)``
+  attaches a latency budget that propagates through the shm protocol
+  into each worker's micro-batcher; over-deadline requests are shed
+  with :class:`~repro.runtime.resilience.DeadlineExceededError` before
+  they burn kernel time, and ``submit(x, timeout=...)`` fails fast with
+  :class:`~repro.runtime.resilience.QueueFullError` when every
+  transport slot stays busy (instead of blocking forever).
 * **Self-healing** — a health monitor pings workers for liveness and
-  serving stats; a crashed shard fails its in-flight futures with
-  :class:`ShardCrashedError` (clients see errors, never hangs) and is
+  serving stats; a crashed shard rehomes or fails its in-flight
+  requests (clients see results or typed errors, never hangs) and is
   respawned automatically.  A shard that keeps dying young (e.g. its
   bundle path is unreadable in the worker) is marked permanently failed
   instead of respawn-looping.
+* **Deterministic chaos** — a seeded
+  :class:`~repro.runtime.faults.FaultPlan` can be injected to crash,
+  stall, slow, corrupt, or slot-starve requests reproducibly; the
+  hooks are no-ops when no plan is given.
 
 Usage::
 
-    from repro.runtime import SessionSpec, ShardedServer
+    from repro.runtime import ResilienceConfig, SessionSpec, ShardedServer
 
     spec = SessionSpec.capture("smallcnn", model, (3, 16, 16), "bundle.npz",
                                pattern_set=ps, assignments=result.assignments,
                                model_kwargs={"channels": (16, 32), "in_size": 16})
-    with ShardedServer(spec, num_shards=4) as server:
-        futures = [server.submit(x) for x in samples]      # many threads
+    with ShardedServer(spec, num_shards=4,
+                       resilience=ResilienceConfig(max_retries=2)) as server:
+        futures = [server.submit(x, deadline=0.5) for x in samples]
         outs = [f.result() for f in futures]
-        print(server.cluster_stats["mean_batch"])
+        print(server.cluster_stats["retries"], server.cluster_stats["mean_batch"])
 
 Workers are spawned (not forked) by default: a forked child would
 inherit arbitrary lock/thread state from a serving process mid-flight,
-and the spec is picklable precisely so spawn works.
+and the spec is picklable precisely so spawn works.  Deadlines cross
+the process boundary as absolute ``time.monotonic()`` values, which is
+valid because every shard lives on the same host (CLOCK_MONOTONIC is
+system-wide on Linux).
 """
 
 from __future__ import annotations
@@ -59,6 +83,16 @@ from multiprocessing import get_context
 
 import numpy as np
 
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    CorruptedPayloadError,
+    DeadlineExceededError,
+    QueueFullError,
+    RequestTimeoutError,
+    ResilienceConfig,
+    route_score,
+)
 from repro.runtime.session import SessionSpec
 from repro.runtime.shm_ring import ShmSlotRing
 
@@ -70,19 +104,30 @@ _FAST_FAIL_S = 5.0
 
 
 class ShardCrashedError(RuntimeError):
-    """The shard holding this request died before responding."""
+    """The shard holding this request died before responding (and the
+    retry budget, if any, was exhausted)."""
 
 
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(spec: SessionSpec, ring_name: str, slots: int, slot_bytes: int, conn) -> None:
+def _worker_main(
+    spec: SessionSpec,
+    ring_name: str,
+    slots: int,
+    slot_bytes: int,
+    conn,
+    fault_plan: FaultPlan | None = None,
+) -> None:
     """Shard worker body (module-level: must be importable under spawn).
 
     Rebuilds the session from the spec, then serves the control pipe:
-    each ``req`` payload is copied out of its shared-memory slot,
-    submitted to the session's micro-batching front-end, and the
-    response written back into the *same* slot when the future resolves.
+    each ``req`` payload is copied (checksum-verified) out of its
+    shared-memory slot, submitted to the session's micro-batching
+    front-end with its deadline, and the response written back into the
+    *same* slot when the future resolves.  A :class:`FaultPlan` (chaos
+    tests only) deterministically injects crashes, stalls, slowness,
+    and response corruption keyed by request id.
     """
     send_lock = threading.Lock()
 
@@ -101,21 +146,27 @@ def _worker_main(spec: SessionSpec, ring_name: str, slots: int, slot_bytes: int,
         return
 
     ring = ShmSlotRing.attach(ring_name, slots, slot_bytes)
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
 
-    def _reply(req_id: int, slot: int, fut: Future) -> None:
+    def _reply(req_id: int, slot: int, fut: Future, corrupt: bool = False) -> None:
         exc = fut.exception()
         if exc is not None:
-            _send(("err", req_id, slot, f"{type(exc).__name__}: {exc}"))
+            code = "deadline" if isinstance(exc, DeadlineExceededError) else "error"
+            _send(("err", req_id, slot, code, f"{type(exc).__name__}: {exc}"))
             return
         out = np.ascontiguousarray(fut.result())
         if out.nbytes > ring.slot_bytes:
             _send(
-                ("err", req_id, slot,
+                ("err", req_id, slot, "error",
                  f"output of {out.nbytes} bytes exceeds the {ring.slot_bytes}-byte slot")
             )
             return
-        shape, dtype = ring.write(slot, out)
-        _send(("res", req_id, slot, shape, dtype))
+        shape, dtype, crc = ring.write(slot, out)
+        if corrupt:
+            # injected fault: clobber the payload *after* the checksum was
+            # computed — the router's verification must catch it
+            ring.corrupt(slot)
+        _send(("res", req_id, slot, shape, dtype, crc))
 
     stats = None  # the ServingStats object outlives session.close()
     try:
@@ -132,11 +183,31 @@ def _worker_main(spec: SessionSpec, ring_name: str, slots: int, slot_bytes: int,
                 stats = session.serving_stats or stats
                 _send(("pong", msg[1], stats.snapshot() if stats is not None else None))
             elif kind == "req":
-                _, req_id, slot, shape, dtype = msg
-                x = ring.read(slot, shape, dtype)  # copy: slot is reusable for the reply
+                _, req_id, slot, shape, dtype, crc, deadline_at = msg
+                fault = injector.decide(req_id) if injector is not None else None
+                if fault == "crash":
+                    os._exit(17)  # hard death with the request in flight
+                # a stall blocks the whole receive loop: the canonical
+                # wedged-but-alive shard that breakers exist for
+                if injector is not None:
+                    injector.apply_delay(fault)
+                try:
+                    x = ring.read(slot, shape, dtype, crc)  # copy + verify
+                except CorruptedPayloadError as exc:
+                    _send(("err", req_id, slot, "corrupt", str(exc)))
+                    continue
                 stats = session.serving_stats or stats
-                fut = session.submit(x)
-                fut.add_done_callback(lambda f, r=req_id, s=slot: _reply(r, s, f))
+                try:
+                    fut = session.submit(x, deadline_at=deadline_at)
+                except DeadlineExceededError as exc:  # dead on arrival
+                    _send(("err", req_id, slot, "deadline", str(exc)))
+                    continue
+                except QueueFullError as exc:  # shouldn't happen: slots <= queue
+                    _send(("err", req_id, slot, "error", f"QueueFullError: {exc}"))
+                    continue
+                fut.add_done_callback(
+                    lambda f, r=req_id, s=slot, c=(fault == "corrupt"): _reply(r, s, f, c)
+                )
     finally:
         stats = session.serving_stats or stats
         session.close()  # graceful drain: in-flight futures resolve, replies go out
@@ -146,25 +217,97 @@ def _worker_main(spec: SessionSpec, ring_name: str, slots: int, slot_bytes: int,
 
 
 # ----------------------------------------------------------------------
-# Router-side shard bookkeeping
+# Router-side request + shard bookkeeping
 # ----------------------------------------------------------------------
+class _InFlight:
+    """One client request, across all its dispatch attempts.
+
+    Retains the input payload so crash/stall/corruption can re-dispatch
+    it, and owns the only-once delivery contract: however many attempts
+    (retries, hedges) are racing, exactly one outcome reaches the
+    client future — late losers are discarded (their slots are still
+    reclaimed by the normal reply path).
+    """
+
+    __slots__ = (
+        "x", "future", "deadline_at", "attempts", "hedged", "stalled",
+        "done", "lock", "created_at", "last_sent_at",
+    )
+
+    def __init__(self, x: np.ndarray, future: Future, deadline_at: float | None) -> None:
+        self.x = x
+        self.future = future
+        self.deadline_at = deadline_at
+        self.attempts = 0
+        self.hedged = False
+        self.stalled = False
+        self.done = False
+        self.lock = threading.Lock()
+        self.created_at = time.monotonic()
+        self.last_sent_at = self.created_at
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_at
+
+    def try_claim_attempt(self, max_attempts: int) -> bool:
+        """Reserve one dispatch attempt (False: done or budget spent)."""
+        with self.lock:
+            if self.done or self.attempts >= max_attempts:
+                return False
+            self.attempts += 1
+            return True
+
+    def unclaim_attempt(self) -> None:
+        """Return an attempt that never made it onto a shard."""
+        with self.lock:
+            self.attempts = max(0, self.attempts - 1)
+
+    def _finish(self) -> bool:
+        with self.lock:
+            if self.done:
+                return False
+            self.done = True
+            self.x = None  # payload no longer needed; free it early
+            return True
+
+    def resolve_result(self, out: np.ndarray) -> bool:
+        """Deliver a result if no other attempt beat us to it."""
+        if not self._finish():
+            return False
+        if self.future.set_running_or_notify_cancel():
+            self.future.set_result(out)
+        return True
+
+    def resolve_exception(self, exc: BaseException) -> bool:
+        """Deliver a failure if no other attempt beat us to it."""
+        if not self._finish():
+            return False
+        if self.future.set_running_or_notify_cancel():
+            self.future.set_exception(exc)
+        return True
+
+
 class _Shard:
     """One worker incarnation as seen by the router."""
 
-    def __init__(self, index: int, process, conn, ring: ShmSlotRing) -> None:
+    def __init__(self, index: int, process, conn, ring: ShmSlotRing, breaker: CircuitBreaker) -> None:
         self.index = index
         self.process = process
         self.conn = conn
         self.ring = ring
+        self.breaker = breaker  # fresh per incarnation: a respawn starts clean
         self.lock = threading.Lock()  # pending/slot_of/counters
         self.send_lock = threading.Lock()
-        self.pending: dict[int, Future] = {}
+        self.pending: dict[int, _InFlight] = {}
         self.slot_of: dict[int, int] = {}
         self.ready = threading.Event()
         self.down = False
         self.permanent = False  # down for good: no replacement is coming
         self.fail_reason: str | None = None
         self.spawned_at = time.monotonic()
+        self.last_routed_at = self.spawned_at
         self.recv_thread: threading.Thread | None = None
         self.worker_stats: dict | None = None
         # cumulative across incarnations of this shard index
@@ -177,9 +320,17 @@ class _Shard:
     def outstanding(self) -> int:
         return len(self.pending)
 
+    def score(self) -> float:
+        """Latency-aware routing score (lower = better candidate)."""
+        stats = self.worker_stats or {}
+        return route_score(
+            self.outstanding, stats.get("p50_ms", 0.0), stats.get("p95_ms", 0.0)
+        )
+
 
 class ShardedServer:
-    """Serve one model from N worker processes behind a load-aware router.
+    """Serve one model from N worker processes behind a resilient,
+    latency-aware router.
 
     Args:
         spec: picklable session recipe every worker rebuilds.
@@ -189,8 +340,17 @@ class ShardedServer:
         max_request_samples: largest ``N`` accepted per request; also
             sizes the slots (``max(input, output) elements x N x
             float32``), so larger requests raise instead of overflowing.
-        health_interval_s: monitor period for liveness pings and
-            serving-stats refresh.
+        health_interval_s: monitor period for liveness pings, stats
+            refresh, deadline/stall scans, and hedging decisions.
+        resilience: retry / hedging / breaker / timeout knobs
+            (:class:`~repro.runtime.resilience.ResilienceConfig`); the
+            default enables 2 retries.  Pass
+            ``ResilienceConfig(max_retries=0)`` for the pre-retry
+            behaviour (crashes surface as :class:`ShardCrashedError`
+            immediately).
+        faults: deterministic chaos plan
+            (:class:`~repro.runtime.faults.FaultPlan`); ``None`` in
+            production — every hook is a no-op.
         mp_start: multiprocessing start method (``spawn`` default; see
             module docstring).
         worker_env: extra environment for workers (e.g. pin BLAS threads
@@ -206,6 +366,8 @@ class ShardedServer:
         slots_per_shard: int = 16,
         max_request_samples: int = 16,
         health_interval_s: float = 0.5,
+        resilience: ResilienceConfig | None = None,
+        faults: FaultPlan | None = None,
         mp_start: str = "spawn",
         worker_env: dict[str, str] | None = None,
     ) -> None:
@@ -218,6 +380,9 @@ class ShardedServer:
         self.slots_per_shard = slots_per_shard
         self.max_request_samples = max_request_samples
         self.health_interval_s = health_interval_s
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self._fault_plan = faults
+        self._injector = FaultInjector(faults) if faults is not None else None
         self._worker_env = dict(worker_env) if worker_env else None
         self._ctx = get_context(mp_start)
         elems = max(prod(spec.input_shape), prod(spec.probe_output_shape()))
@@ -226,6 +391,11 @@ class ShardedServer:
         self._closed = False
         self._req_ids = itertools.count()
         self._retired_rings: list[ShmSlotRing] = []
+        # resilience counters (cluster_stats); guarded by _counter_lock
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "retries": 0, "hedges": 0, "shed": 0, "timed_out": 0, "corrupt": 0,
+        }
         self._shards: list[_Shard] = []
         try:
             for i in range(num_shards):
@@ -249,6 +419,10 @@ class ShardedServer:
         )
         self._monitor.start()
 
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[key] += n
+
     # ------------------------------------------------------------------
     # Spawning / crash handling
     # ------------------------------------------------------------------
@@ -257,7 +431,8 @@ class ShardedServer:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self.spec, ring.name, self.slots_per_shard, ring.slot_bytes, child_conn),
+            args=(self.spec, ring.name, self.slots_per_shard, ring.slot_bytes,
+                  child_conn, self._fault_plan),
             name=f"repro-shard-{index}",
             daemon=True,
         )
@@ -274,7 +449,10 @@ class ShardedServer:
                 else:
                     os.environ[key] = value
         child_conn.close()  # parent keeps one end; EOF then tracks the worker's life
-        shard = _Shard(index, process, parent_conn, ring)
+        breaker = CircuitBreaker(
+            self.resilience.breaker_threshold, self.resilience.breaker_reset_s
+        )
+        shard = _Shard(index, process, parent_conn, ring, breaker)
         shard.recv_thread = threading.Thread(
             target=self._recv_loop, args=(shard,), name=f"repro-shard-{index}-recv", daemon=True
         )
@@ -282,7 +460,8 @@ class ShardedServer:
         return shard
 
     def _recv_loop(self, shard: _Shard) -> None:
-        """Per-shard response pump: resolves futures, frees slots."""
+        """Per-shard response pump: resolves in-flight records, frees
+        slots (also for discarded late/hedge-loser replies)."""
         while True:
             try:
                 msg = shard.conn.recv()
@@ -291,31 +470,61 @@ class ShardedServer:
                 return
             kind = msg[0]
             if kind == "res":
-                _, req_id, slot, shape, dtype = msg
+                _, req_id, slot, shape, dtype, crc = msg
                 try:
-                    out = shard.ring.read(slot, shape, dtype)
+                    out = shard.ring.read(slot, shape, dtype, crc)
+                    read_err: Exception | None = None
+                except CorruptedPayloadError as exc:  # transport corruption: retryable
+                    out, read_err = None, exc
                 except Exception as exc:  # torn ring (shard raced a close)
                     out, read_err = None, exc
+                with shard.lock:
+                    inflight = shard.pending.pop(req_id, None)
+                    shard.slot_of.pop(req_id, None)
+                self._release_slot(shard, slot)
+                if isinstance(read_err, CorruptedPayloadError):
+                    shard.breaker.record_failure()
+                    self._count("corrupt")
+                    if inflight is not None:
+                        self._retry_or_fail(inflight, read_err, exclude=shard)
+                    continue
+                shard.breaker.record_success()
+                if inflight is None:
+                    continue  # late reply for a request already settled elsewhere
+                if read_err is None:
+                    inflight.resolve_result(out)
                 else:
-                    read_err = None
-                with shard.lock:
-                    fut = shard.pending.pop(req_id, None)
-                    shard.slot_of.pop(req_id, None)
-                self._release_slot(shard, slot)
-                if fut is not None and fut.set_running_or_notify_cancel():
-                    if read_err is None:
-                        fut.set_result(out)
-                    else:
-                        fut.set_exception(read_err)
+                    inflight.resolve_exception(read_err)
             elif kind == "err":
-                _, req_id, slot, text = msg
+                _, req_id, slot, code, text = msg
                 with shard.lock:
-                    fut = shard.pending.pop(req_id, None)
+                    inflight = shard.pending.pop(req_id, None)
                     shard.slot_of.pop(req_id, None)
-                    shard.errors += 1
                 self._release_slot(shard, slot)
-                if fut is not None and fut.set_running_or_notify_cancel():
-                    fut.set_exception(RuntimeError(f"shard {shard.index}: {text}"))
+                if code == "corrupt":
+                    # the *request* arrived corrupted at the worker: the
+                    # worker itself is healthy, the transport attempt is not
+                    self._count("corrupt")
+                    if inflight is not None:
+                        self._retry_or_fail(
+                            inflight, CorruptedPayloadError(f"shard {shard.index}: {text}"),
+                            exclude=None,
+                        )
+                    continue
+                shard.breaker.record_success()  # worker responded: it is alive
+                if code == "deadline":
+                    # count only if this reply actually resolved the client
+                    # (the monitor's deadline scan may have beaten us to it
+                    # and already counted the expiry)
+                    if inflight is not None and inflight.resolve_exception(
+                        DeadlineExceededError(f"shard {shard.index}: {text}")
+                    ):
+                        self._count("timed_out")
+                    continue
+                with shard.lock:
+                    shard.errors += 1
+                if inflight is not None:
+                    inflight.resolve_exception(RuntimeError(f"shard {shard.index}: {text}"))
             elif kind == "pong":
                 shard.worker_stats = msg[2]
             elif kind == "bye":
@@ -348,10 +557,15 @@ class ShardedServer:
         self._retired_rings.append(ring)
 
     def _handle_shard_down(self, shard: _Shard, reason: str) -> None:
-        """Fail a dead shard's in-flight requests; respawn unless closing.
+        """Rehome or fail a dead shard's in-flight requests; respawn
+        unless closing.
 
         Idempotent per incarnation — the first caller (recv thread on
-        EOF, submit on a broken pipe, or the monitor) wins.
+        EOF, submit on a broken pipe, or the monitor) wins.  Requests
+        with retry budget left are re-dispatched to healthy shards on a
+        rescue thread (their payloads were retained for exactly this);
+        the rest fail with :class:`ShardCrashedError` — typed errors,
+        never hangs.
         """
         with self._lock:
             if shard.down:
@@ -369,15 +583,38 @@ class ShardedServer:
             doomed = dict(shard.pending)
             shard.pending.clear()
             shard.slot_of.clear()
-            shard.errors += len(doomed)
         detail = shard.fail_reason or reason
-        for fut in doomed.values():
-            if fut.set_running_or_notify_cancel():
-                fut.set_exception(
-                    ShardCrashedError(
-                        f"shard {shard.index} crashed with the request in flight ({detail})"
-                    )
+        rehome: list[_InFlight] = []
+        failed = 0
+        for inflight in doomed.values():
+            if inflight.done:
+                continue  # e.g. a hedge winner already delivered
+            if inflight.expired():
+                if inflight.resolve_exception(
+                    DeadlineExceededError("deadline passed with the request in flight")
+                ):
+                    self._count("timed_out")
+                continue
+            if not closing and inflight.try_claim_attempt(self.resilience.max_attempts):
+                rehome.append(inflight)
+                continue
+            if inflight.resolve_exception(
+                ShardCrashedError(
+                    f"shard {shard.index} crashed with the request in flight ({detail})"
                 )
+            ):
+                failed += 1
+        if failed:
+            with shard.lock:
+                shard.errors += failed
+        if rehome:
+            self._count("retries", len(rehome))
+            threading.Thread(
+                target=self._redispatch_batch,
+                args=(rehome,),
+                name=f"repro-shard-{shard.index}-rescue",
+                daemon=True,
+            ).start()
         if shard.process.is_alive():  # pipe died first (shouldn't happen) — reap anyway
             shard.process.terminate()
         shard.process.join(timeout=5.0)
@@ -401,9 +638,41 @@ class ShardedServer:
             replacement.early_deaths = shard.early_deaths
             self._shards[shard.index] = replacement
 
+    def _redispatch_batch(self, inflights: list[_InFlight]) -> None:
+        """Rescue thread: re-dispatch rehomed requests (attempt already
+        claimed) to healthy shards; failures resolve typed errors."""
+        for inflight in inflights:
+            self._dispatch_attempt(inflight, claimed=True)
+
+    def _retry_or_fail(
+        self, inflight: _InFlight, exc: BaseException, exclude: _Shard | None
+    ) -> None:
+        """One attempt failed (corruption / stall): spend a retry if the
+        budget allows, else deliver the typed error."""
+        if inflight.done:
+            return
+        if inflight.expired():
+            if inflight.resolve_exception(
+                DeadlineExceededError("deadline passed with the request in flight")
+            ):
+                self._count("timed_out")
+            return
+        if self._closed or not inflight.try_claim_attempt(self.resilience.max_attempts):
+            inflight.resolve_exception(exc)
+            return
+        self._count("retries")
+        threading.Thread(
+            target=self._dispatch_attempt,
+            args=(inflight,),
+            kwargs={"claimed": True, "exclude": exclude},
+            name="repro-retry-dispatch",
+            daemon=True,
+        ).start()
+
     def _monitor_loop(self) -> None:
-        """Liveness + stats heartbeat (crash detection itself is mostly
-        event-driven: a dead worker's pipe EOFs its recv thread)."""
+        """Liveness + stats heartbeat, plus the per-request scans that
+        need a clock: deadline expiry, stall detection (breaker
+        failures + retries), and hedging."""
         while not self._stop_monitor.wait(self.health_interval_s):
             for shard in list(self._shards):
                 if shard.down:
@@ -416,18 +685,93 @@ class ShardedServer:
                         shard.conn.send(("ping", next(self._ping_seq)))
                 except (BrokenPipeError, OSError):
                     self._handle_shard_down(shard, "health ping failed")
+                    continue
+                self._scan_inflight(shard)
+
+    def _scan_inflight(self, shard: _Shard) -> None:
+        """Deadline / stall / hedge pass over one live shard's requests."""
+        cfg = self.resilience
+        now = time.monotonic()
+        with shard.lock:
+            items = list(shard.pending.values())
+        for inflight in items:
+            if inflight.done:
+                continue
+            if inflight.expired(now):
+                # the slot stays reserved until the worker replies (it may
+                # still write into it); the reply is then discarded
+                if inflight.resolve_exception(
+                    DeadlineExceededError("deadline passed with the request in flight")
+                ):
+                    self._count("timed_out")
+                continue
+            age = now - inflight.last_sent_at
+            if (
+                cfg.request_timeout_s is not None
+                and age > cfg.request_timeout_s
+                and not inflight.stalled
+            ):
+                inflight.stalled = True
+                shard.breaker.record_failure()  # stalls trip the breaker
+                self._retry_or_fail(
+                    inflight,
+                    RequestTimeoutError(
+                        f"attempt on shard {shard.index} stalled for {age:.2f} s "
+                        f"(> request_timeout_s={cfg.request_timeout_s}); no retry "
+                        "budget left"
+                    ),
+                    exclude=shard,
+                )
+            elif (
+                cfg.hedge_after_ms is not None
+                and age * 1e3 > cfg.hedge_after_ms
+                and not inflight.hedged
+            ):
+                inflight.hedged = True
+                if inflight.try_claim_attempt(cfg.max_attempts):
+                    self._count("hedges")
+                    threading.Thread(
+                        target=self._dispatch_attempt,
+                        args=(inflight,),
+                        kwargs={"claimed": True, "exclude": shard, "best_effort": True},
+                        name="repro-hedge-dispatch",
+                        daemon=True,
+                    ).start()
 
     # ------------------------------------------------------------------
     # Client API (same futures vocabulary as MicroBatchServer)
     # ------------------------------------------------------------------
-    def submit(self, x: np.ndarray) -> Future:
-        """Route one request to the least-loaded shard; future of logits.
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> Future:
+        """Route one request to the best shard; future of the logits.
 
         ``x`` is one ``(C, H, W)`` sample or an ``(N, C, H, W)`` batch
-        with ``N <= max_request_samples``.  Blocks for backpressure when
-        every shard's slot ring is full.  A request whose shard dies
-        before its response lands fails with :class:`ShardCrashedError`
-        (requests not yet sent are transparently retried elsewhere).
+        with ``N <= max_request_samples``.
+
+        Args:
+            deadline: latency budget in seconds.  The budget travels
+                with the request through every tier (router queue, shm
+                transport, worker micro-batcher); once it expires the
+                request resolves with
+                :class:`~repro.runtime.resilience.DeadlineExceededError`
+                — over-budget work is shed, not executed.
+            timeout: admission patience in seconds.  When every live
+                shard's slot ring stays full this long, the request is
+                refused with
+                :class:`~repro.runtime.resilience.QueueFullError`
+                instead of blocking indefinitely (``None`` preserves
+                the blocking behaviour).
+
+        A request whose shard dies (or whose response is corrupted, or
+        which stalls past ``request_timeout_s``) is retried on another
+        shard up to ``resilience.max_retries`` times;
+        :class:`ShardCrashedError` surfaces only once that budget is
+        spent.
         """
         x = np.asarray(x)
         if x.ndim == 3:
@@ -444,60 +788,173 @@ class ShardedServer:
                 f"request of {x.nbytes} bytes ({x.dtype}) exceeds the "
                 f"{self._slot_bytes}-byte transport slots (sized for float32)"
             )
-        future: Future = Future()
+        if self._closed:
+            raise RuntimeError("ShardedServer is closed")
+        deadline_at = None if deadline is None else time.monotonic() + deadline
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            self._count("timed_out")
+            raise DeadlineExceededError("request deadline already expired at submission")
+        inflight = _InFlight(x, Future(), deadline_at)
+        inflight.try_claim_attempt(self.resilience.max_attempts)  # first attempt
+        status = self._dispatch_attempt(
+            inflight, claimed=True, admission_timeout=timeout, sync=True
+        )
+        if status == "queue_full":
+            self._count("shed")
+            raise QueueFullError(
+                f"every live shard's slot ring stayed full for {timeout:.3f} s; "
+                "request shed"
+            )
+        if status == "closed":
+            raise RuntimeError("ShardedServer is closed")
+        return inflight.future
+
+    #: alias matching ``InferenceSession.run_async`` / ``submit``
+    run_async = submit
+
+    def run(self, x: np.ndarray, timeout: float | None = None, **submit_kwargs) -> np.ndarray:
+        """Synchronous convenience: ``submit(x).result(timeout)``."""
+        return self.submit(x, **submit_kwargs).result(timeout)
+
+    def _dispatch_attempt(
+        self,
+        inflight: _InFlight,
+        *,
+        claimed: bool,
+        exclude: _Shard | None = None,
+        best_effort: bool = False,
+        admission_timeout: float | None = None,
+        sync: bool = False,
+    ) -> str:
+        """Place one (already claimed) attempt onto a shard.
+
+        Returns ``"sent"`` (attempt is in flight), ``"resolved"`` (the
+        in-flight record was settled here — deadline, no-shards, or a
+        concurrent attempt won), ``"queue_full"`` (admission timeout
+        expired; nothing was settled — the caller decides), or
+        ``"closed"``.  ``best_effort`` (hedging) never blocks: if no
+        shard has a free slot right now, the attempt is unclaimed and
+        dropped.
+        """
+        assert claimed, "attempts must be claimed before dispatch"
         req_id = next(self._req_ids)
+        wait_deadline = (
+            None if admission_timeout is None else time.monotonic() + admission_timeout
+        )
         while True:
+            if inflight.done:
+                return "resolved"
             if self._closed:
-                raise RuntimeError("ShardedServer is closed")
-            shard = self._pick_shard()
-            if shard is None:  # every shard is mid-respawn: wait it out
+                inflight.resolve_exception(RuntimeError("ShardedServer is closed"))
+                return "closed"
+            if inflight.expired():
+                if inflight.resolve_exception(
+                    DeadlineExceededError("deadline expired while waiting for capacity")
+                ):
+                    self._count("timed_out")
+                return "resolved"
+            try:
+                shard = self._pick_shard(exclude)
+            except RuntimeError as exc:  # permanent: no live shards coming back
+                if sync:
+                    raise  # surface straight out of submit()
+                inflight.resolve_exception(exc)
+                return "resolved"
+            if shard is None:  # everything down/open/excluded: wait it out
+                if best_effort:
+                    inflight.unclaim_attempt()
+                    inflight.hedged = False  # allow a later hedge try
+                    return "resolved"
+                if wait_deadline is not None and time.monotonic() >= wait_deadline:
+                    return "queue_full"
                 time.sleep(0.05)
                 continue
-            try:
-                slot = shard.ring.acquire(timeout=0.05)
-            except RuntimeError:  # ring closed: shard died while we waited
-                continue
+            if self._injector is not None and self._injector.exhaust_slot(req_id):
+                slot = None  # injected slot exhaustion: ring "full" once
+            else:
+                try:
+                    slot = shard.ring.acquire(timeout=0.0 if best_effort else 0.05)
+                except RuntimeError:  # ring closed: shard died while we waited
+                    continue
             if slot is None:  # shard full — re-pick (load may have shifted)
+                if best_effort:
+                    inflight.unclaim_attempt()
+                    inflight.hedged = False
+                    return "resolved"
+                if wait_deadline is not None and time.monotonic() >= wait_deadline:
+                    return "queue_full"
                 continue
+            x = inflight.x
+            if x is None:  # resolved while we acquired: give the slot back
+                self._release_slot(shard, slot)
+                return "resolved"
             with shard.lock:
                 if shard.down:
                     self._release_slot(shard, slot)
                     continue
-                shard.pending[req_id] = future
+                shard.pending[req_id] = inflight
                 shard.slot_of[req_id] = slot
             try:
-                shape, dtype = shard.ring.write(slot, x)
+                shape, dtype, crc = shard.ring.write(slot, x)
                 with shard.send_lock:
-                    shard.conn.send(("req", req_id, slot, shape, dtype))
+                    shard.conn.send(("req", req_id, slot, shape, dtype, crc,
+                                     inflight.deadline_at))
+                inflight.last_sent_at = time.monotonic()
+                inflight.stalled = False
+                shard.last_routed_at = inflight.last_sent_at
                 with shard.lock:
                     shard.requests += 1
-                return future
+                return "sent"
             except Exception:
                 with shard.lock:
                     owned = shard.pending.pop(req_id, None)
                     shard.slot_of.pop(req_id, None)
                 self._handle_shard_down(shard, "request transport failed")
                 if owned is None:
-                    # the crash handler beat us to the future and failed it
-                    return future
+                    # the crash handler beat us to it: the request is now
+                    # its responsibility (rehomed or failed)
+                    return "resolved"
+                # we still own this attempt — try another shard
 
-    #: alias matching ``InferenceSession.run_async`` / ``submit``
-    run_async = submit
+    def _pick_shard(self, exclude: _Shard | None = None) -> _Shard | None:
+        """Breaker-gated, latency-aware routing over live shards.
 
-    def run(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
-        """Synchronous convenience: ``submit(x).result(timeout)``."""
-        return self.submit(x).result(timeout)
-
-    def _pick_shard(self) -> _Shard | None:
-        """Least-outstanding-requests routing over live shards.
-
-        Returns ``None`` during the transient window where every shard
-        is down but at least one respawn is still coming (the caller
-        waits and retries); raises only when failure is permanent.
+        Candidates are live shards whose breaker admits traffic; they
+        compete on :func:`route_score` (expected completion time from
+        outstanding count + the worker's own p50/p95), except that a
+        half-open breaker's probe takes priority — one request risked
+        now is the fastest road back to full capacity.  Returns ``None``
+        during the transient window where nothing is routable but
+        recovery is still possible (the caller waits); raises only when
+        failure is permanent.
         """
-        live = [s for s in self._shards if not s.down]
+        live = [s for s in self._shards if not s.down and s is not exclude]
         if live:
-            return min(live, key=lambda s: s.outstanding)
+            # latency-aware scores are only comparable when every candidate
+            # has reported latencies — a stats-less shard (fresh spawn, no
+            # pong yet) would otherwise look optimistically fast and starve
+            # the measured ones, so mixed visibility degrades to plain
+            # least-outstanding until the pongs catch up
+            measured = all(
+                s.worker_stats and s.worker_stats.get("p50_ms", 0.0) > 0.0 for s in live
+            )
+            rank = (lambda s: s.score()) if measured else (lambda s: s.outstanding)
+            # exploration guarantee: a shard's p50/p95 only refresh while it
+            # serves traffic, so a shard whose last incident left pathological
+            # latencies behind (e.g. a batch that spanned a stall) could lose
+            # every score comparison forever.  An idle shard that hasn't been
+            # routed to recently outranks score-ranked peers — one request per
+            # staleness window bounds the starvation and re-measures it.
+            now = time.monotonic()
+            stale_after = max(4.0 * self.health_interval_s, 1.0)
+            fresh = lambda s: s.outstanding > 0 or now - s.last_routed_at <= stale_after
+            ranked = sorted(
+                live, key=lambda s: (s.breaker.state != "half_open", fresh(s), rank(s))
+            )
+            for shard in ranked:
+                if shard.breaker.try_acquire():
+                    return shard
+            return None  # every breaker open (or probes outstanding): wait
         if any(not s.permanent for s in self._shards):
             return None
         reasons = sorted({s.fail_reason for s in self._shards if s.fail_reason})
@@ -517,9 +974,11 @@ class ShardedServer:
         """Aggregated router + worker counters (read any time).
 
         Per-shard: router-side ``requests``/``errors``/``outstanding``/
-        ``respawns`` plus the worker's own serving-stats snapshot
-        (``None`` until its first health pong).  Global: sums, plus
-        worker-side batch counters and the cluster-wide mean batch.
+        ``respawns``, the breaker snapshot, plus the worker's own
+        serving-stats snapshot (``None`` until its first health pong).
+        Global: sums, worker-side batch counters, the cluster-wide mean
+        batch, and the resilience counters (``retries``, ``hedges``,
+        ``shed``, ``timed_out``, ``corrupt``).
         """
         shards = []
         totals = {"requests": 0, "errors": 0, "outstanding": 0, "respawns": 0}
@@ -535,6 +994,7 @@ class ShardedServer:
                 "errors": s.errors,
                 "outstanding": s.outstanding,
                 "respawns": s.respawns,
+                "breaker": s.breaker.snapshot(),
                 "serving": serving,
             }
             shards.append(entry)
@@ -545,13 +1005,18 @@ class ShardedServer:
             if serving:
                 batches += serving.get("batches", 0)
                 samples += serving.get("samples", 0)
+        with self._counter_lock:
+            resilience_counters = dict(self._counters)
+        injected = dict(self._injector.injected) if self._injector is not None else None
         return {
             "shards": shards,
             **totals,
+            **resilience_counters,
             "alive_shards": sum(1 for e in shards if e["alive"]),
             "worker_batches": batches,
             "worker_samples": samples,
             "mean_batch": samples / batches if batches else 0.0,
+            "injected_faults": injected,
         }
 
     # ------------------------------------------------------------------
@@ -588,12 +1053,14 @@ class ShardedServer:
                 leftovers = dict(shard.pending)
                 shard.pending.clear()
                 shard.slot_of.clear()
-                shard.errors += len(leftovers)
-            for fut in leftovers.values():
-                if fut.set_running_or_notify_cancel():
-                    fut.set_exception(
-                        RuntimeError("ShardedServer closed with the request unanswered")
-                    )
+            failed = 0
+            for inflight in leftovers.values():
+                if inflight.resolve_exception(
+                    RuntimeError("ShardedServer closed with the request unanswered")
+                ):
+                    failed += 1
+            with shard.lock:
+                shard.errors += failed
             try:
                 shard.conn.close()
             except OSError:

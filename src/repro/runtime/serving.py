@@ -40,10 +40,25 @@ Usage::
 Requests whose samples have different (C, H, W) shapes are coalesced
 into the same dispatch window but executed as separate shape groups, so
 heterogeneous traffic is correct (just not cross-shape batched).
+
+Overload and latency budgets are first-class (SLO-aware admission):
+
+* ``submit(x, timeout=...)`` bounds how long a caller waits for queue
+  capacity — a full backlog raises the typed
+  :class:`~repro.runtime.resilience.QueueFullError` instead of blocking
+  forever (``timeout=None`` keeps the legacy blocking behaviour).
+* ``submit(x, deadline=...)`` attaches a latency budget; a request whose
+  deadline passes while it waits in the queue is *shed* before dispatch
+  with :class:`~repro.runtime.resilience.DeadlineExceededError` — the
+  executor never burns cycles on an answer nobody is waiting for.
+* :class:`ServingStats` counts ``shed`` (admission refusals) and
+  ``timed_out`` (deadline expiries) separately from ``errors``, so
+  overload shows up as load shedding in the stats, not as failures.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -53,6 +68,13 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.resilience import (
+    DeadlineExceededError,
+    InjectedFaultError,
+    QueueFullError,
+)
 
 __all__ = ["ServingConfig", "ServingStats", "MicroBatchServer"]
 
@@ -110,6 +132,12 @@ class ServingStats:
     batches: int = 0
     max_batch_seen: int = 0
     errors: int = 0
+    #: admission refusals: ``submit`` gave up waiting for queue capacity
+    #: (:class:`QueueFullError`) — distinct from execution ``errors``
+    shed: int = 0
+    #: deadline expiries: requests dropped (queued past their budget)
+    #: with :class:`DeadlineExceededError` before reaching the runner
+    timed_out: int = 0
     #: current effective coalescing window (== ``max_wait_ms`` unless
     #: ``adaptive_wait`` has shrunk it under sustained backlog)
     effective_wait_ms: float = 0.0
@@ -159,6 +187,8 @@ class ServingStats:
                 "batches": self.batches,
                 "max_batch_seen": self.max_batch_seen,
                 "errors": self.errors,
+                "shed": self.shed,
+                "timed_out": self.timed_out,
                 "effective_wait_ms": self.effective_wait_ms,
             }
         counters["mean_batch"] = (
@@ -170,13 +200,24 @@ class ServingStats:
 
 
 class _Request:
-    __slots__ = ("x", "n", "future", "t_submit")
+    __slots__ = ("x", "n", "future", "t_submit", "deadline_at", "fault")
 
-    def __init__(self, x: np.ndarray, n: int, future: Future) -> None:
+    def __init__(
+        self,
+        x: np.ndarray,
+        n: int,
+        future: Future,
+        deadline_at: float | None = None,
+        fault: str | None = None,
+    ) -> None:
         self.x = x
         self.n = n
         self.future = future
         self.t_submit = time.monotonic()
+        #: absolute ``time.monotonic()`` deadline (None = no budget)
+        self.deadline_at = deadline_at
+        #: fault-injection decision made at submit time (None = serve)
+        self.fault = fault
 
 
 _SHUTDOWN = object()
@@ -233,13 +274,24 @@ class MicroBatchServer:
             only on the dispatcher thread.
         config: batching knobs (:class:`ServingConfig`); a default one
             is used when omitted.
+        faults: optional deterministic :class:`~repro.runtime.faults.FaultPlan`
+            for chaos testing — ``crash`` decisions raise
+            :class:`InjectedFaultError` on the affected requests,
+            ``stall``/``slow`` delay their dispatch window (``corrupt``
+            and ``slot_exhaust`` are transport-level kinds and no-ops
+            here).  ``None`` (production) injects nothing.
 
     The server is a context manager; :meth:`close` drains the queue and
     joins the dispatcher.  ``submit`` after close raises
     ``RuntimeError``.
     """
 
-    def __init__(self, runner: Callable[[np.ndarray], np.ndarray], config: ServingConfig | None = None) -> None:
+    def __init__(
+        self,
+        runner: Callable[[np.ndarray], np.ndarray],
+        config: ServingConfig | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
         if not callable(runner):
             run = getattr(runner, "run", None)
             if not callable(run):
@@ -248,6 +300,8 @@ class MicroBatchServer:
         self._runner = runner
         self.config = config if config is not None else ServingConfig()
         self.stats = ServingStats()
+        self._injector = FaultInjector(faults) if faults is not None else None
+        self._fault_seq = itertools.count()
         # effective coalescing window, adapted per dispatch window when
         # config.adaptive_wait is set (dispatcher-thread-only state)
         self._wait_ms = self.config.max_wait_ms
@@ -279,35 +333,76 @@ class MicroBatchServer:
         self._finalizer = weakref.finalize(self, self._queue.put, _SHUTDOWN)
 
     # ------------------------------------------------------------------
-    def submit(self, x: np.ndarray) -> Future:
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        timeout: float | None = None,
+        deadline: float | None = None,
+        deadline_at: float | None = None,
+    ) -> Future:
         """Enqueue one request; returns a future of the logits.
 
         ``x`` is one ``(C, H, W)`` sample or a small ``(N, C, H, W)``
         batch.  The future resolves to the corresponding ``(N, ...)``
         output rows (a bare sample is promoted to ``N == 1``, matching
-        ``InferenceSession.run``).  Blocks when ``queue_depth`` requests
-        are already waiting.
+        ``InferenceSession.run``).
+
+        Args:
+            timeout: seconds to wait for queue capacity when
+                ``queue_depth`` requests are already backed up.  ``None``
+                (default) blocks indefinitely — the pre-existing
+                behaviour; any finite value raises the typed
+                :class:`QueueFullError` once exhausted (counted under
+                ``stats.shed``).
+            deadline: latency budget in seconds from now.  The request
+                is shed with :class:`DeadlineExceededError` if the
+                budget expires before dispatch (``stats.timed_out``), and
+                admission itself never waits past the budget.
+            deadline_at: absolute ``time.monotonic()`` deadline —
+                overrides ``deadline``; used for budgets propagated from
+                another process/tier.
         """
         x = np.asarray(x)
         if x.ndim == 3:
             x = x[None]
         if x.ndim != 4:
             raise ValueError(f"expected (C, H, W) or (N, C, H, W) input, got shape {x.shape}")
+        if deadline_at is None and deadline is not None:
+            deadline_at = time.monotonic() + deadline
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:  # dead on arrival: shed at the door
+                with self.stats._lock:
+                    self.stats.timed_out += 1
+                raise DeadlineExceededError(
+                    "request deadline already expired at submission"
+                )
+            # never wait for capacity past the point the answer is useless
+            timeout = remaining if timeout is None else min(timeout, remaining)
         future: Future = Future()
-        self._capacity.acquire()  # backpressure: block outside the lock
+        fault = self._injector.decide(next(self._fault_seq)) if self._injector else None
+        # backpressure: block outside the lock (bounded by timeout/deadline)
+        if not self._capacity.acquire(timeout=timeout):
+            with self.stats._lock:
+                self.stats.shed += 1
+            raise QueueFullError(
+                f"queue held {self.config.queue_depth} requests for "
+                f"{timeout:.3f} s; request shed"
+            )
         try:
             with self._submit_lock:
                 if self._closed.is_set():
                     raise RuntimeError("MicroBatchServer is closed")
-                self._queue.put_nowait(_Request(x, x.shape[0], future))
+                self._queue.put_nowait(_Request(x, x.shape[0], future, deadline_at, fault))
         except BaseException:
             self._capacity.release()  # permit travels with the request
             raise
         return future
 
-    def run(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
+    def run(self, x: np.ndarray, timeout: float | None = None, **submit_kwargs) -> np.ndarray:
         """Synchronous convenience: ``submit(x).result(timeout)``."""
-        return self.submit(x).result(timeout)
+        return self.submit(x, **submit_kwargs).result(timeout)
 
     # ------------------------------------------------------------------
     def close(self, timeout: float | None = None) -> None:
@@ -410,8 +505,34 @@ class MicroBatchServer:
         if chunk:
             self._dispatch(chunk)
 
+    def _shed_expired(self, batch: list[_Request]) -> list[_Request]:
+        """Drop requests whose deadline passed while queued (SLO-aware
+        admission): their futures get the typed error *now* and the
+        runner never executes work nobody is waiting for."""
+        now = time.monotonic()
+        live: list[_Request] = []
+        expired: list[_Request] = []
+        for req in batch:
+            if req.deadline_at is not None and now >= req.deadline_at:
+                expired.append(req)
+            else:
+                live.append(req)
+        if expired:
+            with self.stats._lock:
+                self.stats.timed_out += len(expired)
+            for req in expired:
+                if req.future.set_running_or_notify_cancel():
+                    req.future.set_exception(
+                        DeadlineExceededError(
+                            f"request queued {(now - req.t_submit) * 1e3:.1f} ms, "
+                            "past its deadline; shed before dispatch"
+                        )
+                    )
+        return live
+
     def _dispatch(self, batch: list[_Request]) -> None:
         """Group a dispatch window by sample shape, run, scatter results."""
+        batch = self._shed_expired(batch)
         # Claim every future first: set_running_or_notify_cancel() returns
         # False for a future the client already cancelled (dropped here)
         # and transitions the rest to RUNNING, after which a racing
@@ -431,6 +552,15 @@ class MicroBatchServer:
             # every not-yet-resolved future instead of killing the
             # dispatcher thread with clients blocked forever.
             try:
+                if self._injector is not None:
+                    # injected chaos: delays first (stall/slow), then a
+                    # crash decision fails the group with the typed error
+                    for req in group:
+                        self._injector.apply_delay(req.fault)
+                    if any(req.fault == "crash" for req in group):
+                        raise InjectedFaultError(
+                            "injected crash (FaultPlan) in dispatch window"
+                        )
                 xs = group[0].x if len(group) == 1 else np.concatenate([r.x for r in group])
                 out = self._runner(xs)
                 if out.shape[0] != xs.shape[0]:

@@ -323,7 +323,7 @@ class InferenceSession:
         return self.executor.run(x)
 
     # ------------------------------------------------------------------
-    def run_async(self, x: np.ndarray) -> Future:
+    def run_async(self, x: np.ndarray, **submit_kwargs: Any) -> Future:
         """Submit a request to the micro-batching front-end.
 
         Lazily starts one :class:`~repro.runtime.serving.MicroBatchServer`
@@ -331,6 +331,11 @@ class InferenceSession:
         from many threads are coalesced into shared micro-batches.
         Returns a future of the ``(N, ...)`` logits (``N == 1`` for a
         bare ``(C, H, W)`` sample).
+
+        Keyword arguments (``timeout``, ``deadline``, ``deadline_at``)
+        pass through to :meth:`MicroBatchServer.submit` — deadline-aware
+        admission sheds over-budget requests with typed errors instead
+        of executing them (see :mod:`repro.runtime.resilience`).
         """
         while True:
             server = self._server
@@ -340,8 +345,10 @@ class InferenceSession:
                         self._server = MicroBatchServer(self.executor.run, self._serving_config)
                     server = self._server
             try:
-                return server.submit(x)
-            except RuntimeError:
+                return server.submit(x, **submit_kwargs)
+            except RuntimeError as exc:
+                if type(exc) is not RuntimeError:
+                    raise  # typed shed/deadline errors are for the caller
                 # raced a concurrent close(): the session itself is still
                 # open (close + run_async restarting is supported), so
                 # retire the closed server and retry on a fresh one

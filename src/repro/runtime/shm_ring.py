@@ -21,14 +21,27 @@ The ring is transport only: it never interprets the bytes.  Shape and
 dtype travel in the control message (:meth:`write` returns the header to
 send), so heterogeneous shapes and dtypes share one ring as long as each
 payload fits ``slot_bytes``.
+
+Payloads are **checksummed**: :meth:`write` returns a CRC32 of the bytes
+it copied in, the checksum travels in the control message next to shape
+and dtype, and :meth:`read` verifies it — a torn, clobbered, or
+(fault-injected) corrupted slot raises
+:class:`~repro.runtime.resilience.CorruptedPayloadError` instead of
+silently handing wrong numbers to a client.  The router treats a failed
+checksum like a failed attempt (breaker failure + retry), so transport
+corruption degrades into latency, not wrong answers.
 """
 
 from __future__ import annotations
 
 import threading
+import zlib
+from collections.abc import Callable
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from repro.runtime.resilience import CorruptedPayloadError
 
 __all__ = ["ShmSlotRing"]
 
@@ -49,6 +62,10 @@ class ShmSlotRing:
         self.slot_bytes = slot_bytes
         self._owner = owner
         self._closed = False
+        #: optional fault-injection hook (:mod:`repro.runtime.faults`):
+        #: when set and it returns True, :meth:`acquire` reports the ring
+        #: as full for that call.  ``None`` (the default) is a no-op.
+        self.fault_hook: Callable[[], bool] | None = None
         if owner:
             # LIFO free list: the most recently released slot is hottest
             # in cache.  Condition guards the list and wakes blocked
@@ -97,6 +114,8 @@ class ShmSlotRing:
         """Take a free slot index; ``None`` on timeout (all slots busy)."""
         if not self._owner:
             raise RuntimeError("only the creating side manages slot lifecycle")
+        if self.fault_hook is not None and self.fault_hook():
+            return None  # injected slot exhaustion: behave as if full
         with self._available:
             if not self._available.wait_for(lambda: bool(self._free) or self._closed, timeout):
                 return None
@@ -125,9 +144,10 @@ class ShmSlotRing:
     # ------------------------------------------------------------------
     # Payload transfer (both sides)
     # ------------------------------------------------------------------
-    def write(self, slot: int, arr: np.ndarray) -> tuple[tuple[int, ...], str]:
-        """Copy ``arr``'s bytes into ``slot``; returns the (shape, dtype)
-        header the receiving side needs to :meth:`read` it back."""
+    def write(self, slot: int, arr: np.ndarray) -> tuple[tuple[int, ...], str, int]:
+        """Copy ``arr``'s bytes into ``slot``; returns the
+        ``(shape, dtype, crc32)`` header the receiving side needs to
+        :meth:`read` (and verify) it back."""
         arr = np.ascontiguousarray(arr)
         if arr.nbytes > self.slot_bytes:
             raise ValueError(
@@ -137,11 +157,18 @@ class ShmSlotRing:
         view = np.ndarray(arr.shape, arr.dtype, buffer=self._shm.buf, offset=slot * self.slot_bytes)
         view[...] = arr
         del view  # drop the buffer export before anyone closes the segment
-        return arr.shape, arr.dtype.str
+        return arr.shape, arr.dtype.str, zlib.crc32(arr.data)
 
-    def read(self, slot: int, shape: tuple[int, ...], dtype: str) -> np.ndarray:
+    def read(
+        self, slot: int, shape: tuple[int, ...], dtype: str, crc: int | None = None
+    ) -> np.ndarray:
         """Copy a payload out of ``slot`` (the copy owns its memory, so
-        the slot may be reused or the segment closed afterwards)."""
+        the slot may be reused or the segment closed afterwards).
+
+        When ``crc`` is given, the copied bytes are verified against it;
+        a mismatch raises :class:`CorruptedPayloadError` — the bytes in
+        the slot are provably not what :meth:`write` put there.
+        """
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
         if nbytes > self.slot_bytes:
@@ -152,7 +179,28 @@ class ShmSlotRing:
         view = np.ndarray(tuple(shape), dt, buffer=self._shm.buf, offset=slot * self.slot_bytes)
         out = view.copy()
         del view
+        if crc is not None:
+            got = zlib.crc32(np.ascontiguousarray(out).data)
+            if got != crc:
+                raise CorruptedPayloadError(
+                    f"slot {slot} payload failed checksum (crc {got:#010x} != "
+                    f"expected {crc:#010x}, shape {tuple(shape)}, {dt})"
+                )
         return out
+
+    def corrupt(self, slot: int, nbytes: int = 1) -> None:
+        """Flip the first ``nbytes`` bytes of ``slot`` in place.
+
+        Fault-injection helper (:mod:`repro.runtime.faults` ``corrupt``
+        kind): called *after* :meth:`write` computed the checksum, so the
+        reader's verification is guaranteed to fail — exercising the
+        corruption-detection path end to end.
+        """
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range 0..{self.slots - 1}")
+        base = slot * self.slot_bytes
+        for i in range(max(1, nbytes)):
+            self._shm.buf[base + i] ^= 0xFF
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -1,0 +1,262 @@
+"""Chaos matrix: seeded fault injection against the full serving stack.
+
+The contract under test is the resilience invariant end to end: with a
+:class:`~repro.runtime.faults.FaultPlan` injecting crashes, stalls,
+slowness, response corruption, and slot exhaustion at ~10% of requests,
+**every** request still resolves — as the bitwise-correct result or as a
+typed error — and nothing hangs.
+
+Fault decisions are a pure function of ``(seed, request id)``, and the
+router draws a fresh id per *attempt*: a retry re-rolls the dice, which
+is exactly how a bounded retry budget absorbs a ~10% fault rate into
+zero client-visible errors.  For a sequential client the attempt stream
+is still fully deterministic, so the test replays the same plan against
+an id counter and asserts the cluster counters (respawns, corrupt
+catches, retries) **exactly** — reproducible chaos, not flaky chaos.
+
+With retries disabled each request is one attempt, so fault-marked ids
+surface as typed errors on precisely the requests the plan names.
+
+The concurrent matrix run cannot pin ids to clients (interleaving), so
+it asserts the global contract instead, plus lower bounds proving the
+chaos really happened (``cluster_stats`` respawns / corrupt / retries).
+
+``max_batch=1`` serving makes bitwise comparison against a local
+session valid (see ``test_resilience.py``).
+"""
+
+import itertools
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FaultPlan,
+    ResilienceConfig,
+    ServingConfig,
+    ShardCrashedError,
+    ShardedServer,
+)
+from repro.runtime.cluster import projected_smallcnn_spec
+
+IN_SIZE = 8
+WARMUP = 8  # requests served before chaos starts (ids 0..WARMUP-1)
+
+
+@pytest.fixture(scope="module")
+def spec(tmp_path_factory):
+    bundle = tmp_path_factory.mktemp("chaos") / "bundle.npz"
+    return projected_smallcnn_spec(
+        str(bundle), in_size=IN_SIZE, serving_config=ServingConfig(max_batch=1)
+    )
+
+
+@pytest.fixture(scope="module")
+def local_session(spec):
+    return spec.build()
+
+
+def _rand(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 3, IN_SIZE, IN_SIZE)).astype(np.float32)
+
+
+def _warmup(server):
+    for i in range(WARMUP):
+        server.run(_rand(1, seed=i), timeout=60)
+
+
+def _simulate(plan, n, max_attempts, start=WARMUP):
+    """Replay the plan against the router's id counter for ``n``
+    sequential requests: predicts which requests fail and the exact
+    retry/respawn/corrupt counters a real run must report.
+
+    Mirrors the router's semantics: ``crash`` and ``corrupt`` burn the
+    attempt and retry under a fresh id; ``stall``/``slow`` only delay
+    (no ``request_timeout_s`` here), ``None`` succeeds.
+    """
+    ids = itertools.count(start)
+    crashes = corrupts = retries = 0
+    failed = {}
+    for i in range(n):
+        for attempt in range(1, max_attempts + 1):
+            kind = plan.decide(next(ids))
+            crashes += kind == "crash"
+            corrupts += kind == "corrupt"
+            if kind in ("crash", "corrupt"):
+                if attempt < max_attempts:
+                    retries += 1
+                    continue
+                failed[i] = kind
+            break
+    return {"crashes": crashes, "corrupts": corrupts,
+            "retries": retries, "failed": failed}
+
+
+class TestSequentialDeterminism:
+    """One client, predictable attempt ids: the run matches the replay."""
+
+    def test_retries_absorb_the_plan_with_exact_counters(self, spec, local_session):
+        plan = FaultPlan(
+            seed=12,
+            crash_rate=0.08,
+            stall_rate=0.08,
+            slow_rate=0.08,
+            corrupt_rate=0.08,
+            stall_s=0.3,
+            start_after=WARMUP,
+        )
+        n = 24
+        res = ResilienceConfig(max_retries=3)
+        sim = _simulate(plan, n, res.max_attempts)
+        # seed 12 exercises both retryable kinds and absorbs everything
+        assert sim["crashes"] == 2 and sim["corrupts"] == 2
+        assert sim["retries"] == 4 and sim["failed"] == {}
+
+        with ShardedServer(
+            spec, num_shards=2, health_interval_s=0.1,
+            resilience=res, faults=plan,
+        ) as server:
+            _warmup(server)
+            for i in range(n):
+                x = _rand(1, seed=100 + i)
+                np.testing.assert_array_equal(
+                    server.run(x, timeout=120), local_session.run(x)
+                )
+            deadline = time.monotonic() + 20  # respawns land asynchronously
+            while (
+                server.cluster_stats["respawns"] < sim["crashes"]
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            stats = server.cluster_stats
+
+        # not just "some chaos happened": exactly the planned chaos did
+        assert stats["respawns"] == sim["crashes"]
+        assert stats["corrupt"] == sim["corrupts"]
+        assert stats["retries"] == sim["retries"]
+        assert stats["shed"] == 0 and stats["timed_out"] == 0
+
+    def test_retries_off_crash_surfaces_on_the_marked_requests(
+        self, spec, local_session
+    ):
+        plan = FaultPlan(seed=0, crash_rate=0.12, start_after=4)
+        n = 16
+        sim = _simulate(plan, n, max_attempts=1, start=4)
+        assert sim["failed"] == {6: "crash", 14: "crash"}  # seed 0: ids 10, 18
+
+        with ShardedServer(
+            spec, num_shards=2, health_interval_s=0.1,
+            resilience=ResilienceConfig(max_retries=0), faults=plan,
+        ) as server:
+            for i in range(4):
+                server.run(_rand(1, seed=i), timeout=60)
+            crashed = []
+            for i in range(n):
+                x = _rand(1, seed=200 + i)
+                try:
+                    out = server.run(x, timeout=120)
+                except ShardCrashedError:
+                    crashed.append(i)
+                else:
+                    np.testing.assert_array_equal(out, local_session.run(x))
+            # the respawn replacing a crashed worker lands asynchronously
+            # (the future fails first): give the last one a moment
+            deadline = time.monotonic() + 20
+            while (
+                server.cluster_stats["respawns"] < sim["crashes"]
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            stats = server.cluster_stats
+
+        assert crashed == sorted(sim["failed"])  # exactly the marked requests
+        assert stats["retries"] == 0
+        assert stats["respawns"] == sim["crashes"]
+
+
+class TestConcurrentChaosMatrix:
+    """16 closed-loop clients under a ~12% mixed fault rate: the global
+    contract holds — every request resolves in bounded time as the
+    bitwise-correct result or a typed error, and none hang."""
+
+    CLIENTS = 16
+    PER_CLIENT = 6
+
+    def test_every_request_resolves_correct_or_typed(self, spec, local_session):
+        plan = FaultPlan(
+            seed=1,
+            crash_rate=0.02,
+            stall_rate=0.02,
+            slow_rate=0.02,
+            corrupt_rate=0.02,
+            slot_exhaust_rate=0.02,
+            stall_s=0.4,
+            start_after=WARMUP,
+        )
+        total = self.CLIENTS * self.PER_CLIENT
+        injected = [k for i in range(WARMUP, WARMUP + total) if (k := plan.decide(i))]
+        # seed 1 covers every fault kind within the guaranteed id range
+        assert set(injected) == {"crash", "stall", "slow", "corrupt", "slot_exhaust"}
+        n_crash = injected.count("crash")
+        n_corrupt = injected.count("corrupt")
+
+        res = ResilienceConfig(max_retries=3, request_timeout_s=2.0)
+        samples = [_rand(1, seed=300 + c) for c in range(self.CLIENTS)]
+        expected = [local_session.run(s) for s in samples]
+        failures: list = []
+        typed: list = []
+        lock = threading.Lock()
+
+        with ShardedServer(
+            spec, num_shards=3, health_interval_s=0.1,
+            resilience=res, faults=plan,
+        ) as server:
+            _warmup(server)
+
+            def client(c: int) -> None:
+                for _ in range(self.PER_CLIENT):
+                    try:
+                        # deadline generous enough that only injected faults
+                        # (not honest queueing) could consume it
+                        out = server.submit(
+                            samples[c], deadline=60.0
+                        ).result(timeout=120)
+                    except RuntimeError as exc:
+                        with lock:
+                            if type(exc) is RuntimeError:
+                                failures.append(("bare", c, exc))
+                            else:
+                                typed.append(type(exc).__name__)
+                        continue
+                    if not np.array_equal(out, expected[c]):
+                        with lock:
+                            failures.append(("mismatch", c, None))
+
+            threads = [
+                threading.Thread(target=client, args=(c,), daemon=True)
+                for c in range(self.CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                # a hang here is itself the regression this suite exists
+                # to catch: join with a hard bound, then fail loudly
+                t.join(timeout=180)
+            stuck = [t for t in threads if t.is_alive()]
+            assert not stuck, f"{len(stuck)} client(s) hung under chaos"
+            assert not failures, failures
+            stats = server.cluster_stats
+
+        # retries re-roll each attempt's fault dice, so the budget absorbs
+        # nearly everything; whatever surfaces must be typed and rare
+        assert len(typed) <= len(injected), typed
+        # lower bounds: ids 8..8+total-1 are all drawn by some attempt, so
+        # at least the planned crashes/corruptions demonstrably happened
+        assert stats["respawns"] >= n_crash
+        assert stats["corrupt"] >= n_corrupt
+        assert stats["retries"] > 0
+        assert stats["injected_faults"]["slot_exhaust"] >= 1
+        assert stats["requests"] >= total

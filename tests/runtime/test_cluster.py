@@ -24,7 +24,14 @@ import time
 import numpy as np
 import pytest
 
-from repro.runtime import InferenceSession, ServingConfig, SessionSpec, ShardCrashedError, ShardedServer
+from repro.runtime import (
+    InferenceSession,
+    ResilienceConfig,
+    ServingConfig,
+    SessionSpec,
+    ShardCrashedError,
+    ShardedServer,
+)
 from repro.runtime.cluster import projected_smallcnn_spec
 
 IN_SIZE = 8
@@ -227,8 +234,17 @@ class TestShardedServer:
 # ----------------------------------------------------------------------
 class TestCrashRecovery:
     def test_killed_shard_fails_futures_respawns_and_recovers(self, spec):
+        """With retries disabled, a crash surfaces as ShardCrashedError on
+        the in-flight futures (the pre-retry contract — still the right
+        mode for clients that do their own retries).  The retry-enabled
+        counterpart lives in test_resilience.py."""
         x = _rand(1)
-        with ShardedServer(spec, num_shards=2, health_interval_s=0.2) as server:
+        with ShardedServer(
+            spec,
+            num_shards=2,
+            health_interval_s=0.2,
+            resilience=ResilienceConfig(max_retries=0),
+        ) as server:
             # warm up both shards
             for _ in range(4):
                 server.run(x, timeout=60)

@@ -536,3 +536,143 @@ class TestArenaCapUnderManyShapes:
             free.run(x)
         assert free.arena.footprint_bytes > capped.arena.footprint_bytes
         assert capped.arena.footprint_bytes <= 256 * 1024
+
+
+# ----------------------------------------------------------------------
+# SLO-aware admission: queue-full fast fail, deadline shedding
+# ----------------------------------------------------------------------
+class TestAdmissionAndDeadlines:
+    @staticmethod
+    def _blocked_server(queue_depth=1):
+        """Server whose runner blocks until ``release`` is set — lets a
+        test fill the queue deterministically."""
+        release = threading.Event()
+
+        def runner(x):
+            release.wait(10)
+            return x.reshape(x.shape[0], -1).copy()
+
+        cfg = ServingConfig(max_batch=1, max_wait_ms=0, queue_depth=queue_depth,
+                            adaptive_wait=False)
+        return MicroBatchServer(runner, cfg), release
+
+    def test_queue_full_typed_error_counts_shed(self):
+        from repro.runtime import QueueFullError
+
+        server, release = self._blocked_server(queue_depth=1)
+        x = np.zeros((1, 3, 8, 8), np.float32)
+        try:
+            first = server.submit(x)  # dispatcher takes it, blocks in runner
+            time.sleep(0.05)
+            second = server.submit(x)  # occupies the single queue permit
+            with pytest.raises(QueueFullError, match="shed"):
+                server.submit(x, timeout=0.05)
+            assert server.stats.shed == 1
+            release.set()
+            assert first.result(timeout=10).shape == (1, 192)
+            assert second.result(timeout=10).shape == (1, 192)
+            assert server.stats.errors == 0  # shed is not an execution error
+        finally:
+            release.set()
+            server.close()
+
+    def test_queue_full_is_runtimeerror_for_backcompat(self):
+        from repro.runtime import QueueFullError
+
+        server, release = self._blocked_server(queue_depth=1)
+        x = np.zeros((1, 3, 8, 8), np.float32)
+        try:
+            server.submit(x)
+            time.sleep(0.05)
+            server.submit(x)
+            with pytest.raises(RuntimeError):  # pre-existing except clauses still catch it
+                server.submit(x, timeout=0.05)
+            assert issubclass(QueueFullError, RuntimeError)
+        finally:
+            release.set()
+            server.close()
+
+    def test_expired_deadline_rejected_at_submission(self):
+        from repro.runtime import DeadlineExceededError
+
+        with MicroBatchServer(lambda x: x) as server:
+            with pytest.raises(DeadlineExceededError, match="already expired"):
+                server.submit(np.zeros((1, 3, 8, 8), np.float32), deadline=-0.01)
+            assert server.stats.timed_out == 1
+
+    def test_deadline_expiring_in_queue_sheds_before_dispatch(self):
+        from repro.runtime import DeadlineExceededError
+
+        calls = []
+        release = threading.Event()
+
+        def runner(batch):
+            calls.append(batch.shape)
+            release.wait(10)
+            return batch.reshape(batch.shape[0], -1).copy()
+
+        cfg = ServingConfig(max_batch=1, max_wait_ms=0, queue_depth=8, adaptive_wait=False)
+        server = MicroBatchServer(runner, cfg)
+        x = np.zeros((1, 3, 8, 8), np.float32)
+        try:
+            blocker = server.submit(x)  # holds the dispatcher in the runner
+            time.sleep(0.05)
+            doomed = server.submit(x, deadline=0.1)  # expires while queued
+            time.sleep(0.2)
+            release.set()
+            with pytest.raises(DeadlineExceededError, match="shed before dispatch"):
+                doomed.result(timeout=10)
+            assert blocker.result(timeout=10).shape == (1, 192)
+            assert server.stats.timed_out == 1
+            # the runner never saw the shed request (executed batches only)
+            assert all(shape[0] == 1 for shape in calls)
+            assert server.stats.samples == 1
+        finally:
+            release.set()
+            server.close()
+
+    def test_deadline_met_serves_normally(self):
+        with MicroBatchServer(lambda x: x.reshape(x.shape[0], -1).copy()) as server:
+            out = server.run(np.zeros((2, 3, 8, 8), np.float32), timeout=10, deadline=30.0)
+            assert out.shape == (2, 192)
+            assert server.stats.timed_out == 0 and server.stats.shed == 0
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault injection in the in-process front-end
+# ----------------------------------------------------------------------
+class TestServerFaultInjection:
+    def test_injected_crash_is_typed_and_counted(self):
+        from repro.runtime import FaultPlan, InjectedFaultError
+
+        plan = FaultPlan(seed=1, crash_rate=1.0)
+        with MicroBatchServer(lambda x: x, faults=plan) as server:
+            fut = server.submit(np.zeros((1, 3, 8, 8), np.float32))
+            with pytest.raises(InjectedFaultError, match="injected crash"):
+                fut.result(timeout=10)
+            assert server.stats.errors == 1
+
+    def test_no_plan_means_no_injection(self):
+        with MicroBatchServer(lambda x: x.reshape(x.shape[0], -1).copy()) as server:
+            for _ in range(8):
+                assert server.run(np.zeros((1, 3, 8, 8), np.float32), timeout=10).shape == (1, 192)
+            assert server.stats.errors == 0
+
+    def test_partial_plan_faults_exactly_the_planned_requests(self):
+        """The same seeded plan replayed over sequential request ids must
+        fault exactly the requests it says it faults — determinism is
+        what makes chaos assertions possible at all."""
+        from repro.runtime import FaultPlan, InjectedFaultError
+
+        plan = FaultPlan(seed=5, crash_rate=0.3)
+        expected = [plan.decide(i) == "crash" for i in range(16)]
+        assert any(expected) and not all(expected)  # seed exercises both paths
+        cfg = ServingConfig(max_batch=1, max_wait_ms=0)  # solo windows: no co-batch blast radius
+        with MicroBatchServer(lambda x: x.reshape(x.shape[0], -1).copy(), cfg, faults=plan) as server:
+            futs = [server.submit(np.zeros((1, 3, 8, 8), np.float32)) for _ in range(16)]
+            for fut, crashes in zip(futs, expected):
+                if crashes:
+                    with pytest.raises(InjectedFaultError):
+                        fut.result(timeout=10)
+                else:
+                    assert fut.result(timeout=10).shape == (1, 192)

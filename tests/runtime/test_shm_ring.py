@@ -26,9 +26,9 @@ class TestPayloadTransfer:
         rng = np.random.default_rng(0)
         arr = (rng.standard_normal((2, 4, 4)) * 100).astype(dtype)
         slot = ring.acquire()
-        shape, dt = ring.write(slot, arr)
+        shape, dt, crc = ring.write(slot, arr)
         assert shape == (2, 4, 4) and np.dtype(dt) == np.dtype(dtype)
-        out = ring.read(slot, shape, dt)
+        out = ring.read(slot, shape, dt, crc)  # checksum-verified round trip
         assert out.dtype == arr.dtype
         np.testing.assert_array_equal(out, arr)
 
@@ -43,8 +43,8 @@ class TestPayloadTransfer:
     def test_non_contiguous_input_handled(self, ring):
         arr = np.arange(32, dtype=np.float32).reshape(4, 8)[:, ::2]
         slot = ring.acquire()
-        shape, dt = ring.write(slot, arr)
-        np.testing.assert_array_equal(ring.read(slot, shape, dt), arr)
+        shape, dt, crc = ring.write(slot, arr)
+        np.testing.assert_array_equal(ring.read(slot, shape, dt, crc), arr)
 
     def test_slots_are_independent(self, ring):
         a, b = ring.acquire(), ring.acquire()
@@ -62,18 +62,38 @@ class TestPayloadTransfer:
         with pytest.raises(ValueError, match="slots hold only"):
             ring.read(0, (1024,), "<f8")
 
+    def test_corrupted_payload_detected(self, ring):
+        """A slot clobbered after write must fail the checksum loudly —
+        silent wrong bytes are the one unforgivable transport failure."""
+        from repro.runtime.resilience import CorruptedPayloadError
+
+        arr = np.arange(16, dtype=np.float32)
+        slot = ring.acquire()
+        shape, dt, crc = ring.write(slot, arr)
+        ring.corrupt(slot)
+        with pytest.raises(CorruptedPayloadError, match="checksum"):
+            ring.read(slot, shape, dt, crc)
+        # without a crc the read is unverified (legacy behaviour)
+        assert ring.read(slot, shape, dt).shape == (16,)
+
+    def test_read_without_crc_skips_verification(self, ring):
+        arr = np.ones(4, np.float32)
+        slot = ring.acquire()
+        shape, dt, _ = ring.write(slot, arr)
+        np.testing.assert_array_equal(ring.read(slot, shape, dt), arr)
+
 
 class TestAttachedSide:
     def test_attach_sees_owner_writes(self, ring):
         arr = np.arange(6, dtype=np.float32)
         slot = ring.acquire()
-        shape, dt = ring.write(slot, arr)
+        shape, dt, crc = ring.write(slot, arr)
         attached = ShmSlotRing.attach(ring.name, ring.slots, ring.slot_bytes)
         try:
-            np.testing.assert_array_equal(attached.read(slot, shape, dt), arr)
+            np.testing.assert_array_equal(attached.read(slot, shape, dt, crc), arr)
             # and the reverse direction (worker writes the response back)
-            attached.write(slot, arr * 2)
-            np.testing.assert_array_equal(ring.read(slot, shape, dt), arr * 2)
+            _, _, crc2 = attached.write(slot, arr * 2)
+            np.testing.assert_array_equal(ring.read(slot, shape, dt, crc2), arr * 2)
         finally:
             attached.close()
 
@@ -103,6 +123,18 @@ class TestSlotLifecycle:
         ring.release(slots[0])
         waiter.join(timeout=5)
         assert got == [slots[0]]
+
+    def test_fault_hook_refuses_acquire(self, ring):
+        """The injection hook makes acquire behave exactly like a full
+        ring (None), and a no-op hook changes nothing."""
+        fire = [True]
+        ring.fault_hook = lambda: fire[0]
+        assert ring.acquire(timeout=0.01) is None
+        fire[0] = False
+        slot = ring.acquire(timeout=1)
+        assert slot is not None
+        ring.release(slot)
+        ring.fault_hook = None
 
     def test_double_release_rejected(self, ring):
         slot = ring.acquire()
