@@ -22,22 +22,26 @@ python -m pytest -x -q --timeout 300 "$@"
 
 # Named gate for the serving suites (also part of tier-1; kept explicit
 # and cheap so a serving regression is unmissable in CI output): the
-# in-process micro-batcher + arena, the multi-process cluster stack
-# (spawned shard workers, shared-memory transport, crash recovery), and
-# the resilience layer (retries, breakers, deadlines, slot hygiene).
-# The benchmarks pass below picks up the serving throughput benches
+# in-process micro-batcher + arena, the shared metrics reservoir, the
+# transport protocol (frame codec edge cases + credit backpressure),
+# the multi-process cluster stack (spawned shard workers, shm AND
+# loopback-TCP transports, crash recovery), and the resilience layer
+# (retries, breakers, deadlines, slot hygiene).  The benchmarks pass
+# below picks up the serving throughput benches
 # (bench_serving_concurrent.py, bench_serving_cluster.py,
-# bench_serving_chaos.py) via the glob.
+# bench_serving_chaos.py, bench_serving_tcp.py) via the glob.
 echo "== serving concurrency + cluster stress tests =="
 python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py \
+                 tests/runtime/test_metrics.py tests/runtime/test_transport.py \
                  tests/runtime/test_shm_ring.py tests/runtime/test_cluster.py \
                  tests/runtime/test_resilience.py -q --timeout 300
 
 # The chaos matrix is the resilience acceptance gate: seeded fault
 # injection (crash/stall/slow/corrupt/slot-exhaust) against the full
 # stack — every request must resolve as the correct result or a typed
-# error, with the run's counters matching the plan's replay exactly.
-echo "== chaos suite (seeded fault injection) =="
+# error, with the run's counters matching the plan's replay exactly,
+# over the shm transport and over loopback TCP alike.
+echo "== chaos suite (seeded fault injection, shm + tcp) =="
 python -m pytest tests/runtime/test_chaos.py -q --timeout 300
 
 echo "== benchmarks (benchmark-disabled fast pass) =="

@@ -8,12 +8,33 @@ Subcommands::
     python -m repro latency vgg16 --unit gpu    # engine comparison for a model
     python -m repro compile vgg16 --layer L4    # compile one layer, show artifacts
     python -m repro serve --shards 2            # multi-process sharded serving demo
+    python -m repro serve --transport tcp       # same demo over loopback TCP
+    python -m repro worker --listen 0.0.0.0:7070        # shard worker for another host
+    python -m repro serve --shards host1:7070,host2:7070  # route to remote workers
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _parse_shards(value: str):
+    """``--shards`` accepts a local worker count (``4``) or remote worker
+    addresses (``host1:7070,host2:7070``), one shard per address."""
+    if value.isdigit():
+        return int(value)
+    from repro.runtime.transport_tcp import parse_hostport
+
+    addresses = [part.strip() for part in value.split(",") if part.strip()]
+    if not addresses:
+        raise argparse.ArgumentTypeError("expected a count or HOST:PORT[,HOST:PORT...]")
+    for address in addresses:
+        try:
+            parse_hostport(address)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    return addresses
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -81,6 +102,25 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one shard worker: listen for a router connection and serve it.
+
+    Started on each machine that should host a shard; the router
+    (``repro serve --shards host:port,...``) connects, ships the session
+    spec + bundle, and streams framed tensor requests.  The worker keeps
+    listening after a router disconnects, so router restarts and network
+    blips just reconnect.
+    """
+    from repro.runtime.transport_tcp import parse_hostport, worker_serve
+
+    host, port = parse_hostport(args.listen)
+    try:
+        worker_serve(host, port, log=print)
+    except KeyboardInterrupt:
+        print("worker interrupted; exiting")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Spin up a sharded server on a pattern-pruned small CNN and hammer
     it with closed-loop clients; print the aggregated cluster stats."""
@@ -94,6 +134,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime import FaultPlan, ResilienceConfig, ServingConfig
     from repro.runtime.cluster import ShardedServer, projected_smallcnn_spec
 
+    addresses = args.shards if isinstance(args.shards, list) else None
+    num_shards = len(addresses) if addresses is not None else args.shards
     resilience = ResilienceConfig(max_retries=args.retries)
     faults = None
     if args.chaos > 0:
@@ -105,7 +147,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             crash_rate=args.chaos / 3,
             slow_rate=args.chaos / 3,
             corrupt_rate=args.chaos / 3,
-            start_after=args.shards * 2,  # let warmup traffic through
+            start_after=num_shards * 2,  # let warmup traffic through
         )
     deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
     with tempfile.TemporaryDirectory() as tmp:
@@ -126,13 +168,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         per_client = max(1, args.requests // args.clients)
         total = per_client * args.clients
+        where = f"at {', '.join(addresses)}" if addresses else f"[{args.transport}]"
         print(f"== serving {total} requests from {args.clients} closed-loop clients "
-              f"over {args.shards} shard(s) ==")
+              f"over {num_shards} shard(s) {where} ==")
         errors: list[BaseException] = []
         shed = 0
         shed_lock = threading.Lock()
         with ShardedServer(
-            spec, num_shards=args.shards, resilience=resilience, faults=faults
+            spec, num_shards=num_shards, transport=args.transport, shards=addresses,
+            resilience=resilience, faults=faults,
         ) as server:
 
             def client(i: int) -> None:
@@ -170,13 +214,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(header)
         for entry in stats["shards"]:
             serving = entry["serving"] or {}
-            print(f"{entry['shard']:>5d} {entry['pid']:>8d} {entry['requests']:>9d} "
+            # remote shards have an address instead of a local pid
+            who = entry["pid"] if entry["pid"] is not None else (entry["address"] or "-")
+            print(f"{entry['shard']:>5d} {str(who):>8s} {entry['requests']:>9d} "
                   f"{entry['errors']:>7d} {entry['respawns']:>9d} "
                   f"{entry['breaker']['state']:>9s} "
                   f"{serving.get('batches', 0):>8d} {serving.get('mean_batch', 0.0):>11.2f} "
                   f"{serving.get('p50_ms', 0.0):>8.2f} {serving.get('p95_ms', 0.0):>8.2f}")
         print(f"\ntotal: {stats['requests']} requests, {stats['errors']} errors, "
               f"{stats['respawns']} respawns, cluster mean batch {stats['mean_batch']:.2f}")
+        print(f"transport: {stats['transport']}; router end-to-end "
+              f"p50 {stats['router_p50_ms']:.2f} ms / p95 {stats['router_p95_ms']:.2f} ms")
         print(f"resilience: {stats['retries']} retries, {stats['hedges']} hedges, "
               f"{stats['shed']} shed, {stats['timed_out']} timed out, "
               f"{stats['corrupt']} corrupt payloads caught; "
@@ -212,8 +260,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", action="store_true", help="print generated source")
     p.set_defaults(fn=_cmd_compile)
 
+    p = sub.add_parser("worker", help="run one TCP shard worker (for cross-host serving)")
+    p.add_argument("--listen", required=True, metavar="HOST:PORT",
+                   help="address to accept router connections on "
+                        "(e.g. 0.0.0.0:7070, or 127.0.0.1:7070 for loopback)")
+    p.set_defaults(fn=_cmd_worker)
+
     p = sub.add_parser("serve", help="multi-process sharded serving demo (small CNN)")
-    p.add_argument("--shards", type=int, default=2, help="worker process count")
+    p.add_argument("--shards", type=_parse_shards, default=2,
+                   help="worker process count, or remote worker addresses "
+                        "host1:7070,host2:7070 (one shard per address; implies TCP)")
+    p.add_argument("--transport", default="shm", choices=["shm", "tcp"],
+                   help="local shard transport: shared-memory rings or loopback TCP "
+                        "(ignored when --shards lists addresses)")
     p.add_argument("--clients", type=int, default=8, help="closed-loop client threads")
     p.add_argument("--requests", type=int, default=256, help="total requests to serve")
     p.add_argument("--max-batch", type=int, default=8, help="per-worker micro-batch size")

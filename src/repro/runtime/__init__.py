@@ -50,9 +50,24 @@ from repro.runtime.resilience import (
     ResilienceConfig,
 )
 from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.metrics import LatencyReservoir
 from repro.runtime.serving import MicroBatchServer, ServingConfig, ServingStats
 from repro.runtime.session import InferenceSession, SessionSpec
 from repro.runtime.shm_ring import ShmSlotRing
+from repro.runtime.transport import (
+    CreditGate,
+    ShardEndpoint,
+    ShardLauncher,
+    TransportClosedError,
+    WorkerTransport,
+)
+from repro.runtime.transport_shm import ShmShardLauncher
+from repro.runtime.transport_tcp import (
+    LocalTcpLauncher,
+    RemoteTcpLauncher,
+    parse_hostport,
+    worker_serve,
+)
 from repro.runtime.cluster import ShardedServer, ShardCrashedError
 
 __all__ = [
@@ -77,4 +92,15 @@ __all__ = [
     "InjectedFaultError",
     "FaultPlan",
     "FaultInjector",
+    "LatencyReservoir",
+    "TransportClosedError",
+    "ShardEndpoint",
+    "WorkerTransport",
+    "ShardLauncher",
+    "CreditGate",
+    "ShmShardLauncher",
+    "LocalTcpLauncher",
+    "RemoteTcpLauncher",
+    "parse_hostport",
+    "worker_serve",
 ]

@@ -1,25 +1,31 @@
-"""Multi-process sharded serving: worker pool + shared-memory transport.
+"""Sharded serving: a resilient, transport-neutral request router.
 
 One :class:`~repro.runtime.serving.MicroBatchServer` tops out at a
 single Python process — aggregate throughput is capped by the GIL and
 one arena/kernel-cache domain.  :class:`ShardedServer` scales past that
-by replicating the whole compiled engine across OS processes, the same
-way PatDNN-class runtimes replicate compiled models across execution
-units:
+by replicating the whole compiled engine across workers, the same way
+PatDNN-class runtimes replicate compiled models across execution units:
 
-* **Worker pool** — N worker processes, each rebuilding its own
-  :class:`~repro.runtime.session.InferenceSession` (plus its in-process
-  micro-batching front-end) from a picklable
-  :class:`~repro.runtime.session.SessionSpec`.  Sessions hold compiled
-  kernel closures and cannot be pickled; the spec + on-disk artifact
-  bundle can.
-* **Shared-memory transport** — request and response tensors move
-  through per-worker :class:`~repro.runtime.shm_ring.ShmSlotRing`
-  slots instead of being pickled through the control pipe; only tiny
-  ``(request id, slot, shape, dtype, crc, deadline)`` tuples cross the
-  pipe.  Payloads are CRC-checksummed both ways, so a corrupted slot
-  raises :class:`~repro.runtime.resilience.CorruptedPayloadError`
-  (and is retried) instead of silently returning wrong numbers.
+* **Worker pool behind a transport seam** — N workers, each rebuilding
+  its own :class:`~repro.runtime.session.InferenceSession` (plus its
+  in-process micro-batching front-end) from a picklable
+  :class:`~repro.runtime.session.SessionSpec`.  The router speaks only
+  the abstract :class:`~repro.runtime.transport.ShardEndpoint` protocol,
+  so *where a worker lives* is a plug-in choice:
+
+  - ``transport="shm"`` (default) — local processes with per-worker
+    :class:`~repro.runtime.shm_ring.ShmSlotRing` shared-memory slots
+    (:mod:`repro.runtime.transport_shm`): PR 3's wire behaviour,
+    preserved bitwise.
+  - ``transport="tcp"`` — length-prefixed numpy frames over sockets
+    (:mod:`repro.runtime.transport_tcp`): either local loopback workers,
+    or — with ``shards=["host:port", ...]`` — workers started on other
+    machines with ``python -m repro worker --listen HOST:PORT``.
+
+  Payloads are CRC-checksummed both ways on every transport, so a
+  corrupted buffer raises
+  :class:`~repro.runtime.resilience.CorruptedPayloadError` (and is
+  retried) instead of silently returning wrong numbers.
 * **Resilient, latency-aware router** — :meth:`ShardedServer.submit`
   keeps the PR 2 futures API; each request's payload is retained while
   in flight, so a shard crash (or corrupted response, or stall timeout)
@@ -32,23 +38,30 @@ units:
   counts (:func:`~repro.runtime.resilience.route_score`), and a
   per-shard **circuit breaker** (closed → open → half-open) takes a
   failing or stalled shard out of rotation until a probe succeeds.
+  None of this code knows which transport is underneath.
 * **Deadlines & admission control** — ``submit(x, deadline=...)``
-  attaches a latency budget that propagates through the shm protocol
-  into each worker's micro-batcher; over-deadline requests are shed
-  with :class:`~repro.runtime.resilience.DeadlineExceededError` before
-  they burn kernel time, and ``submit(x, timeout=...)`` fails fast with
+  attaches a latency budget that propagates through the transport into
+  each worker's micro-batcher (re-anchored across host clock domains by
+  the TCP transport); over-deadline requests are shed with
+  :class:`~repro.runtime.resilience.DeadlineExceededError` before they
+  burn kernel time, and ``submit(x, timeout=...)`` fails fast with
   :class:`~repro.runtime.resilience.QueueFullError` when every
   transport slot stays busy (instead of blocking forever).
 * **Self-healing** — a health monitor pings workers for liveness and
   serving stats; a crashed shard rehomes or fails its in-flight
   requests (clients see results or typed errors, never hangs) and is
-  respawned automatically.  A shard that keeps dying young (e.g. its
-  bundle path is unreadable in the worker) is marked permanently failed
-  instead of respawn-looping.
+  respawned automatically — for a remote shard, "respawn" means
+  reconnecting to its address.  A shard that keeps dying young (e.g.
+  its bundle path is unreadable in the worker) is marked permanently
+  failed instead of respawn-looping.  A peer that disconnects while a
+  graceful :meth:`close` is draining resolves its in-flight futures
+  with a typed error immediately instead of letting clients wait out
+  the drain timeout.
 * **Deterministic chaos** — a seeded
   :class:`~repro.runtime.faults.FaultPlan` can be injected to crash,
   stall, slow, corrupt, or slot-starve requests reproducibly; the
-  hooks are no-ops when no plan is given.
+  hooks are no-ops when no plan is given, and work identically over
+  every transport.
 
 Usage::
 
@@ -63,18 +76,18 @@ Usage::
         outs = [f.result() for f in futures]
         print(server.cluster_stats["retries"], server.cluster_stats["mean_batch"])
 
-Workers are spawned (not forked) by default: a forked child would
+    # same cluster, shards on other machines:
+    with ShardedServer(spec, shards=["10.0.0.5:7070", "10.0.0.6:7070"]) as server:
+        ...
+
+Local workers are spawned (not forked) by default: a forked child would
 inherit arbitrary lock/thread state from a serving process mid-flight,
-and the spec is picklable precisely so spawn works.  Deadlines cross
-the process boundary as absolute ``time.monotonic()`` values, which is
-valid because every shard lives on the same host (CLOCK_MONOTONIC is
-system-wide on Linux).
+and the spec is picklable precisely so spawn works.
 """
 
 from __future__ import annotations
 
 import itertools
-import os
 import threading
 import time
 from concurrent.futures import Future
@@ -84,6 +97,7 @@ from multiprocessing import get_context
 import numpy as np
 
 from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.metrics import LatencyReservoir
 from repro.runtime.resilience import (
     CircuitBreaker,
     CorruptedPayloadError,
@@ -94,7 +108,9 @@ from repro.runtime.resilience import (
     route_score,
 )
 from repro.runtime.session import SessionSpec
-from repro.runtime.shm_ring import ShmSlotRing
+from repro.runtime.transport import ShardEndpoint, ShardLauncher, TransportClosedError
+from repro.runtime.transport_shm import ShmShardLauncher
+from repro.runtime.transport_tcp import LocalTcpLauncher, RemoteTcpLauncher, parse_hostport
 
 __all__ = ["ShardedServer", "ShardCrashedError", "projected_smallcnn_spec"]
 
@@ -109,114 +125,6 @@ class ShardCrashedError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
-# Worker process
-# ----------------------------------------------------------------------
-def _worker_main(
-    spec: SessionSpec,
-    ring_name: str,
-    slots: int,
-    slot_bytes: int,
-    conn,
-    fault_plan: FaultPlan | None = None,
-) -> None:
-    """Shard worker body (module-level: must be importable under spawn).
-
-    Rebuilds the session from the spec, then serves the control pipe:
-    each ``req`` payload is copied (checksum-verified) out of its
-    shared-memory slot, submitted to the session's micro-batching
-    front-end with its deadline, and the response written back into the
-    *same* slot when the future resolves.  A :class:`FaultPlan` (chaos
-    tests only) deterministically injects crashes, stalls, slowness,
-    and response corruption keyed by request id.
-    """
-    send_lock = threading.Lock()
-
-    def _send(msg) -> None:
-        with send_lock:
-            try:
-                conn.send(msg)
-            except (BrokenPipeError, OSError):
-                pass  # router is gone; nothing useful left to do with results
-
-    try:
-        session = spec.build()
-    except BaseException as exc:  # surface build failures instead of respawn-looping
-        _send(("fatal", f"{type(exc).__name__}: {exc}"))
-        conn.close()
-        return
-
-    ring = ShmSlotRing.attach(ring_name, slots, slot_bytes)
-    injector = FaultInjector(fault_plan) if fault_plan is not None else None
-
-    def _reply(req_id: int, slot: int, fut: Future, corrupt: bool = False) -> None:
-        exc = fut.exception()
-        if exc is not None:
-            code = "deadline" if isinstance(exc, DeadlineExceededError) else "error"
-            _send(("err", req_id, slot, code, f"{type(exc).__name__}: {exc}"))
-            return
-        out = np.ascontiguousarray(fut.result())
-        if out.nbytes > ring.slot_bytes:
-            _send(
-                ("err", req_id, slot, "error",
-                 f"output of {out.nbytes} bytes exceeds the {ring.slot_bytes}-byte slot")
-            )
-            return
-        shape, dtype, crc = ring.write(slot, out)
-        if corrupt:
-            # injected fault: clobber the payload *after* the checksum was
-            # computed — the router's verification must catch it
-            ring.corrupt(slot)
-        _send(("res", req_id, slot, shape, dtype, crc))
-
-    stats = None  # the ServingStats object outlives session.close()
-    try:
-        _send(("ready", os.getpid()))
-        while True:
-            try:
-                msg = conn.recv()
-            except (EOFError, OSError):
-                return  # router died; daemon worker just exits
-            kind = msg[0]
-            if kind == "stop":
-                return
-            if kind == "ping":
-                stats = session.serving_stats or stats
-                _send(("pong", msg[1], stats.snapshot() if stats is not None else None))
-            elif kind == "req":
-                _, req_id, slot, shape, dtype, crc, deadline_at = msg
-                fault = injector.decide(req_id) if injector is not None else None
-                if fault == "crash":
-                    os._exit(17)  # hard death with the request in flight
-                # a stall blocks the whole receive loop: the canonical
-                # wedged-but-alive shard that breakers exist for
-                if injector is not None:
-                    injector.apply_delay(fault)
-                try:
-                    x = ring.read(slot, shape, dtype, crc)  # copy + verify
-                except CorruptedPayloadError as exc:
-                    _send(("err", req_id, slot, "corrupt", str(exc)))
-                    continue
-                stats = session.serving_stats or stats
-                try:
-                    fut = session.submit(x, deadline_at=deadline_at)
-                except DeadlineExceededError as exc:  # dead on arrival
-                    _send(("err", req_id, slot, "deadline", str(exc)))
-                    continue
-                except QueueFullError as exc:  # shouldn't happen: slots <= queue
-                    _send(("err", req_id, slot, "error", f"QueueFullError: {exc}"))
-                    continue
-                fut.add_done_callback(
-                    lambda f, r=req_id, s=slot, c=(fault == "corrupt"): _reply(r, s, f, c)
-                )
-    finally:
-        stats = session.serving_stats or stats
-        session.close()  # graceful drain: in-flight futures resolve, replies go out
-        _send(("bye", stats.snapshot() if stats is not None else None))
-        ring.close()
-        conn.close()
-
-
-# ----------------------------------------------------------------------
 # Router-side request + shard bookkeeping
 # ----------------------------------------------------------------------
 class _InFlight:
@@ -225,8 +133,8 @@ class _InFlight:
     Retains the input payload so crash/stall/corruption can re-dispatch
     it, and owns the only-once delivery contract: however many attempts
     (retries, hedges) are racing, exactly one outcome reaches the
-    client future — late losers are discarded (their slots are still
-    reclaimed by the normal reply path).
+    client future — late losers are discarded (their transport capacity
+    is still reclaimed by the normal reply path).
     """
 
     __slots__ = (
@@ -292,16 +200,12 @@ class _InFlight:
 class _Shard:
     """One worker incarnation as seen by the router."""
 
-    def __init__(self, index: int, process, conn, ring: ShmSlotRing, breaker: CircuitBreaker) -> None:
+    def __init__(self, index: int, endpoint: ShardEndpoint, breaker: CircuitBreaker) -> None:
         self.index = index
-        self.process = process
-        self.conn = conn
-        self.ring = ring
+        self.endpoint = endpoint
         self.breaker = breaker  # fresh per incarnation: a respawn starts clean
-        self.lock = threading.Lock()  # pending/slot_of/counters
-        self.send_lock = threading.Lock()
+        self.lock = threading.Lock()  # pending/counters
         self.pending: dict[int, _InFlight] = {}
-        self.slot_of: dict[int, int] = {}
         self.ready = threading.Event()
         self.down = False
         self.permanent = False  # down for good: no replacement is coming
@@ -317,6 +221,11 @@ class _Shard:
         self.early_deaths = 0
 
     @property
+    def process(self):
+        """Local worker process handle (None for a remote shard)."""
+        return getattr(self.endpoint, "process", None)
+
+    @property
     def outstanding(self) -> int:
         return len(self.pending)
 
@@ -329,17 +238,27 @@ class _Shard:
 
 
 class ShardedServer:
-    """Serve one model from N worker processes behind a resilient,
-    latency-aware router.
+    """Serve one model from N workers behind a resilient, latency-aware,
+    transport-neutral router.
 
     Args:
         spec: picklable session recipe every worker rebuilds.
-        num_shards: worker process count.
-        slots_per_shard: shared-memory slots per worker — the bound on
-            that worker's outstanding requests (backpressure).
+        num_shards: worker count (ignored when ``shards`` is given).
+        transport: ``"shm"`` (local processes over shared-memory slot
+            rings; the default) or ``"tcp"`` (local loopback workers
+            over framed sockets — the same wire protocol remote shards
+            speak).
+        shards: remote worker addresses (``["host:port", ...]``), one
+            shard per entry, each running
+            ``python -m repro worker --listen HOST:PORT``.  Implies
+            ``transport="tcp"``; "respawn" becomes reconnect-with-backoff.
+        slots_per_shard: outstanding-request bound per worker
+            (shared-memory slots, or TCP credits — backpressure either
+            way).
         max_request_samples: largest ``N`` accepted per request; also
-            sizes the slots (``max(input, output) elements x N x
-            float32``), so larger requests raise instead of overflowing.
+            sizes the transport payload capacity (``max(input, output)
+            elements x N x float32``), so larger requests raise instead
+            of overflowing.
         health_interval_s: monitor period for liveness pings, stats
             refresh, deadline/stall scans, and hedging decisions.
         resilience: retry / hedging / breaker / timeout knobs
@@ -351,11 +270,12 @@ class ShardedServer:
         faults: deterministic chaos plan
             (:class:`~repro.runtime.faults.FaultPlan`); ``None`` in
             production — every hook is a no-op.
-        mp_start: multiprocessing start method (``spawn`` default; see
-            module docstring).
-        worker_env: extra environment for workers (e.g. pin BLAS threads
-            with ``{"OPENBLAS_NUM_THREADS": "1"}`` so shards don't fight
-            over cores); applied around spawn, parent env restored.
+        mp_start: multiprocessing start method for local workers
+            (``spawn`` default; see module docstring).
+        worker_env: extra environment for local workers (e.g. pin BLAS
+            threads with ``{"OPENBLAS_NUM_THREADS": "1"}`` so shards
+            don't fight over cores); applied around spawn, parent env
+            restored.
     """
 
     def __init__(
@@ -363,6 +283,8 @@ class ShardedServer:
         spec: SessionSpec,
         num_shards: int = 2,
         *,
+        transport: str = "shm",
+        shards: list[str] | None = None,
         slots_per_shard: int = 16,
         max_request_samples: int = 16,
         health_interval_s: float = 0.5,
@@ -371,12 +293,23 @@ class ShardedServer:
         mp_start: str = "spawn",
         worker_env: dict[str, str] | None = None,
     ) -> None:
+        if shards is not None:
+            if transport not in ("tcp", "shm"):
+                raise ValueError(f"unknown transport {transport!r}")
+            transport = "tcp"  # addresses only make sense over sockets
+            for address in shards:
+                parse_hostport(address)  # validate before spawning anything
+            num_shards = len(shards)
+        if transport not in ("shm", "tcp"):
+            raise ValueError(f"transport must be 'shm' or 'tcp', got {transport!r}")
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if slots_per_shard < 1:
             raise ValueError(f"slots_per_shard must be >= 1, got {slots_per_shard}")
         self.spec = spec
         self.num_shards = num_shards
+        self.transport = transport
+        self.shard_addresses = list(shards) if shards else None
         self.slots_per_shard = slots_per_shard
         self.max_request_samples = max_request_samples
         self.health_interval_s = health_interval_s
@@ -387,10 +320,14 @@ class ShardedServer:
         self._ctx = get_context(mp_start)
         elems = max(prod(spec.input_shape), prod(spec.probe_output_shape()))
         self._slot_bytes = max_request_samples * elems * np.dtype(np.float32).itemsize
+        self._launcher = self._make_launcher()
         self._lock = threading.Lock()  # shard list mutation + down transitions
         self._closed = False
         self._req_ids = itertools.count()
-        self._retired_rings: list[ShmSlotRing] = []
+        self._retired_endpoints: list[ShardEndpoint] = []
+        #: router-observed end-to-end latency (submit -> resolved), the
+        #: same bounded reservoir the workers use for their own p50/p95
+        self._latency = LatencyReservoir()
         # resilience counters (cluster_stats); guarded by _counter_lock
         self._counter_lock = threading.Lock()
         self._counters = {
@@ -406,11 +343,11 @@ class ShardedServer:
             # close() on an object whose constructor raised
             self._closed = True  # recv threads must not respawn what we reap
             for shard in self._shards:
-                shard.process.terminate()
-                shard.process.join(timeout=5.0)
-                self._retire_ring(shard.ring)
-            for ring in self._retired_rings:
-                ring.unlink()
+                shard.endpoint.kill()
+                shard.endpoint.join(timeout=5.0)
+                self._retire_endpoint(shard.endpoint)
+            for endpoint in self._retired_endpoints:
+                endpoint.dispose()
             raise
         self._stop_monitor = threading.Event()
         self._ping_seq = itertools.count(1)
@@ -418,6 +355,33 @@ class ShardedServer:
             target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
         )
         self._monitor.start()
+
+    def _make_launcher(self) -> ShardLauncher:
+        if self.shard_addresses is not None:
+            return RemoteTcpLauncher(
+                self.spec,
+                self.shard_addresses,
+                slots_per_shard=self.slots_per_shard,
+                slot_bytes=self._slot_bytes,
+                fault_plan=self._fault_plan,
+            )
+        if self.transport == "tcp":
+            return LocalTcpLauncher(
+                self.spec,
+                slots_per_shard=self.slots_per_shard,
+                slot_bytes=self._slot_bytes,
+                ctx=self._ctx,
+                fault_plan=self._fault_plan,
+                worker_env=self._worker_env,
+            )
+        return ShmShardLauncher(
+            self.spec,
+            slots_per_shard=self.slots_per_shard,
+            slot_bytes=self._slot_bytes,
+            ctx=self._ctx,
+            fault_plan=self._fault_plan,
+            worker_env=self._worker_env,
+        )
 
     def _count(self, key: str, n: int = 1) -> None:
         with self._counter_lock:
@@ -427,32 +391,11 @@ class ShardedServer:
     # Spawning / crash handling
     # ------------------------------------------------------------------
     def _spawn_shard(self, index: int) -> _Shard:
-        ring = ShmSlotRing.create(self.slots_per_shard, self._slot_bytes)
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(self.spec, ring.name, self.slots_per_shard, ring.slot_bytes,
-                  child_conn, self._fault_plan),
-            name=f"repro-shard-{index}",
-            daemon=True,
-        )
-        saved_env: dict[str, str | None] = {}
-        if self._worker_env:
-            saved_env = {k: os.environ.get(k) for k in self._worker_env}
-            os.environ.update(self._worker_env)
-        try:
-            process.start()
-        finally:
-            for key, value in saved_env.items():
-                if value is None:
-                    os.environ.pop(key, None)
-                else:
-                    os.environ[key] = value
-        child_conn.close()  # parent keeps one end; EOF then tracks the worker's life
+        endpoint = self._launcher.launch(index)
         breaker = CircuitBreaker(
             self.resilience.breaker_threshold, self.resilience.breaker_reset_s
         )
-        shard = _Shard(index, process, parent_conn, ring, breaker)
+        shard = _Shard(index, endpoint, breaker)
         shard.recv_thread = threading.Thread(
             target=self._recv_loop, args=(shard,), name=f"repro-shard-{index}-recv", daemon=True
         )
@@ -460,28 +403,21 @@ class ShardedServer:
         return shard
 
     def _recv_loop(self, shard: _Shard) -> None:
-        """Per-shard response pump: resolves in-flight records, frees
-        slots (also for discarded late/hedge-loser replies)."""
+        """Per-shard response pump: resolves in-flight records off the
+        endpoint's normalized events (the endpoint itself reads payloads
+        and reclaims transport capacity, also for discarded late/
+        hedge-loser replies)."""
         while True:
             try:
-                msg = shard.conn.recv()
-            except (EOFError, OSError):
-                self._handle_shard_down(shard, "worker process died")
+                msg = shard.endpoint.recv()
+            except (TransportClosedError, EOFError, OSError):
+                self._handle_shard_down(shard, "worker connection lost")
                 return
             kind = msg[0]
             if kind == "res":
-                _, req_id, slot, shape, dtype, crc = msg
-                try:
-                    out = shard.ring.read(slot, shape, dtype, crc)
-                    read_err: Exception | None = None
-                except CorruptedPayloadError as exc:  # transport corruption: retryable
-                    out, read_err = None, exc
-                except Exception as exc:  # torn ring (shard raced a close)
-                    out, read_err = None, exc
+                _, req_id, out, read_err = msg
                 with shard.lock:
                     inflight = shard.pending.pop(req_id, None)
-                    shard.slot_of.pop(req_id, None)
-                self._release_slot(shard, slot)
                 if isinstance(read_err, CorruptedPayloadError):
                     shard.breaker.record_failure()
                     self._count("corrupt")
@@ -492,15 +428,14 @@ class ShardedServer:
                 if inflight is None:
                     continue  # late reply for a request already settled elsewhere
                 if read_err is None:
-                    inflight.resolve_result(out)
+                    if inflight.resolve_result(out):
+                        self._latency.record((time.monotonic() - inflight.created_at) * 1e3)
                 else:
                     inflight.resolve_exception(read_err)
             elif kind == "err":
-                _, req_id, slot, code, text = msg
+                _, req_id, code, text = msg
                 with shard.lock:
                     inflight = shard.pending.pop(req_id, None)
-                    shard.slot_of.pop(req_id, None)
-                self._release_slot(shard, slot)
                 if code == "corrupt":
                     # the *request* arrived corrupted at the worker: the
                     # worker itself is healthy, the transport attempt is not
@@ -534,38 +469,28 @@ class ShardedServer:
             elif kind == "fatal":
                 shard.fail_reason = f"worker failed to build session: {msg[1]}"
 
-    @staticmethod
-    def _release_slot(shard: _Shard, slot: int) -> None:
-        try:
-            shard.ring.release(slot)
-        except (RuntimeError, ValueError):
-            pass  # ring already torn down with the shard
-
-    def _retire_ring(self, ring: ShmSlotRing) -> None:
-        """Best-effort close now, unlink deferred to server close().
-
-        ``SharedMemory.close`` raises ``BufferError`` if another thread
-        is mid ``write``/``read`` with a live view on the buffer — a
-        real window when a shard dies under concurrent submits.  The
-        retired list retries close at server shutdown, when no request
-        threads can be touching the ring anymore.
-        """
-        try:
-            ring.close()
-        except BufferError:
-            pass
-        self._retired_rings.append(ring)
+    def _retire_endpoint(self, endpoint: ShardEndpoint) -> None:
+        """Best-effort close now, final disposal deferred to server
+        close() — e.g. an shm ring's ``SharedMemory.close`` can raise
+        ``BufferError`` while another thread is mid write/read with a
+        live view, a real window when a shard dies under concurrent
+        submits.  The retired list retries at shutdown, when no request
+        threads can be touching the transport anymore."""
+        endpoint.close()
+        self._retired_endpoints.append(endpoint)
 
     def _handle_shard_down(self, shard: _Shard, reason: str) -> None:
         """Rehome or fail a dead shard's in-flight requests; respawn
-        unless closing.
+        (or, for a remote shard, reconnect) unless closing.
 
         Idempotent per incarnation — the first caller (recv thread on
-        EOF, submit on a broken pipe, or the monitor) wins.  Requests
-        with retry budget left are re-dispatched to healthy shards on a
-        rescue thread (their payloads were retained for exactly this);
-        the rest fail with :class:`ShardCrashedError` — typed errors,
-        never hangs.
+        EOF, submit on a broken transport, or the monitor) wins.
+        Requests with retry budget left are re-dispatched to healthy
+        shards on a rescue thread (their payloads were retained for
+        exactly this); the rest fail with :class:`ShardCrashedError` —
+        typed errors, never hangs.  During a graceful close, a shard
+        dying mid-drain resolves its futures here immediately instead
+        of making clients wait out the drain timeout.
         """
         with self._lock:
             if shard.down:
@@ -582,7 +507,6 @@ class ShardedServer:
         with shard.lock:
             doomed = dict(shard.pending)
             shard.pending.clear()
-            shard.slot_of.clear()
         detail = shard.fail_reason or reason
         rehome: list[_InFlight] = []
         failed = 0
@@ -615,10 +539,9 @@ class ShardedServer:
                 name=f"repro-shard-{shard.index}-rescue",
                 daemon=True,
             ).start()
-        if shard.process.is_alive():  # pipe died first (shouldn't happen) — reap anyway
-            shard.process.terminate()
-        shard.process.join(timeout=5.0)
-        self._retire_ring(shard.ring)  # closed best-effort now, unlinked at close()
+        shard.endpoint.kill()  # reap the process / sever the connection
+        shard.endpoint.join(timeout=5.0)
+        self._retire_endpoint(shard.endpoint)  # final disposal at close()
         if closing:
             return
         if shard.early_deaths >= 2:
@@ -631,11 +554,29 @@ class ShardedServer:
         with self._lock:
             if self._closed or self._shards[shard.index] is not shard:
                 return
+        # launch outside the router lock: a TCP reconnect can legally
+        # take seconds of backoff, and submits must keep flowing to the
+        # surviving shards meanwhile.  No rival writer exists for this
+        # slot — only the installed incarnation's own down-handler (us)
+        # replaces it — so the re-check below only guards close().
+        try:
             replacement = self._spawn_shard(shard.index)
-            replacement.requests = shard.requests
-            replacement.errors = shard.errors
-            replacement.respawns = shard.respawns + 1
-            replacement.early_deaths = shard.early_deaths
+        except Exception as exc:  # unreachable remote / spawn failure
+            shard.permanent = True
+            shard.fail_reason = (
+                f"shard {shard.index} permanently failed: respawn failed ({exc})"
+            )
+            return
+        replacement.requests = shard.requests
+        replacement.errors = shard.errors
+        replacement.respawns = shard.respawns + 1
+        replacement.early_deaths = shard.early_deaths
+        with self._lock:
+            if self._closed or self._shards[shard.index] is not shard:
+                replacement.endpoint.kill()
+                replacement.endpoint.join(timeout=5.0)
+                self._retire_endpoint(replacement.endpoint)
+                return
             self._shards[shard.index] = replacement
 
     def _redispatch_batch(self, inflights: list[_InFlight]) -> None:
@@ -677,13 +618,12 @@ class ShardedServer:
             for shard in list(self._shards):
                 if shard.down:
                     continue
-                if not shard.process.is_alive():
-                    self._handle_shard_down(shard, "worker process died")
+                if not shard.endpoint.alive():
+                    self._handle_shard_down(shard, "worker died")
                     continue
                 try:
-                    with shard.send_lock:
-                        shard.conn.send(("ping", next(self._ping_seq)))
-                except (BrokenPipeError, OSError):
+                    shard.endpoint.send_ping(next(self._ping_seq))
+                except (TransportClosedError, BrokenPipeError, OSError):
                     self._handle_shard_down(shard, "health ping failed")
                     continue
                 self._scan_inflight(shard)
@@ -698,8 +638,9 @@ class ShardedServer:
             if inflight.done:
                 continue
             if inflight.expired(now):
-                # the slot stays reserved until the worker replies (it may
-                # still write into it); the reply is then discarded
+                # transport capacity stays reserved until the worker
+                # replies (it may still write a response); the reply is
+                # then discarded
                 if inflight.resolve_exception(
                     DeadlineExceededError("deadline passed with the request in flight")
                 ):
@@ -751,18 +692,19 @@ class ShardedServer:
         """Route one request to the best shard; future of the logits.
 
         ``x`` is one ``(C, H, W)`` sample or an ``(N, C, H, W)`` batch
-        with ``N <= max_request_samples``.
+        with ``1 <= N <= max_request_samples``.
 
         Args:
             deadline: latency budget in seconds.  The budget travels
-                with the request through every tier (router queue, shm
-                transport, worker micro-batcher); once it expires the
-                request resolves with
+                with the request through every tier (router queue,
+                transport, worker micro-batcher — re-anchored across
+                host clock domains by the TCP transport); once it
+                expires the request resolves with
                 :class:`~repro.runtime.resilience.DeadlineExceededError`
                 — over-budget work is shed, not executed.
             timeout: admission patience in seconds.  When every live
-                shard's slot ring stays full this long, the request is
-                refused with
+                shard's transport capacity stays full this long, the
+                request is refused with
                 :class:`~repro.runtime.resilience.QueueFullError`
                 instead of blocking indefinitely (``None`` preserves
                 the blocking behaviour).
@@ -778,6 +720,11 @@ class ShardedServer:
             x = x[None]
         if x.ndim != 4:
             raise ValueError(f"expected (C, H, W) or (N, C, H, W) input, got shape {x.shape}")
+        if x.size == 0:
+            raise ValueError(
+                f"refusing a zero-size request (shape {x.shape}): batches must "
+                "contain at least one sample"
+            )
         if x.shape[0] > self.max_request_samples:
             raise ValueError(
                 f"request holds {x.shape[0]} samples but max_request_samples is "
@@ -802,7 +749,7 @@ class ShardedServer:
         if status == "queue_full":
             self._count("shed")
             raise QueueFullError(
-                f"every live shard's slot ring stayed full for {timeout:.3f} s; "
+                f"every live shard's transport slots stayed full for {timeout:.3f} s; "
                 "request shed"
             )
         if status == "closed":
@@ -833,7 +780,7 @@ class ShardedServer:
         concurrent attempt won), ``"queue_full"`` (admission timeout
         expired; nothing was settled — the caller decides), or
         ``"closed"``.  ``best_effort`` (hedging) never blocks: if no
-        shard has a free slot right now, the attempt is unclaimed and
+        shard has free capacity right now, the attempt is unclaimed and
         dropped.
         """
         assert claimed, "attempts must be claimed before dispatch"
@@ -870,13 +817,13 @@ class ShardedServer:
                 time.sleep(0.05)
                 continue
             if self._injector is not None and self._injector.exhaust_slot(req_id):
-                slot = None  # injected slot exhaustion: ring "full" once
+                token = None  # injected slot exhaustion: transport "full" once
             else:
                 try:
-                    slot = shard.ring.acquire(timeout=0.0 if best_effort else 0.05)
-                except RuntimeError:  # ring closed: shard died while we waited
+                    token = shard.endpoint.acquire(timeout=0.0 if best_effort else 0.05)
+                except TransportClosedError:  # shard died while we waited
                     continue
-            if slot is None:  # shard full — re-pick (load may have shifted)
+            if token is None:  # shard full — re-pick (load may have shifted)
                 if best_effort:
                     inflight.unclaim_attempt()
                     inflight.hedged = False
@@ -885,20 +832,16 @@ class ShardedServer:
                     return "queue_full"
                 continue
             x = inflight.x
-            if x is None:  # resolved while we acquired: give the slot back
-                self._release_slot(shard, slot)
+            if x is None:  # resolved while we acquired: give the capacity back
+                shard.endpoint.release(token)
                 return "resolved"
             with shard.lock:
                 if shard.down:
-                    self._release_slot(shard, slot)
+                    shard.endpoint.release(token)
                     continue
                 shard.pending[req_id] = inflight
-                shard.slot_of[req_id] = slot
             try:
-                shape, dtype, crc = shard.ring.write(slot, x)
-                with shard.send_lock:
-                    shard.conn.send(("req", req_id, slot, shape, dtype, crc,
-                                     inflight.deadline_at))
+                shard.endpoint.send_request(token, req_id, x, inflight.deadline_at)
                 inflight.last_sent_at = time.monotonic()
                 inflight.stalled = False
                 shard.last_routed_at = inflight.last_sent_at
@@ -908,7 +851,6 @@ class ShardedServer:
             except Exception:
                 with shard.lock:
                     owned = shard.pending.pop(req_id, None)
-                    shard.slot_of.pop(req_id, None)
                 self._handle_shard_down(shard, "request transport failed")
                 if owned is None:
                     # the crash handler beat us to it: the request is now
@@ -966,29 +908,32 @@ class ShardedServer:
     # Introspection
     # ------------------------------------------------------------------
     def worker_pids(self) -> list[int | None]:
-        """Current worker PID per shard index (None before spawn)."""
-        return [s.process.pid for s in self._shards]
+        """Current worker PID per shard index (None for remote shards)."""
+        return [s.endpoint.pid for s in self._shards]
 
     @property
     def cluster_stats(self) -> dict:
         """Aggregated router + worker counters (read any time).
 
         Per-shard: router-side ``requests``/``errors``/``outstanding``/
-        ``respawns``, the breaker snapshot, plus the worker's own
+        ``respawns``, the breaker snapshot, the shard's transport
+        address (``None`` for local shm workers), plus the worker's own
         serving-stats snapshot (``None`` until its first health pong).
         Global: sums, worker-side batch counters, the cluster-wide mean
-        batch, and the resilience counters (``retries``, ``hedges``,
-        ``shed``, ``timed_out``, ``corrupt``).
+        batch, the transport kind, the router's own end-to-end
+        ``router_p50_ms``/``router_p95_ms``, and the resilience counters
+        (``retries``, ``hedges``, ``shed``, ``timed_out``, ``corrupt``).
         """
         shards = []
         totals = {"requests": 0, "errors": 0, "outstanding": 0, "respawns": 0}
         batches = samples = 0
         for s in self._shards:
             serving = s.worker_stats
-            alive = not s.down and s.process.is_alive()
+            alive = not s.down and s.endpoint.alive()
             entry = {
                 "shard": s.index,
-                "pid": s.process.pid,
+                "pid": s.endpoint.pid,
+                "address": getattr(s.endpoint, "address", None),
                 "alive": alive,
                 "requests": s.requests,
                 "errors": s.errors,
@@ -1012,10 +957,13 @@ class ShardedServer:
             "shards": shards,
             **totals,
             **resilience_counters,
+            "transport": self._launcher.kind,
             "alive_shards": sum(1 for e in shards if e["alive"]),
             "worker_batches": batches,
             "worker_samples": samples,
             "mean_batch": samples / batches if batches else 0.0,
+            "router_p50_ms": self._latency.p50_ms,
+            "router_p95_ms": self._latency.p95_ms,
             "injected_faults": injected,
         }
 
@@ -1024,7 +972,15 @@ class ShardedServer:
     # ------------------------------------------------------------------
     def close(self, timeout: float = 30.0) -> None:
         """Graceful drain: stop accepting, let workers finish in-flight
-        requests, reap processes, release shared memory (idempotent)."""
+        requests, reap processes / connections, release transport
+        resources (idempotent).
+
+        A shard whose peer disconnects mid-drain is handled by the recv
+        thread's down-path the moment the EOF arrives — its in-flight
+        futures resolve with :class:`ShardCrashedError` immediately, and
+        the join below returns as soon as the endpoint is gone, not
+        after the full drain timeout.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -1036,15 +992,16 @@ class ShardedServer:
             if shard.down:
                 continue
             try:
-                with shard.send_lock:
-                    shard.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+                shard.endpoint.send_stop()
+            except (TransportClosedError, BrokenPipeError, OSError):
                 pass
         for shard in self._shards:
-            shard.process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if shard.process.is_alive():  # drain overran the deadline
-                shard.process.terminate()
-                shard.process.join(timeout=5.0)
+            if shard.down:
+                continue  # its futures were already resolved by the down-path
+            shard.endpoint.join(timeout=max(0.0, deadline - time.monotonic()))
+            if shard.endpoint.alive():  # drain overran the deadline
+                shard.endpoint.kill()
+                shard.endpoint.join(timeout=5.0)
         for shard in self._shards:
             if shard.recv_thread is not None:
                 shard.recv_thread.join(timeout=5.0)
@@ -1052,7 +1009,6 @@ class ShardedServer:
             with shard.lock:
                 leftovers = dict(shard.pending)
                 shard.pending.clear()
-                shard.slot_of.clear()
             failed = 0
             for inflight in leftovers.values():
                 if inflight.resolve_exception(
@@ -1061,18 +1017,12 @@ class ShardedServer:
                     failed += 1
             with shard.lock:
                 shard.errors += failed
-            try:
-                shard.conn.close()
-            except OSError:
-                pass
-            self._retire_ring(shard.ring)
-        for ring in self._retired_rings:
-            try:
-                ring.close()
-            except BufferError:  # a straggler thread still holds a view
-                pass
-            ring.unlink()
-        self._retired_rings.clear()
+            if not shard.down:
+                self._retire_endpoint(shard.endpoint)
+        for endpoint in self._retired_endpoints:
+            endpoint.dispose()
+        self._retired_endpoints.clear()
+        self._launcher.close()
 
     def __enter__(self) -> "ShardedServer":
         return self

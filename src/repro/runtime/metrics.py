@@ -1,0 +1,95 @@
+"""Shared serving metrics: bounded latency reservoirs with percentiles.
+
+Both serving tiers need the same primitive — "what were my p50/p95
+latencies lately?" — measured at different points: the worker-side
+:class:`~repro.runtime.serving.MicroBatchServer` tracks submit→resolve
+latency inside one process, and the router in
+:class:`~repro.runtime.cluster.ShardedServer` tracks per-shard
+dispatch→reply attempt latency across the transport.  Before this module
+each grew its own ring-buffer-and-percentile code; now both share
+:class:`LatencyReservoir`.
+
+The reservoir is a **sliding window**, not a log: a preallocated float64
+ring of ``capacity`` samples where new recordings overwrite the oldest,
+so a server that lives for months holds memory constant and its
+percentiles always describe recent traffic.  All methods are
+thread-safe (one internal lock; recording is O(1), percentile reads copy
+the window out before computing).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["LatencyReservoir", "DEFAULT_RESERVOIR"]
+
+#: default reservoir size: enough samples for stable p95 estimates,
+#: bounded so a long-lived server never grows
+DEFAULT_RESERVOIR = 2048
+
+
+class LatencyReservoir:
+    """Bounded sliding-window reservoir of latency samples (ms).
+
+    Usage::
+
+        lat = LatencyReservoir()
+        lat.record(12.5)
+        print(lat.p50_ms, lat.p95_ms)   # percentiles over the window
+    """
+
+    __slots__ = ("_ring", "_count", "_lock")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._ring = np.zeros(capacity, dtype=np.float64)
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.shape[0]
+
+    @property
+    def count(self) -> int:
+        """Total samples ever recorded (window holds the last
+        ``min(count, capacity)`` of them)."""
+        return self._count
+
+    def record(self, latency_ms: float) -> None:
+        """Append one latency sample, evicting the oldest when full."""
+        with self._lock:
+            self._ring[self._count % self._ring.shape[0]] = latency_ms
+            self._count += 1
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile over the current window (0.0 when empty)."""
+        with self._lock:
+            n = min(self._count, self._ring.shape[0])
+            if n == 0:
+                return 0.0
+            window = self._ring[:n].copy()
+        return float(np.percentile(window, q))
+
+    @property
+    def p50_ms(self) -> float:
+        """Median latency over the sliding window (0.0 = no samples)."""
+        return self.percentile(50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile latency over the sliding window."""
+        return self.percentile(95.0)
+
+    def snapshot(self) -> dict:
+        """Picklable point-in-time summary (for cross-process stats)."""
+        return {"count": self.count, "p50_ms": self.p50_ms, "p95_ms": self.p95_ms}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyReservoir(count={self._count}, capacity={self.capacity}, "
+            f"p50={self.p50_ms:.2f}ms, p95={self.p95_ms:.2f}ms)"
+        )

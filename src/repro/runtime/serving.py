@@ -70,6 +70,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.metrics import DEFAULT_RESERVOIR, LatencyReservoir
 from repro.runtime.resilience import (
     DeadlineExceededError,
     InjectedFaultError,
@@ -118,9 +119,9 @@ class ServingConfig:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
 
 
-#: latency reservoir size: enough for stable p95 estimates, bounded so
-#: a long-lived server never grows (it is a sliding window, not a log)
-_LATENCY_RESERVOIR = 2048
+#: latency reservoir size (re-exported from :mod:`repro.runtime.metrics`,
+#: where the shared sliding-window implementation now lives)
+_LATENCY_RESERVOIR = DEFAULT_RESERVOIR
 
 
 @dataclass
@@ -143,40 +144,37 @@ class ServingStats:
     effective_wait_ms: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     # Sliding-window reservoir of per-request latencies (queue wait +
-    # dispatch + kernel time, submit to resolution).  A preallocated
-    # ring, never an unbounded list.
-    _latency_ring: np.ndarray = field(
-        default_factory=lambda: np.zeros(_LATENCY_RESERVOIR, dtype=np.float64), repr=False
-    )
-    _latency_count: int = field(default=0, repr=False)
+    # dispatch + kernel time, submit to resolution) — the shared
+    # implementation from repro.runtime.metrics, also used by the
+    # router's per-shard attempt tracking in repro.runtime.cluster.
+    _latency: LatencyReservoir = field(default_factory=LatencyReservoir, repr=False)
 
     @property
     def mean_batch(self) -> float:
         """Average samples per dispatched batch (1.0 = no coalescing)."""
         return self.samples / self.batches if self.batches else 0.0
 
+    @property
+    def _latency_ring(self) -> np.ndarray:
+        """The reservoir's backing ring (tests / introspection)."""
+        return self._latency._ring
+
     def _record_latency(self, latency_ms: float) -> None:
-        """Append one request latency (caller holds ``_lock``)."""
-        self._latency_ring[self._latency_count % _LATENCY_RESERVOIR] = latency_ms
-        self._latency_count += 1
+        """Append one request latency (reservoir has its own lock)."""
+        self._latency.record(latency_ms)
 
     def _latency_percentile(self, q: float) -> float:
-        with self._lock:
-            n = min(self._latency_count, _LATENCY_RESERVOIR)
-            if n == 0:
-                return 0.0
-            window = self._latency_ring[:n].copy()
-        return float(np.percentile(window, q))
+        return self._latency.percentile(q)
 
     @property
     def p50_ms(self) -> float:
         """Median request latency over the sliding window (0.0 = none)."""
-        return self._latency_percentile(50.0)
+        return self._latency.p50_ms
 
     @property
     def p95_ms(self) -> float:
         """95th-percentile request latency over the sliding window."""
-        return self._latency_percentile(95.0)
+        return self._latency.p95_ms
 
     def snapshot(self) -> dict:
         """Picklable point-in-time copy (for cross-process reporting)."""

@@ -1,0 +1,130 @@
+"""Transport-neutral shard worker body.
+
+Exactly one serve loop exists for every transport: a worker process —
+whether it was spawned next to the router and speaks shared memory, or
+runs on another machine behind ``python -m repro worker`` and speaks
+TCP — builds its session, then pulls normalized messages off a
+:class:`~repro.runtime.transport.WorkerTransport` and serves them
+through the in-process micro-batching front-end.  The transport decides
+*how* bytes move; this module decides *what happens to a request*, so
+retries, deadlines, and :class:`~repro.runtime.faults.FaultPlan`
+injection behave identically everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.resilience import (
+    CorruptedPayloadError,
+    DeadlineExceededError,
+    QueueFullError,
+)
+from repro.runtime.transport import TransportClosedError, WorkerTransport
+
+__all__ = ["run_worker"]
+
+
+def run_worker(
+    build: Callable[[], "object"],
+    transport: WorkerTransport,
+    fault_plan: FaultPlan | None = None,
+) -> None:
+    """Serve one shard until ``stop`` or the router disappears.
+
+    ``build`` produces the :class:`~repro.runtime.session.InferenceSession`
+    (typically ``spec.build``); a build failure is reported as a
+    ``fatal`` message so the router marks the shard permanently failed
+    instead of respawn-looping.  Each ``req`` payload is copied
+    (checksum-verified) off the transport, submitted to the session's
+    micro-batcher with its deadline, and the reply sent back when the
+    future resolves.  A :class:`FaultPlan` (chaos tests only)
+    deterministically injects crashes, stalls, slowness, and response
+    corruption keyed by request id.
+    """
+
+    def _safe(fn, *args) -> None:
+        # the router being gone mid-send is never an error a worker can
+        # act on: results for a dead router are simply undeliverable
+        try:
+            fn(*args)
+        except (TransportClosedError, BrokenPipeError, OSError):
+            pass
+
+    try:
+        session = build()
+    except BaseException as exc:  # surface build failures instead of respawn-looping
+        _safe(transport.send_fatal, f"{type(exc).__name__}: {exc}")
+        transport.close()
+        return
+
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    capacity = transport.payload_capacity
+
+    def _reply(req_id: int, handle, fut: Future, corrupt: bool = False) -> None:
+        exc = fut.exception()
+        if exc is not None:
+            code = "deadline" if isinstance(exc, DeadlineExceededError) else "error"
+            _safe(transport.send_error, req_id, handle, code, f"{type(exc).__name__}: {exc}")
+            return
+        out = np.ascontiguousarray(fut.result())
+        if capacity is not None and out.nbytes > capacity:
+            _safe(
+                transport.send_error, req_id, handle, "error",
+                f"output of {out.nbytes} bytes exceeds the {capacity}-byte slot",
+            )
+            return
+        _safe(transport.send_result, req_id, handle, out, corrupt)
+
+    stats = None  # the ServingStats object outlives session.close()
+    try:
+        _safe(transport.send_ready, os.getpid())
+        while True:
+            try:
+                msg = transport.recv()
+            except (TransportClosedError, EOFError, OSError):
+                return  # router died; daemon worker just exits
+            kind = msg[0]
+            if kind == "stop":
+                return
+            if kind == "ping":
+                stats = session.serving_stats or stats
+                _safe(transport.send_pong, msg[1],
+                      stats.snapshot() if stats is not None else None)
+            elif kind == "req":
+                _, req_id, deadline_at, handle = msg
+                fault = injector.decide(req_id) if injector is not None else None
+                if fault == "crash":
+                    os._exit(17)  # hard death with the request in flight
+                # a stall blocks the whole receive loop: the canonical
+                # wedged-but-alive shard that breakers exist for
+                if injector is not None:
+                    injector.apply_delay(fault)
+                try:
+                    x = transport.read_payload(handle)  # copy + verify
+                except CorruptedPayloadError as exc:
+                    _safe(transport.send_error, req_id, handle, "corrupt", str(exc))
+                    continue
+                stats = session.serving_stats or stats
+                try:
+                    fut = session.submit(x, deadline_at=deadline_at)
+                except DeadlineExceededError as exc:  # dead on arrival
+                    _safe(transport.send_error, req_id, handle, "deadline", str(exc))
+                    continue
+                except QueueFullError as exc:  # shouldn't happen: slots <= queue
+                    _safe(transport.send_error, req_id, handle, "error",
+                          f"QueueFullError: {exc}")
+                    continue
+                fut.add_done_callback(
+                    lambda f, r=req_id, h=handle, c=(fault == "corrupt"): _reply(r, h, f, c)
+                )
+    finally:
+        stats = session.serving_stats or stats
+        session.close()  # graceful drain: in-flight futures resolve, replies go out
+        _safe(transport.send_bye, stats.snapshot() if stats is not None else None)
+        transport.close()

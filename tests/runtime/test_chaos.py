@@ -23,6 +23,11 @@ chaos really happened (``cluster_stats`` respawns / corrupt / retries).
 
 ``max_batch=1`` serving makes bitwise comparison against a local
 session valid (see ``test_resilience.py``).
+
+The whole matrix is parametrized over ``["shm", "tcp"]`` transports:
+fault decisions are keyed by request id, not by wire format, so the
+same plan must produce the same counters over loopback TCP as over
+shared memory.
 """
 
 import itertools
@@ -51,6 +56,12 @@ def spec(tmp_path_factory):
     return projected_smallcnn_spec(
         str(bundle), in_size=IN_SIZE, serving_config=ServingConfig(max_batch=1)
     )
+
+
+@pytest.fixture(params=["shm", "tcp"])
+def transport(request):
+    """Chaos must play out identically over shared memory and TCP."""
+    return request.param
 
 
 @pytest.fixture(scope="module")
@@ -98,7 +109,7 @@ def _simulate(plan, n, max_attempts, start=WARMUP):
 class TestSequentialDeterminism:
     """One client, predictable attempt ids: the run matches the replay."""
 
-    def test_retries_absorb_the_plan_with_exact_counters(self, spec, local_session):
+    def test_retries_absorb_the_plan_with_exact_counters(self, spec, local_session, transport):
         plan = FaultPlan(
             seed=12,
             crash_rate=0.08,
@@ -117,7 +128,7 @@ class TestSequentialDeterminism:
 
         with ShardedServer(
             spec, num_shards=2, health_interval_s=0.1,
-            resilience=res, faults=plan,
+            resilience=res, faults=plan, transport=transport,
         ) as server:
             _warmup(server)
             for i in range(n):
@@ -140,7 +151,7 @@ class TestSequentialDeterminism:
         assert stats["shed"] == 0 and stats["timed_out"] == 0
 
     def test_retries_off_crash_surfaces_on_the_marked_requests(
-        self, spec, local_session
+        self, spec, local_session, transport
     ):
         plan = FaultPlan(seed=0, crash_rate=0.12, start_after=4)
         n = 16
@@ -150,6 +161,7 @@ class TestSequentialDeterminism:
         with ShardedServer(
             spec, num_shards=2, health_interval_s=0.1,
             resilience=ResilienceConfig(max_retries=0), faults=plan,
+            transport=transport,
         ) as server:
             for i in range(4):
                 server.run(_rand(1, seed=i), timeout=60)
@@ -185,7 +197,7 @@ class TestConcurrentChaosMatrix:
     CLIENTS = 16
     PER_CLIENT = 6
 
-    def test_every_request_resolves_correct_or_typed(self, spec, local_session):
+    def test_every_request_resolves_correct_or_typed(self, spec, local_session, transport):
         plan = FaultPlan(
             seed=1,
             crash_rate=0.02,
@@ -212,7 +224,7 @@ class TestConcurrentChaosMatrix:
 
         with ShardedServer(
             spec, num_shards=3, health_interval_s=0.1,
-            resilience=res, faults=plan,
+            resilience=res, faults=plan, transport=transport,
         ) as server:
             _warmup(server)
 
@@ -253,10 +265,17 @@ class TestConcurrentChaosMatrix:
         # retries re-roll each attempt's fault dice, so the budget absorbs
         # nearly everything; whatever surfaces must be typed and rare
         assert len(typed) <= len(injected), typed
-        # lower bounds: ids 8..8+total-1 are all drawn by some attempt, so
-        # at least the planned crashes/corruptions demonstrably happened
-        assert stats["respawns"] >= n_crash
-        assert stats["corrupt"] >= n_corrupt
-        assert stats["retries"] > 0
+        # lower bounds proving the chaos really happened.  Per-kind counts
+        # can be pre-empted by collateral damage (a worker holding a
+        # corrupt-marked request crashes on a *different* request before
+        # the corrupted response hits the wire), so the race-proof
+        # invariants are: at least one crash executed somewhere (the
+        # earliest crash to run can only have been pre-empted by an even
+        # earlier crash), corruption was demonstrably caught, and every
+        # planned crash/corrupt in the guaranteed id range burned its
+        # attempt — each burnt attempt is retried or surfaces typed.
+        assert stats["respawns"] >= 1
+        assert stats["corrupt"] >= 1
+        assert stats["retries"] + len(typed) >= n_crash + n_corrupt
         assert stats["injected_faults"]["slot_exhaust"] >= 1
         assert stats["requests"] >= total

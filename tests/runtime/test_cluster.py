@@ -4,15 +4,20 @@ The load-bearing claims under test:
 
 * a pickled ``SessionSpec`` rebuilds (in another process) a session
   whose outputs are **bitwise** equal to the originating session's;
-* the sharded router serves correct numbers over the shared-memory
-  transport, balances by outstanding requests, and aggregates stats;
+* the sharded router serves correct numbers, balances by outstanding
+  requests, and aggregates stats — identically over the shared-memory
+  transport and the TCP transport (loopback workers), which is the
+  whole point of the transport seam;
 * a crashed shard fails its in-flight futures with errors (never
   hangs), is respawned automatically, and subsequent traffic succeeds;
 * a shard that can never come up (broken bundle) is marked permanently
   failed instead of respawn-looping.
 
-Workers are real spawned processes, so every server here is small and
-short-lived; a module-scoped spec keeps capture cost paid once.
+Routing/recovery suites are parametrized over ``["shm", "tcp"]`` via
+the ``transport`` fixture; shm-implementation-specific tests (slot-ring
+spawn failure) stay shm-only.  Workers are real spawned processes, so
+every server here is small and short-lived; a module-scoped spec keeps
+capture cost paid once.
 """
 
 import os
@@ -41,6 +46,13 @@ IN_SIZE = 8
 def spec(tmp_path_factory):
     bundle = tmp_path_factory.mktemp("cluster") / "bundle.npz"
     return projected_smallcnn_spec(str(bundle), in_size=IN_SIZE)
+
+
+@pytest.fixture(params=["shm", "tcp"])
+def transport(request):
+    """Every routing/recovery scenario must behave identically over the
+    shared-memory and the (loopback) TCP transport."""
+    return request.param
 
 
 @pytest.fixture(scope="module")
@@ -132,7 +144,7 @@ class TestSessionSpec:
 # Sharded serving
 # ----------------------------------------------------------------------
 class TestShardedServer:
-    def test_concurrent_traffic_correct_and_balanced(self, spec, local_session):
+    def test_concurrent_traffic_correct_and_balanced(self, spec, local_session, transport):
         n_clients, per_client = 8, 6
         # coalescing changes the dispatched batch shape, which shifts BLAS
         # kernel choice and float rounding — concurrent traffic verifies to
@@ -142,7 +154,7 @@ class TestShardedServer:
         expected = [local_session.run(r) for r in requests]
         results: dict[int, np.ndarray] = {}
         errors: list[BaseException] = []
-        with ShardedServer(spec, num_shards=2, health_interval_s=0.2) as server:
+        with ShardedServer(spec, num_shards=2, health_interval_s=0.2, transport=transport) as server:
 
             def client(i):
                 try:
@@ -174,18 +186,18 @@ class TestShardedServer:
         assert all(s is not None and s["errors"] == 0 for s in serving)
         assert all(s["p95_ms"] >= s["p50_ms"] > 0 for s in serving)
 
-    def test_sequential_requests_bitwise_equal(self, spec, local_session):
+    def test_sequential_requests_bitwise_equal(self, spec, local_session, transport):
         """One request in flight at a time: each dispatches alone in its
         worker (same batch shape as session.run -> identical kernel
         arithmetic), so spec rebuild + shm transport must be
         byte-transparent."""
-        with ShardedServer(spec, num_shards=2) as server:
+        with ShardedServer(spec, num_shards=2, transport=transport) as server:
             for i, n in enumerate([1, 1, 2, 3, 1, 4]):
                 x = _rand(n, seed=200 + i)
                 np.testing.assert_array_equal(server.run(x, timeout=60), local_session.run(x))
 
-    def test_worker_error_propagates_and_shard_survives(self, spec):
-        with ShardedServer(spec, num_shards=1, health_interval_s=0.2) as server:
+    def test_worker_error_propagates_and_shard_survives(self, spec, transport):
+        with ShardedServer(spec, num_shards=1, health_interval_s=0.2, transport=transport) as server:
             bad = server.submit(np.zeros((1, 5, IN_SIZE, IN_SIZE), np.float32))  # 5 channels
             with pytest.raises(RuntimeError, match="shard 0"):
                 bad.result(timeout=60)
@@ -197,8 +209,8 @@ class TestShardedServer:
             assert stats["respawns"] == 0
             assert stats["errors"] == 1
 
-    def test_submit_validation(self, spec):
-        with ShardedServer(spec, num_shards=1) as server:
+    def test_submit_validation(self, spec, transport):
+        with ShardedServer(spec, num_shards=1, transport=transport) as server:
             with pytest.raises(ValueError, match="expected"):
                 server.submit(np.zeros((IN_SIZE, IN_SIZE), np.float32))
             with pytest.raises(ValueError, match="max_request_samples"):
@@ -206,17 +218,17 @@ class TestShardedServer:
             with pytest.raises(ValueError, match="transport slots"):
                 server.submit(np.zeros((16, 3, IN_SIZE, IN_SIZE), np.float64))
 
-    def test_submit_after_close_raises(self, spec):
-        server = ShardedServer(spec, num_shards=1)
+    def test_submit_after_close_raises(self, spec, transport):
+        server = ShardedServer(spec, num_shards=1, transport=transport)
         server.run(_rand(1), timeout=60)
         server.close()
         server.close()  # idempotent
         with pytest.raises(RuntimeError, match="closed"):
             server.submit(_rand(1))
 
-    def test_close_drains_in_flight_requests(self, spec):
+    def test_close_drains_in_flight_requests(self, spec, transport):
         """close() must resolve already-submitted futures, not orphan them."""
-        server = ShardedServer(spec, num_shards=2)
+        server = ShardedServer(spec, num_shards=2, transport=transport)
         futs = [server.submit(_rand(1, seed=i)) for i in range(12)]
         server.close()
         for fut in futs:
@@ -233,7 +245,7 @@ class TestShardedServer:
 # Crash recovery
 # ----------------------------------------------------------------------
 class TestCrashRecovery:
-    def test_killed_shard_fails_futures_respawns_and_recovers(self, spec):
+    def test_killed_shard_fails_futures_respawns_and_recovers(self, spec, transport):
         """With retries disabled, a crash surfaces as ShardCrashedError on
         the in-flight futures (the pre-retry contract — still the right
         mode for clients that do their own retries).  The retry-enabled
@@ -244,6 +256,7 @@ class TestCrashRecovery:
             num_shards=2,
             health_interval_s=0.2,
             resilience=ResilienceConfig(max_retries=0),
+            transport=transport,
         ) as server:
             # warm up both shards
             for _ in range(4):
@@ -289,10 +302,10 @@ class TestCrashRecovery:
         assert stats["respawns"] == 1
         assert stats["errors"] == crashed
 
-    def test_single_shard_submit_waits_out_respawn(self, spec):
+    def test_single_shard_submit_waits_out_respawn(self, spec, transport):
         """With every shard down but a respawn pending, submit must block
         until the replacement lands — not raise 'no live shards'."""
-        with ShardedServer(spec, num_shards=1, health_interval_s=0.2) as server:
+        with ShardedServer(spec, num_shards=1, health_interval_s=0.2, transport=transport) as server:
             x = _rand(1)
             server.run(x, timeout=60)  # warmed: next death is not "early"
             victim = server._shards[0]
@@ -307,12 +320,44 @@ class TestCrashRecovery:
             assert server.worker_pids()[0] != pid
             assert server.cluster_stats["respawns"] == 1
 
+    def test_peer_death_mid_drain_resolves_futures_promptly(self, spec, transport):
+        """A peer that disconnects while close() is draining must resolve
+        that shard's in-flight futures with a typed error immediately —
+        not leave clients (and close itself) waiting out the full drain
+        timeout."""
+        drain_timeout = 30.0
+        server = ShardedServer(
+            spec, num_shards=1, health_interval_s=0.2,
+            resilience=ResilienceConfig(max_retries=0),
+            transport=transport,
+        )
+        server.run(_rand(1), timeout=60)  # warmed: death is not "early"
+        victim = server._shards[0]
+        pid = victim.process.pid
+        os.kill(pid, signal.SIGSTOP)  # wedge the worker so the drain blocks
+        fut = server.submit(_rand(1, seed=9))
+        assert _wait_until(lambda: victim.outstanding > 0, timeout=10)
+
+        start = time.monotonic()
+        closer = threading.Thread(target=server.close, args=(drain_timeout,))
+        closer.start()
+        time.sleep(0.5)  # close() is now inside the drain wait
+        os.kill(pid, signal.SIGKILL)  # peer dies mid-drain
+
+        with pytest.raises(ShardCrashedError, match="crashed"):
+            fut.result(timeout=15)  # typed error, long before the drain timeout
+        closer.join(timeout=15)
+        assert not closer.is_alive(), "close() waited out the drain timeout"
+        assert time.monotonic() - start < drain_timeout / 2
+        assert server.cluster_stats["respawns"] == 0  # closing: no replacement
+
     def test_partial_spawn_failure_reaps_started_workers(self, spec, monkeypatch):
         """A constructor that dies mid-spawn must not leak the workers and
-        segments it already started."""
-        from repro.runtime import cluster as cluster_mod
+        segments it already started.  (shm-only: the failure is injected
+        into the slot-ring allocation, an shm implementation detail.)"""
+        from repro.runtime import transport_shm as transport_shm_mod
 
-        real_create = cluster_mod.ShmSlotRing.create
+        real_create = transport_shm_mod.ShmSlotRing.create
         calls = {"n": 0}
 
         def failing_create(slots, slot_bytes):
@@ -321,7 +366,9 @@ class TestCrashRecovery:
                 raise OSError("no space left on /dev/shm (simulated)")
             return real_create(slots, slot_bytes)
 
-        monkeypatch.setattr(cluster_mod.ShmSlotRing, "create", staticmethod(failing_create))
+        monkeypatch.setattr(
+            transport_shm_mod.ShmSlotRing, "create", staticmethod(failing_create)
+        )
         started: list = []
         real_spawn = ShardedServer._spawn_shard
 
@@ -337,7 +384,7 @@ class TestCrashRecovery:
         started[0].process.join(timeout=10)
         assert not started[0].process.is_alive()  # reaped, not leaked
 
-    def test_unbuildable_spec_fails_permanently_not_respawn_loop(self, spec, tmp_path):
+    def test_unbuildable_spec_fails_permanently_not_respawn_loop(self, spec, tmp_path, transport):
         broken = SessionSpec(
             model=spec.model,
             input_shape=spec.input_shape,
@@ -345,7 +392,7 @@ class TestCrashRecovery:
             model_kwargs=dict(spec.model_kwargs),
             output_shape=spec.output_shape,
         )
-        server = ShardedServer(broken, num_shards=1, health_interval_s=0.2)
+        server = ShardedServer(broken, num_shards=1, health_interval_s=0.2, transport=transport)
         try:
             # worker dies young twice -> permanent failure (one respawn in
             # between, so wait for the terminal state, not a transient down)

@@ -1,0 +1,72 @@
+"""Shared latency reservoir: the one p50/p95 implementation everything
+uses (worker serving stats, the cluster router's end-to-end view)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.metrics import DEFAULT_RESERVOIR, LatencyReservoir
+
+
+class TestLatencyReservoir:
+    def test_empty_reservoir_reports_zero(self):
+        r = LatencyReservoir()
+        assert r.count == 0
+        assert r.p50_ms == 0.0 and r.p95_ms == 0.0
+        assert r.snapshot() == {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0}
+
+    def test_percentiles_match_numpy_on_partial_fill(self):
+        r = LatencyReservoir(capacity=64)
+        values = [float(v) for v in range(10)]
+        for v in values:
+            r.record(v)
+        assert r.p50_ms == pytest.approx(np.percentile(values, 50))
+        assert r.p95_ms == pytest.approx(np.percentile(values, 95))
+        assert r.count == 10
+
+    def test_bounded_window_keeps_last_capacity_samples(self):
+        cap = 8
+        r = LatencyReservoir(capacity=cap)
+        for v in range(100):
+            r.record(float(v))
+        assert r.count == 100 and r.capacity == cap
+        window = list(range(100 - cap, 100))  # only the newest cap samples
+        assert r.percentile(50) == pytest.approx(np.percentile(window, 50))
+
+    def test_default_capacity_matches_module_constant(self):
+        assert LatencyReservoir().capacity == DEFAULT_RESERVOIR
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)
+
+    def test_concurrent_records_all_counted(self):
+        r = LatencyReservoir(capacity=4096)
+        n_threads, per_thread = 8, 500
+
+        def hammer():
+            for v in range(per_thread):
+                r.record(float(v))
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert r.count == n_threads * per_thread
+        assert r.p95_ms >= r.p50_ms > 0
+
+    def test_serving_and_cluster_share_the_implementation(self):
+        """The dedup this module exists for: both stats surfaces hold a
+        LatencyReservoir, not private ring copies."""
+        from repro.runtime.serving import ServingStats
+
+        stats = ServingStats()
+        assert isinstance(stats._latency, LatencyReservoir)
+        import inspect
+
+        from repro.runtime import cluster
+
+        src = inspect.getsource(cluster)
+        assert "LatencyReservoir" in src
