@@ -26,15 +26,19 @@ python -m pytest -x -q --timeout 300 "$@"
 # transport protocol (frame codec edge cases + credit backpressure),
 # the multi-process cluster stack (spawned shard workers, shm AND
 # loopback-TCP transports, crash recovery), and the resilience layer
-# (retries, breakers, deadlines, slot hygiene).  The benchmarks pass
-# below picks up the serving throughput benches
+# (retries, breakers, deadlines, slot hygiene), and the telemetry
+# stack (metrics registry, cross-transport tracing, admin endpoint).
+# The benchmarks pass below picks up the serving throughput benches
 # (bench_serving_concurrent.py, bench_serving_cluster.py,
-# bench_serving_chaos.py, bench_serving_tcp.py) via the glob.
+# bench_serving_chaos.py, bench_serving_tcp.py,
+# bench_serving_observability.py) via the glob — the observability
+# bench gates tracing overhead even in the disabled fast pass.
 echo "== serving concurrency + cluster stress tests =="
 python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py \
                  tests/runtime/test_metrics.py tests/runtime/test_transport.py \
                  tests/runtime/test_shm_ring.py tests/runtime/test_cluster.py \
-                 tests/runtime/test_resilience.py -q --timeout 300
+                 tests/runtime/test_resilience.py tests/runtime/test_telemetry.py \
+                 -q --timeout 300
 
 # The chaos matrix is the resilience acceptance gate: seeded fault
 # injection (crash/stall/slow/corrupt/slot-exhaust) against the full

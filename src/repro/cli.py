@@ -9,6 +9,7 @@ Subcommands::
     python -m repro compile vgg16 --layer L4    # compile one layer, show artifacts
     python -m repro serve --shards 2            # multi-process sharded serving demo
     python -m repro serve --transport tcp       # same demo over loopback TCP
+    python -m repro serve --metrics-port 9100 --linger 60   # scrape /metrics meanwhile
     python -m repro worker --listen 0.0.0.0:7070        # shard worker for another host
     python -m repro serve --shards host1:7070,host2:7070  # route to remote workers
 """
@@ -131,7 +132,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.runtime import FaultPlan, ResilienceConfig, ServingConfig
+    from repro.runtime import FaultPlan, ResilienceConfig, ServingConfig, TelemetryConfig
     from repro.runtime.cluster import ShardedServer, projected_smallcnn_spec
 
     addresses = args.shards if isinstance(args.shards, list) else None
@@ -150,6 +151,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             start_after=num_shards * 2,  # let warmup traffic through
         )
     deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
+    telemetry = TelemetryConfig(
+        trace_sample_rate=args.trace_sample,
+        metrics_port=args.metrics_port,
+    )
     with tempfile.TemporaryDirectory() as tmp:
         print(f"== capture: projection-pruned smallcnn ({args.in_size}x{args.in_size}) ==")
         spec = projected_smallcnn_spec(
@@ -176,8 +181,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shed_lock = threading.Lock()
         with ShardedServer(
             spec, num_shards=num_shards, transport=args.transport, shards=addresses,
-            resilience=resilience, faults=faults,
+            resilience=resilience, faults=faults, telemetry=telemetry,
         ) as server:
+            if server.metrics_port is not None:
+                print(f"admin endpoint: http://127.0.0.1:{server.metrics_port}"
+                      f" (/metrics /healthz /stats /traces /events)")
 
             def client(i: int) -> None:
                 nonlocal shed
@@ -204,13 +212,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             elapsed = time.perf_counter() - start
             if errors:
                 raise errors[0]
+            if args.linger > 0 and server.metrics_port is not None:
+                print(f"lingering {args.linger:.0f} s for scrapes at "
+                      f"http://127.0.0.1:{server.metrics_port}/metrics (Ctrl-C to stop)")
+                try:
+                    time.sleep(args.linger)
+                except KeyboardInterrupt:
+                    pass
             server.close()
             stats = server.cluster_stats
 
         print(f"outputs verified against the single-process session (rtol 1e-4)")
         print(f"throughput: {total / elapsed:.0f} req/s ({elapsed:.2f} s wallclock)\n")
         header = f"{'shard':>5s} {'pid':>8s} {'requests':>9s} {'errors':>7s} {'respawns':>9s} " \
-                 f"{'breaker':>9s} {'batches':>8s} {'mean batch':>11s} {'p50 ms':>8s} {'p95 ms':>8s}"
+                 f"{'breaker':>9s} {'batches':>8s} {'mean batch':>11s} " \
+                 f"{'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s}"
         print(header)
         for entry in stats["shards"]:
             serving = entry["serving"] or {}
@@ -220,11 +236,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"{entry['errors']:>7d} {entry['respawns']:>9d} "
                   f"{entry['breaker']['state']:>9s} "
                   f"{serving.get('batches', 0):>8d} {serving.get('mean_batch', 0.0):>11.2f} "
-                  f"{serving.get('p50_ms', 0.0):>8.2f} {serving.get('p95_ms', 0.0):>8.2f}")
+                  f"{serving.get('p50_ms', 0.0):>8.2f} {serving.get('p95_ms', 0.0):>8.2f} "
+                  f"{serving.get('p99_ms', 0.0):>8.2f}")
         print(f"\ntotal: {stats['requests']} requests, {stats['errors']} errors, "
               f"{stats['respawns']} respawns, cluster mean batch {stats['mean_batch']:.2f}")
         print(f"transport: {stats['transport']}; router end-to-end "
-              f"p50 {stats['router_p50_ms']:.2f} ms / p95 {stats['router_p95_ms']:.2f} ms")
+              f"p50 {stats['router_p50_ms']:.2f} ms / p95 {stats['router_p95_ms']:.2f} ms "
+              f"/ p99 {stats['router_p99_ms']:.2f} ms")
         print(f"resilience: {stats['retries']} retries, {stats['hedges']} hedges, "
               f"{stats['shed']} shed, {stats['timed_out']} timed out, "
               f"{stats['corrupt']} corrupt payloads caught; "
@@ -284,6 +302,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos", type=float, default=0.0,
                    help="total injected-fault rate in [0,1) split over crash/slow/corrupt")
     p.add_argument("--chaos-seed", type=int, default=7, help="fault plan seed")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics, /healthz, /stats, /trace/<id>, /events "
+                        "over HTTP on 127.0.0.1:PORT (0 = ephemeral; default: off)")
+    p.add_argument("--trace-sample", type=float, default=0.01, metavar="RATE",
+                   help="fraction of requests to trace end to end (default 0.01; "
+                        "0 disables tracing)")
+    p.add_argument("--linger", type=float, default=0.0, metavar="SECONDS",
+                   help="keep the admin endpoint up this long after the load "
+                        "finishes, so /metrics can be scraped (needs --metrics-port)")
     p.set_defaults(fn=_cmd_serve)
     return parser
 

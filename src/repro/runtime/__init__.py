@@ -35,6 +35,16 @@ route around wedged workers, shared-memory payloads are
 checksum-verified (:class:`CorruptedPayloadError`), and a seeded
 :class:`FaultPlan` (:mod:`repro.runtime.faults`) makes all of it
 reproducibly testable.
+
+And it is **observable** (:mod:`repro.runtime.telemetry`): serving
+counters live in a :class:`MetricsRegistry` shared between the
+micro-batcher and the cluster router, sampled requests carry a trace id
+across the transport so per-request span timelines (admission → queue →
+dispatch → transport → worker queue → kernel execution, down to
+per-layer timings) can be inspected end to end, lifecycle events land
+in a structured :class:`EventLog`, and ``TelemetryConfig(metrics_port=...)``
+exposes all of it over HTTP (``/metrics`` Prometheus text, ``/healthz``,
+``/stats``, ``/trace/<id>``, ``/events``).
 """
 
 from repro.runtime.ops import eval_node
@@ -54,6 +64,19 @@ from repro.runtime.metrics import LatencyReservoir
 from repro.runtime.serving import MicroBatchServer, ServingConfig, ServingStats
 from repro.runtime.session import InferenceSession, SessionSpec
 from repro.runtime.shm_ring import ShmSlotRing
+from repro.runtime.telemetry import (
+    AdminServer,
+    EventLog,
+    MetricsRegistry,
+    SpanCollector,
+    Telemetry,
+    TelemetryConfig,
+    Trace,
+    TraceStore,
+    Tracer,
+    profile_layers,
+    render_prometheus,
+)
 from repro.runtime.transport import (
     CreditGate,
     ShardEndpoint,
@@ -93,6 +116,17 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "LatencyReservoir",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
+    "Trace",
+    "TraceStore",
+    "SpanCollector",
+    "EventLog",
+    "AdminServer",
+    "profile_layers",
+    "render_prometheus",
     "TransportClosedError",
     "ShardEndpoint",
     "WorkerTransport",

@@ -57,6 +57,18 @@ PatDNN-class runtimes replicate compiled models across execution units:
   graceful :meth:`close` is draining resolves its in-flight futures
   with a typed error immediately instead of letting clients wait out
   the drain timeout.
+* **Observability** — one :class:`~repro.runtime.telemetry.Telemetry`
+  hub per server: the resilience counters live in a
+  :class:`~repro.runtime.telemetry.MetricsRegistry` (the same cells
+  ``cluster_stats`` reports), a deterministic sampler mints request
+  **traces** whose ids travel inside the tensor frames so worker-side
+  spans (queue wait, kernel execution, per-layer timings) splice into
+  the router's timeline on any transport, lifecycle events (spawns,
+  crashes, respawns, breaker flips, retries, hedges, injected faults)
+  land in a bounded structured event log, and ``telemetry=
+  TelemetryConfig(metrics_port=...)`` serves it all over HTTP —
+  ``/metrics`` (Prometheus), ``/healthz``, ``/stats``, ``/traces``,
+  ``/trace/<id>``, ``/events``.
 * **Deterministic chaos** — a seeded
   :class:`~repro.runtime.faults.FaultPlan` can be injected to crash,
   stall, slow, corrupt, or slot-starve requests reproducibly; the
@@ -108,6 +120,13 @@ from repro.runtime.resilience import (
     route_score,
 )
 from repro.runtime.session import SessionSpec
+from repro.runtime.telemetry import (
+    AdminServer,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryConfig,
+    render_prometheus,
+)
 from repro.runtime.transport import ShardEndpoint, ShardLauncher, TransportClosedError
 from repro.runtime.transport_shm import ShmShardLauncher
 from repro.runtime.transport_tcp import LocalTcpLauncher, RemoteTcpLauncher, parse_hostport
@@ -139,10 +158,12 @@ class _InFlight:
 
     __slots__ = (
         "x", "future", "deadline_at", "attempts", "hedged", "stalled",
-        "done", "lock", "created_at", "last_sent_at",
+        "done", "lock", "created_at", "last_sent_at", "trace",
     )
 
-    def __init__(self, x: np.ndarray, future: Future, deadline_at: float | None) -> None:
+    def __init__(
+        self, x: np.ndarray, future: Future, deadline_at: float | None, trace=None
+    ) -> None:
         self.x = x
         self.future = future
         self.deadline_at = deadline_at
@@ -153,6 +174,9 @@ class _InFlight:
         self.lock = threading.Lock()
         self.created_at = time.monotonic()
         self.last_sent_at = self.created_at
+        #: router-side :class:`~repro.runtime.telemetry.Trace` for a
+        #: sampled request (None = untraced); finished on delivery
+        self.trace = trace
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline_at is None:
@@ -184,6 +208,8 @@ class _InFlight:
         """Deliver a result if no other attempt beat us to it."""
         if not self._finish():
             return False
+        if self.trace is not None:
+            self.trace.finish("ok")
         if self.future.set_running_or_notify_cancel():
             self.future.set_result(out)
         return True
@@ -192,6 +218,8 @@ class _InFlight:
         """Deliver a failure if no other attempt beat us to it."""
         if not self._finish():
             return False
+        if self.trace is not None:
+            self.trace.finish(type(exc).__name__)
         if self.future.set_running_or_notify_cancel():
             self.future.set_exception(exc)
         return True
@@ -276,6 +304,14 @@ class ShardedServer:
             threads with ``{"OPENBLAS_NUM_THREADS": "1"}`` so shards
             don't fight over cores); applied around spawn, parent env
             restored.
+        telemetry: observability knobs
+            (:class:`~repro.runtime.telemetry.TelemetryConfig`): trace
+            sampling rate, trace/event ring capacities, the optional
+            JSON-lines event sink, and — when ``metrics_port`` is set —
+            a background HTTP admin server exposing ``/metrics``
+            (Prometheus text), ``/healthz``, ``/stats``, ``/trace/<id>``
+            and ``/events``.  The default samples 1% of requests and
+            runs no HTTP server.
     """
 
     def __init__(
@@ -292,6 +328,7 @@ class ShardedServer:
         faults: FaultPlan | None = None,
         mp_start: str = "spawn",
         worker_env: dict[str, str] | None = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> None:
         if shards is not None:
             if transport not in ("tcp", "shm"):
@@ -328,11 +365,27 @@ class ShardedServer:
         #: router-observed end-to-end latency (submit -> resolved), the
         #: same bounded reservoir the workers use for their own p50/p95
         self._latency = LatencyReservoir()
-        # resilience counters (cluster_stats); guarded by _counter_lock
-        self._counter_lock = threading.Lock()
+        # telemetry hub: metrics registry + trace store/sampler + event log
+        self._telemetry = Telemetry(telemetry)
+        self.events = self._telemetry.events
+        # resilience counters live in the hub registry so /metrics and
+        # cluster_stats read the very same cells
         self._counters = {
-            "retries": 0, "hedges": 0, "shed": 0, "timed_out": 0, "corrupt": 0,
+            key: self._telemetry.registry.counter(
+                f"cluster_{key}_total", help=text
+            )
+            for key, text in (
+                ("retries", "attempts re-dispatched after crash/corruption/stall"),
+                ("hedges", "duplicate attempts dispatched for slow requests"),
+                ("shed", "requests refused at admission (transport slots full)"),
+                ("timed_out", "requests shed or failed on deadline expiry"),
+                ("corrupt", "payloads that failed checksum verification"),
+            )
         }
+        # trace bookkeeping: req_id -> (trace, sent_at, shard, attempt)
+        # for sampled attempts in flight (bounded; stale entries evicted)
+        self._trace_lock = threading.Lock()
+        self._trace_sent: dict[int, tuple] = {}
         self._shards: list[_Shard] = []
         try:
             for i in range(num_shards):
@@ -348,6 +401,7 @@ class ShardedServer:
                 self._retire_endpoint(shard.endpoint)
             for endpoint in self._retired_endpoints:
                 endpoint.dispose()
+            self._telemetry.close()
             raise
         self._stop_monitor = threading.Event()
         self._ping_seq = itertools.count(1)
@@ -355,6 +409,17 @@ class ShardedServer:
             target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
         )
         self._monitor.start()
+        # HTTP exposition last: every route reads state built above
+        self.admin: AdminServer | None = None
+        self.metrics_port: int | None = None
+        cfg = self._telemetry.config
+        if cfg.metrics_port is not None:
+            try:
+                self.admin = AdminServer(self, host=cfg.metrics_host, port=cfg.metrics_port)
+                self.metrics_port = self.admin.port
+            except BaseException:
+                self.close()
+                raise
 
     def _make_launcher(self) -> ShardLauncher:
         if self.shard_addresses is not None:
@@ -384,18 +449,73 @@ class ShardedServer:
         )
 
     def _count(self, key: str, n: int = 1) -> None:
-        with self._counter_lock:
-            self._counters[key] += n
+        self._counters[key].inc(n)
+
+    # ------------------------------------------------------------------
+    # Trace bookkeeping (sampled attempts only)
+    # ------------------------------------------------------------------
+    #: ceiling on remembered sampled attempts; far above any realistic
+    #: in-flight count, it only matters when trace frames go missing
+    _TRACE_SENT_CAP = 4096
+
+    def _trace_register(
+        self, req_id: int, trace, sent_at: float, shard_idx: int, attempt: int
+    ) -> None:
+        """Remember a sampled attempt so its reply and worker spans can
+        be anchored at the router-side send timestamp."""
+        with self._trace_lock:
+            self._trace_sent[req_id] = (trace, sent_at, shard_idx, attempt)
+            while len(self._trace_sent) > self._TRACE_SENT_CAP:
+                self._trace_sent.pop(next(iter(self._trace_sent)))
+
+    def _trace_reply(self, req_id: int) -> None:
+        """A reply (result or error) landed: close the transport span."""
+        with self._trace_lock:
+            entry = self._trace_sent.get(req_id)
+        if entry is not None:
+            trace, sent_at, shard_idx, attempt = entry
+            trace.add_span(
+                "transport", sent_at, time.monotonic(),
+                shard=shard_idx, attempt=attempt,
+            )
+
+    def _trace_splice(self, req_id: int, spans: list) -> None:
+        """Worker spans arrived (always after the reply): rebase them at
+        the attempt's send timestamp and retire the bookkeeping."""
+        with self._trace_lock:
+            entry = self._trace_sent.pop(req_id, None)
+        if entry is not None:
+            trace, sent_at, shard_idx, attempt = entry
+            trace.add_remote_spans(spans, sent_at, shard=shard_idx, attempt=attempt)
+
+    def _trace_drop(self, req_ids) -> None:
+        """Attempts died with their shard: mark each sampled one crashed."""
+        now = time.monotonic()
+        with self._trace_lock:
+            entries = [self._trace_sent.pop(r, None) for r in req_ids]
+        for entry in entries:
+            if entry is not None:
+                trace, sent_at, shard_idx, attempt = entry
+                trace.add_span(
+                    "attempt_crashed", sent_at, now, shard=shard_idx, attempt=attempt
+                )
 
     # ------------------------------------------------------------------
     # Spawning / crash handling
     # ------------------------------------------------------------------
     def _spawn_shard(self, index: int) -> _Shard:
         endpoint = self._launcher.launch(index)
+        events = self._telemetry.events
         breaker = CircuitBreaker(
-            self.resilience.breaker_threshold, self.resilience.breaker_reset_s
+            self.resilience.breaker_threshold,
+            self.resilience.breaker_reset_s,
+            on_transition=lambda old, new, idx=index: events.emit(
+                "breaker_transition", shard=idx, old=old, new=new
+            ),
         )
         shard = _Shard(index, endpoint, breaker)
+        events.emit("shard_spawn", shard=index, pid=endpoint.pid,
+                    address=getattr(endpoint, "address", None))
         shard.recv_thread = threading.Thread(
             target=self._recv_loop, args=(shard,), name=f"repro-shard-{index}-recv", daemon=True
         )
@@ -418,6 +538,7 @@ class ShardedServer:
                 _, req_id, out, read_err = msg
                 with shard.lock:
                     inflight = shard.pending.pop(req_id, None)
+                self._trace_reply(req_id)
                 if isinstance(read_err, CorruptedPayloadError):
                     shard.breaker.record_failure()
                     self._count("corrupt")
@@ -436,6 +557,7 @@ class ShardedServer:
                 _, req_id, code, text = msg
                 with shard.lock:
                     inflight = shard.pending.pop(req_id, None)
+                self._trace_reply(req_id)
                 if code == "corrupt":
                     # the *request* arrived corrupted at the worker: the
                     # worker itself is healthy, the transport attempt is not
@@ -460,6 +582,8 @@ class ShardedServer:
                     shard.errors += 1
                 if inflight is not None:
                     inflight.resolve_exception(RuntimeError(f"shard {shard.index}: {text}"))
+            elif kind == "trace":
+                self._trace_splice(msg[1], msg[2])
             elif kind == "pong":
                 shard.worker_stats = msg[2]
             elif kind == "bye":
@@ -508,6 +632,11 @@ class ShardedServer:
             doomed = dict(shard.pending)
             shard.pending.clear()
         detail = shard.fail_reason or reason
+        self._telemetry.events.emit(
+            "shard_down", shard=shard.index, reason=detail,
+            in_flight=len(doomed), early=early,
+        )
+        self._trace_drop(doomed.keys())
         rehome: list[_InFlight] = []
         failed = 0
         for inflight in doomed.values():
@@ -533,6 +662,9 @@ class ShardedServer:
                 shard.errors += failed
         if rehome:
             self._count("retries", len(rehome))
+            self._telemetry.events.emit(
+                "retry", shard=shard.index, requests=len(rehome), cause="shard_down"
+            )
             threading.Thread(
                 target=self._redispatch_batch,
                 args=(rehome,),
@@ -550,6 +682,9 @@ class ShardedServer:
                 f"shard {shard.index} permanently failed: died {shard.early_deaths}x "
                 f"right after spawn before serving ({detail})"
             )
+            self._telemetry.events.emit(
+                "shard_permanent", shard=shard.index, reason=shard.fail_reason
+            )
             return
         with self._lock:
             if self._closed or self._shards[shard.index] is not shard:
@@ -566,6 +701,9 @@ class ShardedServer:
             shard.fail_reason = (
                 f"shard {shard.index} permanently failed: respawn failed ({exc})"
             )
+            self._telemetry.events.emit(
+                "shard_permanent", shard=shard.index, reason=shard.fail_reason
+            )
             return
         replacement.requests = shard.requests
         replacement.errors = shard.errors
@@ -578,12 +716,16 @@ class ShardedServer:
                 self._retire_endpoint(replacement.endpoint)
                 return
             self._shards[shard.index] = replacement
+        self._telemetry.events.emit(
+            "shard_respawn", shard=shard.index, pid=replacement.endpoint.pid,
+            respawns=replacement.respawns,
+        )
 
     def _redispatch_batch(self, inflights: list[_InFlight]) -> None:
         """Rescue thread: re-dispatch rehomed requests (attempt already
         claimed) to healthy shards; failures resolve typed errors."""
         for inflight in inflights:
-            self._dispatch_attempt(inflight, claimed=True)
+            self._dispatch_attempt(inflight, claimed=True, kind="retry")
 
     def _retry_or_fail(
         self, inflight: _InFlight, exc: BaseException, exclude: _Shard | None
@@ -602,10 +744,14 @@ class ShardedServer:
             inflight.resolve_exception(exc)
             return
         self._count("retries")
+        self._telemetry.events.emit(
+            "retry", shard=None if exclude is None else exclude.index,
+            requests=1, cause=type(exc).__name__,
+        )
         threading.Thread(
             target=self._dispatch_attempt,
             args=(inflight,),
-            kwargs={"claimed": True, "exclude": exclude},
+            kwargs={"claimed": True, "exclude": exclude, "kind": "retry"},
             name="repro-retry-dispatch",
             daemon=True,
         ).start()
@@ -671,10 +817,14 @@ class ShardedServer:
                 inflight.hedged = True
                 if inflight.try_claim_attempt(cfg.max_attempts):
                     self._count("hedges")
+                    self._telemetry.events.emit(
+                        "hedge", shard=shard.index, age_ms=age * 1e3
+                    )
                     threading.Thread(
                         target=self._dispatch_attempt,
                         args=(inflight,),
-                        kwargs={"claimed": True, "exclude": shard, "best_effort": True},
+                        kwargs={"claimed": True, "exclude": shard,
+                                "best_effort": True, "kind": "hedge"},
                         name="repro-hedge-dispatch",
                         daemon=True,
                     ).start()
@@ -741,11 +891,16 @@ class ShardedServer:
         if deadline_at is not None and time.monotonic() >= deadline_at:
             self._count("timed_out")
             raise DeadlineExceededError("request deadline already expired at submission")
-        inflight = _InFlight(x, Future(), deadline_at)
+        trace = self._telemetry.tracer.maybe_start()
+        inflight = _InFlight(x, Future(), deadline_at, trace=trace)
         inflight.try_claim_attempt(self.resilience.max_attempts)  # first attempt
         status = self._dispatch_attempt(
             inflight, claimed=True, admission_timeout=timeout, sync=True
         )
+        if trace is not None:
+            # validation + routing + capacity wait, up to the first send
+            trace.add_span("admission", trace.t0, time.monotonic())
+            inflight.future.trace_id = trace.trace_id
         if status == "queue_full":
             self._count("shed")
             raise QueueFullError(
@@ -772,6 +927,7 @@ class ShardedServer:
         best_effort: bool = False,
         admission_timeout: float | None = None,
         sync: bool = False,
+        kind: str = "initial",
     ) -> str:
         """Place one (already claimed) attempt onto a shard.
 
@@ -781,10 +937,13 @@ class ShardedServer:
         expired; nothing was settled — the caller decides), or
         ``"closed"``.  ``best_effort`` (hedging) never blocks: if no
         shard has free capacity right now, the attempt is unclaimed and
-        dropped.
+        dropped.  ``kind`` labels the attempt's ``dispatch`` span in a
+        sampled trace (``initial`` | ``retry`` | ``hedge``), which is
+        how retries and hedges show up as sibling spans under one trace.
         """
         assert claimed, "attempts must be claimed before dispatch"
         req_id = next(self._req_ids)
+        dispatch_start = time.monotonic()
         wait_deadline = (
             None if admission_timeout is None else time.monotonic() + admission_timeout
         )
@@ -818,6 +977,10 @@ class ShardedServer:
                 continue
             if self._injector is not None and self._injector.exhaust_slot(req_id):
                 token = None  # injected slot exhaustion: transport "full" once
+                self._telemetry.events.emit(
+                    "fault_injected", fault="slot_exhaust", req_id=req_id,
+                    shard=shard.index,
+                )
             else:
                 try:
                     token = shard.endpoint.acquire(timeout=0.0 if best_effort else 0.05)
@@ -840,13 +1003,26 @@ class ShardedServer:
                     shard.endpoint.release(token)
                     continue
                 shard.pending[req_id] = inflight
+            trace = inflight.trace
             try:
-                shard.endpoint.send_request(token, req_id, x, inflight.deadline_at)
+                shard.endpoint.send_request(
+                    token, req_id, x, inflight.deadline_at,
+                    trace_id=0 if trace is None else trace.trace_id,
+                )
                 inflight.last_sent_at = time.monotonic()
                 inflight.stalled = False
                 shard.last_routed_at = inflight.last_sent_at
                 with shard.lock:
                     shard.requests += 1
+                    attempt_no = inflight.attempts
+                if trace is not None:
+                    trace.add_span(
+                        "dispatch", dispatch_start, inflight.last_sent_at,
+                        shard=shard.index, attempt=attempt_no, kind=kind,
+                    )
+                    self._trace_register(
+                        req_id, trace, inflight.last_sent_at, shard.index, attempt_no
+                    )
                 return "sent"
             except Exception:
                 with shard.lock:
@@ -921,8 +1097,10 @@ class ShardedServer:
         serving-stats snapshot (``None`` until its first health pong).
         Global: sums, worker-side batch counters, the cluster-wide mean
         batch, the transport kind, the router's own end-to-end
-        ``router_p50_ms``/``router_p95_ms``, and the resilience counters
-        (``retries``, ``hedges``, ``shed``, ``timed_out``, ``corrupt``).
+        ``router_p50_ms``/``router_p95_ms``/``router_p99_ms``, and the
+        resilience counters (``retries``, ``hedges``, ``shed``,
+        ``timed_out``, ``corrupt``) — the same registry cells ``/metrics``
+        exports, so the two views can never disagree.
         """
         shards = []
         totals = {"requests": 0, "errors": 0, "outstanding": 0, "respawns": 0}
@@ -950,8 +1128,9 @@ class ShardedServer:
             if serving:
                 batches += serving.get("batches", 0)
                 samples += serving.get("samples", 0)
-        with self._counter_lock:
-            resilience_counters = dict(self._counters)
+        resilience_counters = {
+            key: int(counter.value) for key, counter in self._counters.items()
+        }
         injected = dict(self._injector.injected) if self._injector is not None else None
         return {
             "shards": shards,
@@ -964,8 +1143,67 @@ class ShardedServer:
             "mean_batch": samples / batches if batches else 0.0,
             "router_p50_ms": self._latency.p50_ms,
             "router_p95_ms": self._latency.p95_ms,
+            "router_p99_ms": self._latency.p99_ms,
             "injected_faults": injected,
         }
+
+    # ------------------------------------------------------------------
+    # Exposition (AdminServer provider protocol)
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The whole cluster in Prometheus text format: the router's
+        live registry (resilience counters), derived gauges/counters
+        computed from one :attr:`cluster_stats` pass (so ``/metrics``
+        and ``/stats`` agree by construction), and each worker's own
+        registry snapshot labelled ``shard="N"``."""
+        stats = self.cluster_stats
+        derived = MetricsRegistry()
+        derived.counter(
+            "cluster_requests_total", help="requests routed (all attempts)"
+        ).inc(stats["requests"])
+        derived.counter(
+            "cluster_errors_total", help="requests resolved with an error"
+        ).inc(stats["errors"])
+        derived.counter(
+            "cluster_respawns_total", help="shard respawns/reconnects"
+        ).inc(stats["respawns"])
+        derived.gauge("cluster_alive_shards", help="shards currently serving").set(
+            stats["alive_shards"]
+        )
+        derived.gauge(
+            "cluster_outstanding_requests", help="requests in flight right now"
+        ).set(stats["outstanding"])
+        derived.gauge(
+            "cluster_mean_batch", help="cluster-wide mean micro-batch size"
+        ).set(stats["mean_batch"])
+        for q in ("p50", "p95", "p99"):
+            derived.gauge(
+                f"cluster_router_{q}_ms",
+                help=f"router-observed end-to-end {q} latency (ms)",
+            ).set(stats[f"router_{q}_ms"])
+        snapshots = [(self._telemetry.registry.snapshot(), {}), (derived.snapshot(), {})]
+        for entry in stats["shards"]:
+            serving = entry["serving"]
+            if serving and "metrics" in serving:
+                snapshots.append((serving["metrics"], {"shard": str(entry["shard"])}))
+        return render_prometheus(snapshots)
+
+    def health(self) -> tuple[bool, dict]:
+        """Liveness verdict for ``/healthz``: healthy while at least one
+        shard serves and the server is open."""
+        alive = sum(1 for s in self._shards if not s.down and s.endpoint.alive())
+        ok = alive > 0 and not self._closed
+        return ok, {"alive_shards": alive, "shards": len(self._shards),
+                    "closed": self._closed}
+
+    def get_trace(self, trace_id: int) -> dict | None:
+        """JSON-ready span timeline for ``/trace/<id>`` (None: unknown)."""
+        trace = self._telemetry.traces.get(trace_id)
+        return None if trace is None else trace.to_dict()
+
+    def trace_ids(self) -> list[int]:
+        """Retained sampled trace ids, oldest first (``/traces``)."""
+        return self._telemetry.traces.ids()
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -985,6 +1223,9 @@ class ShardedServer:
             if self._closed:
                 return
             self._closed = True
+        admin = getattr(self, "admin", None)
+        if admin is not None:
+            admin.close()  # stop serving scrapes before state is torn down
         self._stop_monitor.set()
         self._monitor.join(timeout=5.0)
         deadline = time.monotonic() + timeout
@@ -1023,6 +1264,7 @@ class ShardedServer:
             endpoint.dispose()
         self._retired_endpoints.clear()
         self._launcher.close()
+        self._telemetry.close()
 
     def __enter__(self) -> "ShardedServer":
         return self

@@ -24,6 +24,8 @@ in-flight scratch per thread (see :mod:`repro.runtime.arena`) — so one
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.compiler.codegen import KernelCache, KernelFn
@@ -34,6 +36,7 @@ from repro.graph.ir import Graph, OpKind
 from repro.graph.passes.memory_plan import compute_liveness
 from repro.runtime.arena import BufferArena
 from repro.runtime.ops import eval_node
+from repro.runtime.telemetry import active_layer_profile
 
 
 class ReferenceExecutor:
@@ -68,12 +71,21 @@ class ReferenceExecutor:
     def _execute(self, x: np.ndarray, arena: BufferArena | None) -> np.ndarray:
         values: dict[str, np.ndarray] = {}
         out = None
+        # Per-layer telemetry hook (repro.runtime.telemetry.profile_layers):
+        # checked once per run — the unprofiled hot path pays a single
+        # thread-local read, the profiled path two clock reads per node.
+        profile = active_layer_profile()
         for step, node in enumerate(self._order):
             if node.op == OpKind.INPUT:
                 value = np.asarray(x, dtype=np.float32)
             else:
                 inputs = [values[i] for i in node.inputs]
-                value = self._dispatch(node, inputs, arena)
+                if profile is not None:
+                    t0 = time.monotonic()
+                    value = self._dispatch(node, inputs, arena)
+                    profile.append((node.name, node.op.name, t0, time.monotonic()))
+                else:
+                    value = self._dispatch(node, inputs, arena)
             values[node.name] = value
             out = value
             self._retire(values, step, arena)

@@ -84,12 +84,51 @@ class LatencyReservoir:
         """95th-percentile latency over the sliding window."""
         return self.percentile(95.0)
 
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile latency over the sliding window."""
+        return self.percentile(99.0)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean latency over the sliding window (0.0 = no samples)."""
+        with self._lock:
+            n = min(self._count, self._ring.shape[0])
+            if n == 0:
+                return 0.0
+            window = self._ring[:n].copy()
+        return float(window.mean())
+
+    @property
+    def max_ms(self) -> float:
+        """Maximum latency over the sliding window (0.0 = no samples)."""
+        with self._lock:
+            n = min(self._count, self._ring.shape[0])
+            if n == 0:
+                return 0.0
+            window = self._ring[:n].copy()
+        return float(window.max())
+
     def snapshot(self) -> dict:
         """Picklable point-in-time summary (for cross-process stats)."""
-        return {"count": self.count, "p50_ms": self.p50_ms, "p95_ms": self.p95_ms}
+        with self._lock:
+            n = min(self._count, self._ring.shape[0])
+            count = self._count
+            window = self._ring[:n].copy() if n else None
+        if window is None:
+            return {"count": count, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                    "mean_ms": 0.0, "max_ms": 0.0}
+        return {
+            "count": count,
+            "p50_ms": float(np.percentile(window, 50.0)),
+            "p95_ms": float(np.percentile(window, 95.0)),
+            "p99_ms": float(np.percentile(window, 99.0)),
+            "mean_ms": float(window.mean()),
+            "max_ms": float(window.max()),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"LatencyReservoir(count={self._count}, capacity={self.capacity}, "
-            f"p50={self.p50_ms:.2f}ms, p95={self.p95_ms:.2f}ms)"
+            f"p50={self.p50_ms:.2f}ms, p95={self.p95_ms:.2f}ms, p99={self.p99_ms:.2f}ms)"
         )

@@ -144,9 +144,21 @@ class CircuitBreaker:
     :meth:`try_acquire` after ``reset_s`` returns True, further calls
     return False until :meth:`record_success` (→ closed) or
     :meth:`record_failure` (→ open again) settles the probe.
+
+    ``on_transition(old_state, new_state)`` (optional) is invoked after
+    every state change — outside the breaker lock, so it may safely log
+    or emit events — which is how breaker transitions reach the
+    cluster's structured event log.
     """
 
-    def __init__(self, threshold: int = 3, reset_s: float = 1.0, clock=time.monotonic) -> None:
+    def __init__(
+        self,
+        threshold: int = 3,
+        reset_s: float = 1.0,
+        clock=time.monotonic,
+        *,
+        on_transition=None,
+    ) -> None:
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
         if reset_s <= 0:
@@ -159,21 +171,45 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._probe_outstanding = False
+        self._on_transition = on_transition
+        self._pending_transitions: list[tuple[str, str]] = []
         # observability counters (monotonic, never reset)
         self.trips = 0
         self.failures = 0
         self.successes = 0
+
+    def _set_state_locked(self, new: str) -> None:
+        old = self._state
+        if old != new:
+            self._state = new
+            if self._on_transition is not None:
+                self._pending_transitions.append((old, new))
+
+    def _drain_locked(self) -> list[tuple[str, str]]:
+        pending, self._pending_transitions = self._pending_transitions, []
+        return pending
+
+    def _fire(self, pending: list[tuple[str, str]]) -> None:
+        """Deliver queued transition notifications (lock released)."""
+        for old, new in pending:
+            try:
+                self._on_transition(old, new)
+            except Exception:  # observers never break the breaker
+                pass
 
     @property
     def state(self) -> str:
         """``'closed'`` | ``'open'`` | ``'half_open'`` (open flips to
         half-open lazily once ``reset_s`` has elapsed)."""
         with self._lock:
-            return self._state_locked()
+            state = self._state_locked()
+            pending = self._drain_locked()
+        self._fire(pending)
+        return state
 
     def _state_locked(self) -> str:
         if self._state == "open" and self._clock() - self._opened_at >= self.reset_s:
-            self._state = "half_open"
+            self._set_state_locked("half_open")
             self._probe_outstanding = False
         return self._state
 
@@ -186,11 +222,15 @@ class CircuitBreaker:
         with self._lock:
             state = self._state_locked()
             if state == "closed":
-                return True
-            if state == "half_open" and not self._probe_outstanding:
+                allowed = True
+            elif state == "half_open" and not self._probe_outstanding:
                 self._probe_outstanding = True
-                return True
-            return False
+                allowed = True
+            else:
+                allowed = False
+            pending = self._drain_locked()
+        self._fire(pending)
+        return allowed
 
     def record_success(self) -> None:
         """An attempt completed: close the breaker, clear the streak."""
@@ -198,7 +238,9 @@ class CircuitBreaker:
             self.successes += 1
             self._consecutive_failures = 0
             self._probe_outstanding = False
-            self._state = "closed"
+            self._set_state_locked("closed")
+            pending = self._drain_locked()
+        self._fire(pending)
 
     def record_failure(self) -> None:
         """An attempt failed (crash / stall timeout / corruption): extend
@@ -211,21 +253,26 @@ class CircuitBreaker:
             if state == "half_open" or (
                 state == "closed" and self._consecutive_failures >= self.threshold
             ):
-                self._state = "open"
+                self._set_state_locked("open")
                 self._opened_at = self._clock()
                 self._probe_outstanding = False
                 self.trips += 1
+            pending = self._drain_locked()
+        self._fire(pending)
 
     def snapshot(self) -> dict:
         """Picklable point-in-time view (for ``cluster_stats``)."""
         with self._lock:
-            return {
+            snap = {
                 "state": self._state_locked(),
                 "consecutive_failures": self._consecutive_failures,
                 "trips": self.trips,
                 "failures": self.failures,
                 "successes": self.successes,
             }
+            pending = self._drain_locked()
+        self._fire(pending)
+        return snap
 
 
 def route_score(outstanding: int, p50_ms: float, p95_ms: float) -> float:

@@ -65,7 +65,7 @@ import time
 import weakref
 from collections.abc import Callable
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -76,6 +76,7 @@ from repro.runtime.resilience import (
     InjectedFaultError,
     QueueFullError,
 )
+from repro.runtime.telemetry import MetricsRegistry, profile_layers
 
 __all__ = ["ServingConfig", "ServingStats", "MicroBatchServer"]
 
@@ -124,36 +125,127 @@ class ServingConfig:
 _LATENCY_RESERVOIR = DEFAULT_RESERVOIR
 
 
-@dataclass
 class ServingStats:
-    """Counters accumulated by the dispatcher (read any time)."""
+    """Counters accumulated by the dispatcher (read any time).
 
-    requests: int = 0
-    samples: int = 0
-    batches: int = 0
-    max_batch_seen: int = 0
-    errors: int = 0
-    #: admission refusals: ``submit`` gave up waiting for queue capacity
-    #: (:class:`QueueFullError`) — distinct from execution ``errors``
-    shed: int = 0
-    #: deadline expiries: requests dropped (queued past their budget)
-    #: with :class:`DeadlineExceededError` before reaching the runner
-    timed_out: int = 0
-    #: current effective coalescing window (== ``max_wait_ms`` unless
-    #: ``adaptive_wait`` has shrunk it under sustained backlog)
-    effective_wait_ms: float = 0.0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-    # Sliding-window reservoir of per-request latencies (queue wait +
-    # dispatch + kernel time, submit to resolution) — the shared
-    # implementation from repro.runtime.metrics, also used by the
-    # router's per-shard attempt tracking in repro.runtime.cluster.
-    _latency: LatencyReservoir = field(default_factory=LatencyReservoir, repr=False)
+    Registry-backed: every counter/gauge lives in a
+    :class:`~repro.runtime.telemetry.MetricsRegistry` (one is created
+    per stats object unless an external registry is passed in), so the
+    same numbers the legacy attributes expose (``stats.requests``...)
+    are also scrapeable as ``serving_*`` Prometheus series and travel
+    inside :meth:`snapshot` (the ``"metrics"`` key) to the router, which
+    merges worker and router metrics under one namespace.
+
+    All metrics share the registry's reentrant lock, exposed as
+    ``_lock``: multi-field updates in the dispatcher and whole-snapshot
+    reads (:meth:`snapshot` / ``repr``) take it once, so concurrent
+    increments can never produce torn multi-field views.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # the registry lock is reentrant by design: holding it around a
+        # group of metric ops (each re-acquiring internally) makes the
+        # group atomic relative to snapshot()
+        self._lock = self.registry._lock
+        reg = self.registry
+        self._requests = reg.counter(
+            "serving_requests_total", "requests resolved by the micro-batch dispatcher")
+        self._samples = reg.counter(
+            "serving_samples_total", "input samples executed (batch rows)")
+        self._batches = reg.counter(
+            "serving_batches_total", "micro-batches dispatched to the runner")
+        self._errors = reg.counter(
+            "serving_errors_total", "requests resolved with an execution error")
+        self._shed = reg.counter(
+            "serving_shed_total", "admission refusals (queue full past timeout)")
+        self._timed_out = reg.counter(
+            "serving_timed_out_total", "requests shed after their deadline expired")
+        self._max_batch_seen = reg.gauge(
+            "serving_max_batch_seen", "largest micro-batch dispatched so far")
+        self._effective_wait_ms = reg.gauge(
+            "serving_effective_wait_ms", "current adaptive coalescing window (ms)")
+        self._latency_hist = reg.histogram(
+            "serving_request_latency_ms", "submit-to-resolution request latency (ms)")
+        # Sliding-window reservoir of per-request latencies (queue wait +
+        # dispatch + kernel time, submit to resolution) — the shared
+        # implementation from repro.runtime.metrics, also used by the
+        # router's per-shard attempt tracking in repro.runtime.cluster.
+        # Kept alongside the histogram: percentiles over a *window*
+        # describe recent traffic; cumulative buckets describe lifetime.
+        self._latency = LatencyReservoir()
+
+    # -- legacy attribute views (read any time) ------------------------
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def samples(self) -> int:
+        return int(self._samples.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def shed(self) -> int:
+        """Admission refusals: ``submit`` gave up waiting for queue
+        capacity (:class:`QueueFullError`) — distinct from ``errors``."""
+        return int(self._shed.value)
+
+    @property
+    def timed_out(self) -> int:
+        """Deadline expiries: requests dropped (queued past their budget)
+        with :class:`DeadlineExceededError` before reaching the runner."""
+        return int(self._timed_out.value)
+
+    @property
+    def max_batch_seen(self) -> int:
+        return int(self._max_batch_seen.value)
+
+    @property
+    def effective_wait_ms(self) -> float:
+        """Current effective coalescing window (== ``max_wait_ms`` unless
+        ``adaptive_wait`` has shrunk it under sustained backlog)."""
+        return self._effective_wait_ms.value
+
+    @effective_wait_ms.setter
+    def effective_wait_ms(self, value: float) -> None:
+        self._effective_wait_ms.set(value)
 
     @property
     def mean_batch(self) -> float:
         """Average samples per dispatched batch (1.0 = no coalescing)."""
-        return self.samples / self.batches if self.batches else 0.0
+        with self._lock:
+            samples, batches = self._samples.value, self._batches.value
+        return samples / batches if batches else 0.0
 
+    # -- mutation (dispatcher side) ------------------------------------
+    def count(self, **deltas: int) -> None:
+        """Atomically bump named counters (``count(shed=1)``)."""
+        with self._lock:
+            for name, n in deltas.items():
+                getattr(self, f"_{name}").inc(n)
+
+    def record_batch(self, n_requests: int, n_samples: int,
+                     latencies_ms: list[float]) -> None:
+        """Record one successfully dispatched micro-batch atomically."""
+        with self._lock:
+            self._requests.inc(n_requests)
+            self._samples.inc(n_samples)
+            self._batches.inc(1)
+            if n_samples > self._max_batch_seen.value:
+                self._max_batch_seen.set(n_samples)
+            for ms in latencies_ms:
+                self._latency.record(ms)
+                self._latency_hist.observe(ms)
+
+    # -- latency views -------------------------------------------------
     @property
     def _latency_ring(self) -> np.ndarray:
         """The reservoir's backing ring (tests / introspection)."""
@@ -162,6 +254,7 @@ class ServingStats:
     def _record_latency(self, latency_ms: float) -> None:
         """Append one request latency (reservoir has its own lock)."""
         self._latency.record(latency_ms)
+        self._latency_hist.observe(latency_ms)
 
     def _latency_percentile(self, q: float) -> float:
         return self._latency.percentile(q)
@@ -176,29 +269,52 @@ class ServingStats:
         """95th-percentile request latency over the sliding window."""
         return self._latency.p95_ms
 
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile request latency over the sliding window."""
+        return self._latency.p99_ms
+
     def snapshot(self) -> dict:
-        """Picklable point-in-time copy (for cross-process reporting)."""
+        """Picklable point-in-time copy (for cross-process reporting).
+
+        Taken under ``_lock`` as one atomic read — concurrent dispatcher
+        increments cannot produce an inconsistent tuple (e.g. ``samples``
+        from before a batch and ``batches`` from after it).  The
+        ``"metrics"`` key carries the full registry snapshot so the
+        router can merge this worker's series into its ``/metrics`` page.
+        """
         with self._lock:
             counters = {
-                "requests": self.requests,
-                "samples": self.samples,
-                "batches": self.batches,
-                "max_batch_seen": self.max_batch_seen,
-                "errors": self.errors,
-                "shed": self.shed,
-                "timed_out": self.timed_out,
-                "effective_wait_ms": self.effective_wait_ms,
+                "requests": int(self._requests.value),
+                "samples": int(self._samples.value),
+                "batches": int(self._batches.value),
+                "max_batch_seen": int(self._max_batch_seen.value),
+                "errors": int(self._errors.value),
+                "shed": int(self._shed.value),
+                "timed_out": int(self._timed_out.value),
+                "effective_wait_ms": self._effective_wait_ms.value,
+                "metrics": self.registry.snapshot(),
             }
         counters["mean_batch"] = (
             counters["samples"] / counters["batches"] if counters["batches"] else 0.0
         )
-        counters["p50_ms"] = self.p50_ms
-        counters["p95_ms"] = self.p95_ms
+        lat = self._latency.snapshot()
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"):
+            counters[key] = lat[key]
         return counters
+
+    def __repr__(self) -> str:
+        with self._lock:  # one atomic multi-field read, like snapshot()
+            return (
+                f"ServingStats(requests={self._requests.value}, "
+                f"samples={self._samples.value}, batches={self._batches.value}, "
+                f"errors={self._errors.value}, shed={self._shed.value}, "
+                f"timed_out={self._timed_out.value})"
+            )
 
 
 class _Request:
-    __slots__ = ("x", "n", "future", "t_submit", "deadline_at", "fault")
+    __slots__ = ("x", "n", "future", "t_submit", "deadline_at", "fault", "trace")
 
     def __init__(
         self,
@@ -207,6 +323,7 @@ class _Request:
         future: Future,
         deadline_at: float | None = None,
         fault: str | None = None,
+        trace=None,
     ) -> None:
         self.x = x
         self.n = n
@@ -216,6 +333,11 @@ class _Request:
         self.deadline_at = deadline_at
         #: fault-injection decision made at submit time (None = serve)
         self.fault = fault
+        #: span sink for a sampled request (a
+        #: :class:`~repro.runtime.telemetry.SpanCollector` /
+        #: :class:`~repro.runtime.telemetry.Trace`, or None = untraced);
+        #: the dispatcher records queue_wait / execute / layer:* spans
+        self.trace = trace
 
 
 _SHUTDOWN = object()
@@ -338,6 +460,7 @@ class MicroBatchServer:
         timeout: float | None = None,
         deadline: float | None = None,
         deadline_at: float | None = None,
+        trace=None,
     ) -> Future:
         """Enqueue one request; returns a future of the logits.
 
@@ -360,6 +483,11 @@ class MicroBatchServer:
             deadline_at: absolute ``time.monotonic()`` deadline —
                 overrides ``deadline``; used for budgets propagated from
                 another process/tier.
+            trace: optional span sink
+                (:class:`~repro.runtime.telemetry.SpanCollector`) for a
+                sampled request — the dispatcher records ``queue_wait``,
+                ``execute``, and per-layer ``layer:<node>`` spans into
+                it.  ``None`` (default) records nothing.
         """
         x = np.asarray(x)
         if x.ndim == 3:
@@ -371,8 +499,7 @@ class MicroBatchServer:
         if deadline_at is not None:
             remaining = deadline_at - time.monotonic()
             if remaining <= 0:  # dead on arrival: shed at the door
-                with self.stats._lock:
-                    self.stats.timed_out += 1
+                self.stats.count(timed_out=1)
                 raise DeadlineExceededError(
                     "request deadline already expired at submission"
                 )
@@ -382,8 +509,7 @@ class MicroBatchServer:
         fault = self._injector.decide(next(self._fault_seq)) if self._injector else None
         # backpressure: block outside the lock (bounded by timeout/deadline)
         if not self._capacity.acquire(timeout=timeout):
-            with self.stats._lock:
-                self.stats.shed += 1
+            self.stats.count(shed=1)
             raise QueueFullError(
                 f"queue held {self.config.queue_depth} requests for "
                 f"{timeout:.3f} s; request shed"
@@ -392,7 +518,9 @@ class MicroBatchServer:
             with self._submit_lock:
                 if self._closed.is_set():
                     raise RuntimeError("MicroBatchServer is closed")
-                self._queue.put_nowait(_Request(x, x.shape[0], future, deadline_at, fault))
+                self._queue.put_nowait(
+                    _Request(x, x.shape[0], future, deadline_at, fault, trace)
+                )
         except BaseException:
             self._capacity.release()  # permit travels with the request
             raise
@@ -474,8 +602,7 @@ class MicroBatchServer:
             self._wait_ms = min(cfg.max_wait_ms, self._wait_ms * 1.5 + 0.05)
         else:
             return
-        with self.stats._lock:
-            self.stats.effective_wait_ms = self._wait_ms
+        self.stats.effective_wait_ms = self._wait_ms
 
     def _drain_remaining(self) -> None:
         """Serve everything still queued at shutdown (no coalescing wait).
@@ -516,8 +643,7 @@ class MicroBatchServer:
             else:
                 live.append(req)
         if expired:
-            with self.stats._lock:
-                self.stats.timed_out += len(expired)
+            self.stats.count(timed_out=len(expired))
             for req in expired:
                 if req.future.set_running_or_notify_cancel():
                     req.future.set_exception(
@@ -560,7 +686,23 @@ class MicroBatchServer:
                             "injected crash (FaultPlan) in dispatch window"
                         )
                 xs = group[0].x if len(group) == 1 else np.concatenate([r.x for r in group])
-                out = self._runner(xs)
+                traced = [req for req in group if req.trace is not None]
+                exec_start = time.monotonic()
+                for req in traced:
+                    req.trace.add("queue_wait", req.t_submit, exec_start)
+                if traced:
+                    # ambient per-layer hook: the executor times each graph
+                    # node into layer_sink while any request is traced
+                    layer_sink: list = []
+                    with profile_layers(layer_sink):
+                        out = self._runner(xs)
+                else:
+                    out = self._runner(xs)
+                exec_end = time.monotonic()
+                for req in traced:
+                    req.trace.add("execute", exec_start, exec_end, batch=int(xs.shape[0]))
+                    for name, op, t0, t1 in layer_sink:
+                        req.trace.add(f"layer:{name}", t0, t1, op=op)
                 if out.shape[0] != xs.shape[0]:
                     # a wrong leading dim would not choke the scatter —
                     # it would silently hand co-batched clients truncated
@@ -577,16 +719,13 @@ class MicroBatchServer:
                     offset += req.n
                     req.future.set_result(rows.copy() if len(group) > 1 else rows)
                 resolved = time.monotonic()
-                with self.stats._lock:
-                    self.stats.requests += len(group)
-                    self.stats.samples += xs.shape[0]
-                    self.stats.batches += 1
-                    self.stats.max_batch_seen = max(self.stats.max_batch_seen, xs.shape[0])
-                    for req in group:
-                        self.stats._record_latency((resolved - req.t_submit) * 1e3)
+                self.stats.record_batch(
+                    len(group),
+                    int(xs.shape[0]),
+                    [(resolved - req.t_submit) * 1e3 for req in group],
+                )
             except BaseException as exc:  # propagate to every waiting client
-                with self.stats._lock:
-                    self.stats.errors += len(group)
+                self.stats.count(errors=len(group))
                 for req in group:
                     if not req.future.done():
                         req.future.set_exception(exc)

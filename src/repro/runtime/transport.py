@@ -36,17 +36,21 @@ payload reading and token release happen *inside* the endpoint):
 ``("pong", seq, stats)``                  health reply + serving-stats snapshot
 ``("bye", stats)``                        worker drained and is exiting
 ``("fatal", text)``                       session build failed (permanent)
+``("trace", req_id, spans)``              worker-side span timeline for a
+                                          sampled (traced) request
 ========================================  =====================================
 
 The byte-level **tensor framing** used by stream transports also lives
 here (:func:`pack_tensor_frame` / :func:`unpack_tensor_frame`) so it can
 be unit-tested without sockets: a frame is a 5-byte ``(length, type)``
 header followed by either a pickled control tuple or a tensor body of
-``req_id (u64) | deadline_remaining_s (f64, NaN = none) | crc32 (u32) |
-ndim (u8) | dims (u32 each) | dtype-str (u8 length + ascii) | raw
-payload bytes``.  Deadlines cross host boundaries as *remaining
-seconds* (absolute ``time.monotonic`` values are meaningless on another
-machine) and are re-anchored to the receiver's clock.
+``req_id (u64) | trace_id (u64, 0 = untraced) | deadline_remaining_s
+(f64, NaN = none) | crc32 (u32) | ndim (u8) | dims (u32 each) |
+dtype-str (u8 length + ascii) | raw payload bytes``.  Deadlines cross
+host boundaries as *remaining seconds* (absolute ``time.monotonic``
+values are meaningless on another machine) and are re-anchored to the
+receiver's clock; trace ids ride the same prefix so a sampled request
+stays sampled across the wire (see :mod:`repro.runtime.telemetry`).
 """
 
 from __future__ import annotations
@@ -103,9 +107,9 @@ FRAME_TENSOR = 1  # body = tensor header + raw ndarray bytes
 #: means a desynchronized or hostile stream, not a real tensor
 MAX_FRAME_BYTES = 1 << 30
 
-#: tensor body prefix: req_id, deadline_remaining_s (NaN = no deadline),
-#: crc32 of the payload bytes, ndim
-_TENSOR_PREFIX = struct.Struct(">QdIB")
+#: tensor body prefix: req_id, trace_id (0 = untraced), deadline_remaining_s
+#: (NaN = no deadline), crc32 of the payload bytes, ndim
+_TENSOR_PREFIX = struct.Struct(">QQdIB")
 _MAX_NDIM = 16
 
 
@@ -120,9 +124,15 @@ def unpack_control_body(body: bytes) -> Any:
 
 
 def pack_tensor_frame(
-    req_id: int, arr: np.ndarray, deadline_remaining_s: float | None = None
+    req_id: int,
+    arr: np.ndarray,
+    deadline_remaining_s: float | None = None,
+    trace_id: int = 0,
 ) -> bytes:
     """Frame one tensor (header + body) for a byte-stream transport.
+
+    ``trace_id`` (0 = untraced) propagates request sampling across the
+    wire so the worker knows to collect spans for this request.
 
     Zero-size tensors are refused up front: an empty request cannot
     produce a row per sample, so framing one is always a caller bug —
@@ -141,7 +151,7 @@ def pack_tensor_frame(
     remaining = math.nan if deadline_remaining_s is None else float(deadline_remaining_s)
     body = b"".join(
         (
-            _TENSOR_PREFIX.pack(req_id, remaining, zlib.crc32(payload), arr.ndim),
+            _TENSOR_PREFIX.pack(req_id, trace_id, remaining, zlib.crc32(payload), arr.ndim),
             struct.pack(f">{arr.ndim}I", *arr.shape),
             struct.pack(">B", len(dtype_str)),
             dtype_str,
@@ -162,20 +172,21 @@ def tensor_frame_req_id(body: bytes) -> int | None:
     return struct.unpack_from(">Q", body)[0]
 
 
-def tensor_frame_meta(body: bytes) -> tuple[int, float | None] | None:
-    """``(req_id, deadline_remaining_s)`` from a tensor body prefix
-    without decoding (or verifying) the payload — lets a worker route a
-    corrupt frame's typed error to the right request instead of tearing
-    the stream down.  ``None`` when the body is too short to carry even
-    the prefix."""
-    if len(body) < 16:
+def tensor_frame_meta(body: bytes) -> tuple[int, float | None, int] | None:
+    """``(req_id, deadline_remaining_s, trace_id)`` from a tensor body
+    prefix without decoding (or verifying) the payload — lets a worker
+    route a corrupt frame's typed error to the right request instead of
+    tearing the stream down.  ``None`` when the body is too short to
+    carry even the prefix."""
+    if len(body) < 24:
         return None
-    req_id, remaining = struct.unpack_from(">Qd", body)
-    return req_id, (None if math.isnan(remaining) else remaining)
+    req_id, trace_id, remaining = struct.unpack_from(">QQd", body)
+    return req_id, (None if math.isnan(remaining) else remaining), trace_id
 
 
-def unpack_tensor_frame(body: bytes) -> tuple[int, float | None, np.ndarray]:
-    """Decode a tensor body into ``(req_id, deadline_remaining_s, array)``.
+def unpack_tensor_frame(body: bytes) -> tuple[int, float | None, np.ndarray, int]:
+    """Decode a tensor body into ``(req_id, deadline_remaining_s, array,
+    trace_id)``.
 
     Every structural defect — truncated header, impossible rank, bogus
     dtype, payload shorter or longer than the dims promise, zero-size
@@ -188,7 +199,7 @@ def unpack_tensor_frame(body: bytes) -> tuple[int, float | None, np.ndarray]:
         raise CorruptedPayloadError(
             f"truncated tensor frame: {len(body)} bytes < {_TENSOR_PREFIX.size}-byte header"
         )
-    req_id, remaining, crc, ndim = _TENSOR_PREFIX.unpack_from(body)
+    req_id, trace_id, remaining, crc, ndim = _TENSOR_PREFIX.unpack_from(body)
     if ndim > _MAX_NDIM:
         raise CorruptedPayloadError(f"tensor frame claims rank {ndim} > {_MAX_NDIM}")
     offset = _TENSOR_PREFIX.size
@@ -224,7 +235,7 @@ def unpack_tensor_frame(body: bytes) -> tuple[int, float | None, np.ndarray]:
             f"shape {tuple(shape)}, {dtype})"
         )
     arr = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
-    return req_id, (None if math.isnan(remaining) else remaining), arr
+    return req_id, (None if math.isnan(remaining) else remaining), arr, trace_id
 
 
 # ----------------------------------------------------------------------
@@ -306,11 +317,19 @@ class ShardEndpoint(ABC):
     # -- sending --------------------------------------------------------
     @abstractmethod
     def send_request(
-        self, token: int, req_id: int, x: np.ndarray, deadline_at: float | None
+        self,
+        token: int,
+        req_id: int,
+        x: np.ndarray,
+        deadline_at: float | None,
+        trace_id: int = 0,
     ) -> None:
         """Frame and send one request tensor.  ``deadline_at`` is an
         absolute local ``time.monotonic`` value (or None); cross-host
-        transports convert it to remaining seconds on the wire."""
+        transports convert it to remaining seconds on the wire.
+        ``trace_id`` (0 = untraced) marks a sampled request: the worker
+        collects spans and ships them back as a ``("trace", ...)``
+        event after the reply."""
 
     @abstractmethod
     def send_ping(self, seq: int) -> None: ...
@@ -359,11 +378,12 @@ class WorkerTransport(ABC):
     """Worker-side mirror of :class:`ShardEndpoint`, consumed by
     :func:`repro.runtime.worker.run_worker`.
 
-    ``recv`` yields ``("req", req_id, deadline_at, handle)`` (with
-    ``deadline_at`` already re-anchored to the *worker's* monotonic
-    clock), ``("ping", seq)`` or ``("stop",)``; the opaque ``handle``
-    carries whatever the transport needs to read the payload and route
-    the reply (an shm slot, a decoded TCP frame).
+    ``recv`` yields ``("req", req_id, deadline_at, trace_id, handle)``
+    (with ``deadline_at`` already re-anchored to the *worker's* monotonic
+    clock and ``trace_id == 0`` for untraced requests), ``("ping", seq)``
+    or ``("stop",)``; the opaque ``handle`` carries whatever the
+    transport needs to read the payload and route the reply (an shm
+    slot, a decoded TCP frame).
     """
 
     #: largest reply payload the transport can carry (bytes), or None
@@ -390,6 +410,12 @@ class WorkerTransport(ABC):
     @abstractmethod
     def send_error(self, req_id: int, handle, code: str, text: str) -> None:
         """Send a typed failure (``code in {"deadline","corrupt","error"}``)."""
+
+    def send_trace(self, req_id: int, spans: list[dict]) -> None:
+        """Ship a traced request's worker-side span timeline back to the
+        router (after the reply for ``req_id``, same ordered channel).
+        Default: drop — a transport without a control channel loses
+        spans, never requests."""
 
     @abstractmethod
     def send_ready(self, pid: int) -> None: ...

@@ -8,10 +8,11 @@ carries the request in *and* the response out; the slot count is the
 per-shard backpressure bound), and only the same tiny control tuples
 cross the ``multiprocessing.Pipe``:
 
-    router -> worker: ``("req", req_id, slot, shape, dtype, crc, deadline_at)``,
-                      ``("ping", seq)``, ``("stop",)``
+    router -> worker: ``("req", req_id, slot, shape, dtype, crc, deadline_at,
+                      trace_id)``, ``("ping", seq)``, ``("stop",)``
     worker -> router: ``("ready", pid)``, ``("res", req_id, slot, shape, dtype, crc)``,
                       ``("err", req_id, slot, code, text)``,
+                      ``("trace", req_id, spans)``,
                       ``("pong", seq, stats)``, ``("bye", stats)``, ``("fatal", text)``
 
 Deadlines cross the boundary as absolute ``time.monotonic`` values,
@@ -86,10 +87,10 @@ class ShmWorkerTransport(WorkerTransport):
         except (EOFError, OSError) as exc:
             raise TransportClosedError(str(exc)) from exc
         if msg[0] == "req":
-            _, req_id, slot, shape, dtype, crc, deadline_at = msg
+            _, req_id, slot, shape, dtype, crc, deadline_at, trace_id = msg
             # same host, system-wide monotonic clock: the absolute
             # deadline needs no re-anchoring
-            return ("req", req_id, deadline_at, (slot, shape, dtype, crc))
+            return ("req", req_id, deadline_at, trace_id, (slot, shape, dtype, crc))
         return msg  # ("ping", seq) / ("stop",)
 
     def read_payload(self, handle) -> np.ndarray:
@@ -107,6 +108,9 @@ class ShmWorkerTransport(WorkerTransport):
 
     def send_error(self, req_id: int, handle, code: str, text: str) -> None:
         self._send(("err", req_id, handle[0], code, text))
+
+    def send_trace(self, req_id: int, spans: list[dict]) -> None:
+        self._send(("trace", req_id, spans))
 
     def send_ready(self, pid: int) -> None:
         self._send(("ready", pid))
@@ -174,10 +178,15 @@ class ShmShardEndpoint(ShardEndpoint):
 
     # -- sending --------------------------------------------------------
     def send_request(
-        self, token: int, req_id: int, x: np.ndarray, deadline_at: float | None
+        self,
+        token: int,
+        req_id: int,
+        x: np.ndarray,
+        deadline_at: float | None,
+        trace_id: int = 0,
     ) -> None:
         shape, dtype, crc = self._ring.write(token, x)
-        self._send(("req", req_id, token, shape, dtype, crc, deadline_at))
+        self._send(("req", req_id, token, shape, dtype, crc, deadline_at, trace_id))
 
     def send_ping(self, seq: int) -> None:
         self._send(("ping", seq))

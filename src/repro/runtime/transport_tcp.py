@@ -86,8 +86,10 @@ __all__ = [
     "parse_hostport",
 ]
 
-#: handshake protocol version (bumped on wire-format changes)
-PROTOCOL_VERSION = 1
+#: handshake protocol version (bumped on wire-format changes; v2 added
+#: the trace_id field to the tensor-frame prefix and the ("trace", ...)
+#: control message)
+PROTOCOL_VERSION = 2
 
 #: a connection that carried no frame (not even a pong) for this long is
 #: considered dead even though the socket never EOF'd (half-open peer).
@@ -172,11 +174,11 @@ class TcpWorkerTransport(WorkerTransport):
             meta = tensor_frame_meta(body)
             if meta is None:  # not even a request id: the stream is gone
                 raise TransportClosedError("tensor frame too short to carry a request id")
-            req_id, remaining = meta
+            req_id, remaining, trace_id = meta
             # re-anchor the deadline to *this* host's monotonic clock; a
             # budget already spent arrives negative and is shed on submit
             deadline_at = None if remaining is None else time.monotonic() + remaining
-            return ("req", req_id, deadline_at, body)
+            return ("req", req_id, deadline_at, trace_id, body)
         return unpack_control_body(body)  # ("ping", seq) / ("stop",)
 
     def read_payload(self, handle) -> np.ndarray:
@@ -198,6 +200,9 @@ class TcpWorkerTransport(WorkerTransport):
 
     def send_error(self, req_id: int, handle, code: str, text: str) -> None:
         self._send(pack_control_frame(("err", req_id, code, text)))
+
+    def send_trace(self, req_id: int, spans: list[dict]) -> None:
+        self._send(pack_control_frame(("trace", req_id, spans)))
 
     def send_ready(self, pid: int) -> None:
         self._send(pack_control_frame(("ready", pid)))
@@ -362,10 +367,15 @@ class TcpShardEndpoint(ShardEndpoint):
 
     # -- sending --------------------------------------------------------
     def send_request(
-        self, token: int, req_id: int, x: np.ndarray, deadline_at: float | None
+        self,
+        token: int,
+        req_id: int,
+        x: np.ndarray,
+        deadline_at: float | None,
+        trace_id: int = 0,
     ) -> None:
         remaining = None if deadline_at is None else deadline_at - time.monotonic()
-        frame = pack_tensor_frame(req_id, x, remaining)
+        frame = pack_tensor_frame(req_id, x, remaining, trace_id)
         with self._token_lock:
             self._tokens[req_id] = token  # mapped before send: the reply may race us
         try:
@@ -400,7 +410,7 @@ class TcpShardEndpoint(ShardEndpoint):
         self._got_frame = True
         if ftype == FRAME_TENSOR:
             try:
-                req_id, _, out = unpack_tensor_frame(body)
+                req_id, _, out, _ = unpack_tensor_frame(body)
                 err: Exception | None = None
             except Exception as exc:  # CorruptedPayloadError: retryable
                 rid = tensor_frame_req_id(body)

@@ -14,6 +14,7 @@ injection behave identically everywhere.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Callable
 from concurrent.futures import Future
 
@@ -25,6 +26,7 @@ from repro.runtime.resilience import (
     DeadlineExceededError,
     QueueFullError,
 )
+from repro.runtime.telemetry import SpanCollector
 from repro.runtime.transport import TransportClosedError, WorkerTransport
 
 __all__ = ["run_worker"]
@@ -66,20 +68,39 @@ def run_worker(
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
     capacity = transport.payload_capacity
 
-    def _reply(req_id: int, handle, fut: Future, corrupt: bool = False) -> None:
-        exc = fut.exception()
-        if exc is not None:
-            code = "deadline" if isinstance(exc, DeadlineExceededError) else "error"
-            _safe(transport.send_error, req_id, handle, code, f"{type(exc).__name__}: {exc}")
-            return
-        out = np.ascontiguousarray(fut.result())
-        if capacity is not None and out.nbytes > capacity:
-            _safe(
-                transport.send_error, req_id, handle, "error",
-                f"output of {out.nbytes} bytes exceeds the {capacity}-byte slot",
-            )
-            return
-        _safe(transport.send_result, req_id, handle, out, corrupt)
+    def _ship_trace(req_id: int, collector: SpanCollector | None) -> None:
+        # after the reply, same ordered channel: the router resolves the
+        # result first, then splices the worker spans into the trace
+        if collector is not None:
+            _safe(transport.send_trace, req_id, collector.export())
+
+    def _reply(
+        req_id: int,
+        handle,
+        fut: Future,
+        corrupt: bool = False,
+        collector: SpanCollector | None = None,
+    ) -> None:
+        t_reply = time.monotonic()
+        try:
+            exc = fut.exception()
+            if exc is not None:
+                code = "deadline" if isinstance(exc, DeadlineExceededError) else "error"
+                _safe(transport.send_error, req_id, handle, code,
+                      f"{type(exc).__name__}: {exc}")
+                return
+            out = np.ascontiguousarray(fut.result())
+            if capacity is not None and out.nbytes > capacity:
+                _safe(
+                    transport.send_error, req_id, handle, "error",
+                    f"output of {out.nbytes} bytes exceeds the {capacity}-byte slot",
+                )
+                return
+            _safe(transport.send_result, req_id, handle, out, corrupt)
+        finally:
+            if collector is not None:
+                collector.add("reply", t_reply, time.monotonic())
+            _ship_trace(req_id, collector)
 
     stats = None  # the ServingStats object outlives session.close()
     try:
@@ -97,7 +118,11 @@ def run_worker(
                 _safe(transport.send_pong, msg[1],
                       stats.snapshot() if stats is not None else None)
             elif kind == "req":
-                _, req_id, deadline_at, handle = msg
+                _, req_id, deadline_at, trace_id, handle = msg
+                # a nonzero trace id means the router sampled this request:
+                # collect worker-side spans (t0 = receipt on *this* clock;
+                # the router rebases the batch at the attempt's send time)
+                collector = SpanCollector(trace_id) if trace_id else None
                 fault = injector.decide(req_id) if injector is not None else None
                 if fault == "crash":
                     os._exit(17)  # hard death with the request in flight
@@ -109,19 +134,26 @@ def run_worker(
                     x = transport.read_payload(handle)  # copy + verify
                 except CorruptedPayloadError as exc:
                     _safe(transport.send_error, req_id, handle, "corrupt", str(exc))
+                    _ship_trace(req_id, collector)
                     continue
                 stats = session.serving_stats or stats
                 try:
-                    fut = session.submit(x, deadline_at=deadline_at)
+                    fut = session.submit(x, deadline_at=deadline_at, trace=collector)
                 except DeadlineExceededError as exc:  # dead on arrival
                     _safe(transport.send_error, req_id, handle, "deadline", str(exc))
+                    _ship_trace(req_id, collector)
                     continue
                 except QueueFullError as exc:  # shouldn't happen: slots <= queue
                     _safe(transport.send_error, req_id, handle, "error",
                           f"QueueFullError: {exc}")
+                    _ship_trace(req_id, collector)
                     continue
+                if collector is not None:
+                    # receipt -> admitted into the micro-batch queue
+                    collector.add("worker_queue", collector.t0, time.monotonic())
                 fut.add_done_callback(
-                    lambda f, r=req_id, h=handle, c=(fault == "corrupt"): _reply(r, h, f, c)
+                    lambda f, r=req_id, h=handle, c=(fault == "corrupt"),
+                    tc=collector: _reply(r, h, f, c, tc)
                 )
     finally:
         stats = session.serving_stats or stats

@@ -14,7 +14,11 @@ class TestLatencyReservoir:
         r = LatencyReservoir()
         assert r.count == 0
         assert r.p50_ms == 0.0 and r.p95_ms == 0.0
-        assert r.snapshot() == {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0}
+        assert r.p99_ms == 0.0 and r.mean_ms == 0.0 and r.max_ms == 0.0
+        assert r.snapshot() == {
+            "count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+            "mean_ms": 0.0, "max_ms": 0.0,
+        }
 
     def test_percentiles_match_numpy_on_partial_fill(self):
         r = LatencyReservoir(capacity=64)
@@ -23,7 +27,30 @@ class TestLatencyReservoir:
             r.record(v)
         assert r.p50_ms == pytest.approx(np.percentile(values, 50))
         assert r.p95_ms == pytest.approx(np.percentile(values, 95))
+        assert r.p99_ms == pytest.approx(np.percentile(values, 99))
         assert r.count == 10
+
+    def test_mean_and_max_track_the_window(self):
+        r = LatencyReservoir(capacity=4)
+        for v in (1.0, 2.0, 3.0, 10.0):
+            r.record(v)
+        assert r.mean_ms == pytest.approx(4.0)
+        assert r.max_ms == pytest.approx(10.0)
+        r.record(100.0)  # evicts 1.0: window is now (2, 3, 10, 100)
+        assert r.mean_ms == pytest.approx(28.75)
+        assert r.max_ms == pytest.approx(100.0)
+
+    def test_snapshot_is_one_consistent_view(self):
+        r = LatencyReservoir(capacity=16)
+        for v in range(1, 11):
+            r.record(float(v))
+        snap = r.snapshot()
+        window = [float(v) for v in range(1, 11)]
+        assert snap["count"] == 10
+        assert snap["p50_ms"] == pytest.approx(np.percentile(window, 50))
+        assert snap["p99_ms"] == pytest.approx(np.percentile(window, 99))
+        assert snap["mean_ms"] == pytest.approx(np.mean(window))
+        assert snap["max_ms"] == pytest.approx(10.0)
 
     def test_bounded_window_keeps_last_capacity_samples(self):
         cap = 8

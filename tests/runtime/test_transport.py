@@ -51,35 +51,48 @@ class TestTensorFrameRoundTrip:
             arr = rng.standard_normal((2, 3, 8, 8)).astype(dtype)
         else:
             arr = rng.integers(-128, 128, size=(2, 3, 8, 8), dtype=dtype)
-        req_id, remaining, out = unpack_tensor_frame(_body(pack_tensor_frame(17, arr)))
-        assert req_id == 17 and remaining is None
+        req_id, remaining, out, trace_id = unpack_tensor_frame(
+            _body(pack_tensor_frame(17, arr))
+        )
+        assert req_id == 17 and remaining is None and trace_id == 0
         assert out.dtype == arr.dtype and out.flags.writeable
         np.testing.assert_array_equal(out, arr)
 
     def test_deadline_survives_as_remaining_seconds(self):
         arr = np.ones((1, 4), np.float32)
-        _, remaining, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, 0.25)))
+        _, remaining, _, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, 0.25)))
         assert remaining == pytest.approx(0.25)
-        _, remaining, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, None)))
+        _, remaining, _, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, None)))
         assert remaining is None
+
+    def test_trace_id_rides_the_frame(self):
+        """A sampled request's trace id crosses the wire untouched (0 =
+        unsampled, the overwhelmingly common case)."""
+        arr = np.ones((1, 4), np.float32)
+        tid = 0xDEADBEEFCAFEF00D
+        req_id, _, _, trace_id = unpack_tensor_frame(
+            _body(pack_tensor_frame(3, arr, None, trace_id=tid))
+        )
+        assert req_id == 3 and trace_id == tid
 
     def test_meta_peeks_without_verifying(self):
         """A worker must be able to attribute a corrupt frame to its
         request id without decoding the (unverifiable) payload."""
-        frame = pack_tensor_frame(99, np.ones((2, 2), np.float32), 1.5)
+        frame = pack_tensor_frame(99, np.ones((2, 2), np.float32), 1.5, trace_id=42)
         body = bytearray(_body(frame))
         body[-1] ^= 0xFF  # corrupt the payload
-        assert tensor_frame_meta(bytes(body)) == (99, pytest.approx(1.5))
+        assert tensor_frame_meta(bytes(body)) == (99, pytest.approx(1.5), 42)
         assert tensor_frame_req_id(bytes(body)) == 99
         with pytest.raises(CorruptedPayloadError, match="checksum"):
             unpack_tensor_frame(bytes(body))
         assert tensor_frame_meta(b"\x00" * 8) is None  # prefix cut short
+        assert tensor_frame_meta(b"\x00" * 16) is None  # still short of req+trace+deadline
         assert tensor_frame_req_id(b"\x00\x01") is None
 
     def test_noncontiguous_input_is_framed_contiguously(self):
         arr = np.arange(64, dtype=np.float32).reshape(8, 8)[:, ::2]
         assert not arr.flags.c_contiguous
-        _, _, out = unpack_tensor_frame(_body(pack_tensor_frame(1, arr)))
+        _, _, out, _ = unpack_tensor_frame(_body(pack_tensor_frame(1, arr)))
         np.testing.assert_array_equal(out, arr)
 
     def test_control_frame_roundtrip(self):
@@ -105,8 +118,9 @@ class TestFramingRejections:
         never produces one."""
         frame = pack_tensor_frame(5, np.ones((2, 2), np.float32))
         body = bytearray(_body(frame))
-        # zero out the dims (offset 21 = 8 req_id + 8 deadline + 4 crc + 1 ndim)
-        body[21:29] = b"\x00" * 8
+        # zero out the dims (offset 29 = 8 req_id + 8 trace_id + 8 deadline
+        # + 4 crc + 1 ndim)
+        body[29:37] = b"\x00" * 8
         with pytest.raises(CorruptedPayloadError, match="zero-size"):
             unpack_tensor_frame(bytes(body))
 
@@ -115,7 +129,7 @@ class TestFramingRejections:
             pack_tensor_frame(0, np.ones((1,) * 17, np.float32))
         frame = pack_tensor_frame(0, np.ones((2, 2), np.float32))
         body = bytearray(_body(frame))
-        body[20] = 200  # ndim byte
+        body[28] = 200  # ndim byte
         with pytest.raises(CorruptedPayloadError, match="rank"):
             unpack_tensor_frame(bytes(body))
 
@@ -137,10 +151,10 @@ class TestFramingRejections:
     @pytest.mark.parametrize(
         "cut",
         [
-            4,    # inside the req_id/deadline prefix
-            18,   # inside the fixed header (prefix truncated)
-            22,   # inside the dims
-            30,   # inside the dtype string
+            4,    # inside the req_id/trace_id/deadline prefix
+            26,   # inside the fixed header (prefix truncated)
+            34,   # inside the dims
+            43,   # inside the dtype string
             -3,   # inside the payload
         ],
     )
@@ -159,8 +173,8 @@ class TestFramingRejections:
     def test_invalid_dtype_raises_corrupted(self):
         frame = pack_tensor_frame(7, np.ones(4, np.float32))
         body = bytearray(_body(frame))
-        # dtype string starts after prefix(21) + dims(4) + len byte(1)
-        body[26:29] = b"\xff\xff\xff"
+        # dtype string starts after prefix(29) + dims(4) + len byte(1)
+        body[34:37] = b"\xff\xff\xff"
         with pytest.raises(CorruptedPayloadError, match="dtype|truncated"):
             unpack_tensor_frame(bytes(body))
 

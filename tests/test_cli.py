@@ -1,5 +1,7 @@
 """CLI subcommands."""
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,17 @@ class TestParser:
         assert args.shards == 2
         assert args.clients == 8
         assert args.max_batch == 8
+        assert args.metrics_port is None
+        assert args.trace_sample == 0.01
+        assert args.linger == 0.0
+
+    def test_serve_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--metrics-port", "0", "--trace-sample", "1.0", "--linger", "5"]
+        )
+        assert args.metrics_port == 0
+        assert args.trace_sample == 1.0
+        assert args.linger == 5.0
 
 
 class TestCommands:
@@ -66,3 +79,38 @@ class TestCommands:
         # per-shard stat rows made it out (least-outstanding routing used both)
         lines = [l for l in out.splitlines() if l.strip().startswith(("0 ", "1 "))]
         assert len(lines) == 2
+
+    def test_serve_stats_footer_layout(self, capsys):
+        """The footer is the serving demo's observability contract: a
+        shard table (with latency percentiles including p99), a
+        transport + router-percentile line, and a resilience line."""
+        assert main(["serve", "--shards", "2", "--clients", "2", "--requests", "32"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        # shard table: header + one row per shard
+        (header,) = [l for l in lines if l.strip().startswith("shard ")]
+        for col in ("requests", "breaker", "mean batch", "p50 ms", "p95 ms", "p99 ms"):
+            assert col in header
+        rows = [l for l in lines if re.match(r"^\s+[01]\s+\d+", l)]
+        assert len(rows) == 2
+        # shard pid requests errors respawns breaker batches mean-batch
+        # p50 p95 p99 = 11 columns per row
+        assert all(len(row.split()) == 11 for row in rows)
+        # transport line: kind + router-side end-to-end percentiles
+        (transport_line,) = [l for l in lines if l.startswith("transport:")]
+        assert "shm" in transport_line
+        assert re.search(
+            r"p50 \d+\.\d+ ms / p95 \d+\.\d+ ms / p99 \d+\.\d+ ms", transport_line
+        )
+        # resilience line: every counter is reported
+        (res_line,) = [l for l in lines if l.startswith("resilience:")]
+        for counter in ("retries", "hedges", "shed", "timed out", "corrupt"):
+            assert counter in res_line
+
+    def test_serve_metrics_port_prints_admin_endpoint(self, capsys):
+        assert main([
+            "serve", "--shards", "1", "--clients", "2", "--requests", "16",
+            "--metrics-port", "0", "--trace-sample", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"admin endpoint: http://127\.0\.0\.1:\d+", out)
