@@ -31,8 +31,10 @@ python -m pytest -x -q --timeout 300 "$@"
 # The benchmarks pass below picks up the serving throughput benches
 # (bench_serving_concurrent.py, bench_serving_cluster.py,
 # bench_serving_chaos.py, bench_serving_tcp.py,
-# bench_serving_observability.py) via the glob — the observability
-# bench gates tracing overhead even in the disabled fast pass.
+# bench_serving_observability.py, bench_serving_elastic.py) via the
+# glob — the observability bench gates tracing overhead and the elastic
+# bench gates zero-error membership churn even in the disabled fast
+# pass.
 echo "== serving concurrency + cluster stress tests =="
 python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py \
                  tests/runtime/test_metrics.py tests/runtime/test_transport.py \
@@ -47,6 +49,15 @@ python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py \
 # over the shm transport and over loopback TCP alike.
 echo "== chaos suite (seeded fault injection, shm + tcp) =="
 python -m pytest tests/runtime/test_chaos.py -q --timeout 300
+
+# Elastic membership is its own named gate: runtime add/remove with
+# drain-before-remove must be invisible to clients — remove-under-load
+# with zero client-visible errors, add-under-load demonstrably serving
+# traffic, SIGKILL-mid-drain resolving futures typed — on the shm
+# transport and over loopback TCP alike, plus the shard-file watcher
+# and the admin POST routes that drive the same code paths.
+echo "== elastic membership suite (runtime add/remove, shm + tcp) =="
+python -m pytest tests/runtime/test_membership.py -q --timeout 300
 
 echo "== benchmarks (benchmark-disabled fast pass) =="
 python -m pytest benchmarks/ -q --benchmark-disable --timeout 600 \

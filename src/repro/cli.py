@@ -12,6 +12,7 @@ Subcommands::
     python -m repro serve --metrics-port 9100 --linger 60   # scrape /metrics meanwhile
     python -m repro worker --listen 0.0.0.0:7070        # shard worker for another host
     python -m repro serve --shards host1:7070,host2:7070  # route to remote workers
+    python -m repro serve --shard-file shards.txt   # elastic membership from a watched file
 """
 
 from __future__ import annotations
@@ -22,19 +23,40 @@ import sys
 
 def _parse_shards(value: str):
     """``--shards`` accepts a local worker count (``4``) or remote worker
-    addresses (``host1:7070,host2:7070``), one shard per address."""
-    if value.isdigit():
-        return int(value)
+    addresses (``host1:7070,host2:7070``), one shard per address.
+    Non-positive counts and duplicate addresses are rejected here, at
+    argparse level, instead of surfacing as a raw traceback from
+    ``ShardedServer`` after the spec capture already ran."""
+    try:
+        count = int(value.strip())
+    except ValueError:
+        count = None
+    if count is not None:
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"shard count must be a positive integer, got {count}"
+            )
+        return count
     from repro.runtime.transport_tcp import parse_hostport
 
     addresses = [part.strip() for part in value.split(",") if part.strip()]
     if not addresses:
         raise argparse.ArgumentTypeError("expected a count or HOST:PORT[,HOST:PORT...]")
+    seen: set[str] = set()
+    dupes: list[str] = []
     for address in addresses:
         try:
             parse_hostport(address)
         except ValueError as exc:
             raise argparse.ArgumentTypeError(str(exc)) from None
+        if address in seen and address not in dupes:
+            dupes.append(address)
+        seen.add(address)
+    if dupes:
+        raise argparse.ArgumentTypeError(
+            f"duplicate shard address(es): {', '.join(dupes)} — each address "
+            "hosts exactly one shard (a worker serves one router connection)"
+        )
     return addresses
 
 
@@ -185,7 +207,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ) as server:
             if server.metrics_port is not None:
                 print(f"admin endpoint: http://127.0.0.1:{server.metrics_port}"
-                      f" (/metrics /healthz /stats /traces /events)")
+                      f" (/metrics /healthz /stats /traces /events; "
+                      f"POST /shards/add /shards/<id>/remove)")
+            watcher = None
+            if args.shard_file:
+                from repro.runtime.membership import ShardFileWatcher
+
+                watcher = ShardFileWatcher(server, args.shard_file).start()
+                print(f"watching shard file {args.shard_file} "
+                      f"(one entry per line: 'local' or HOST:PORT)")
 
             def client(i: int) -> None:
                 nonlocal shed
@@ -219,6 +249,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     time.sleep(args.linger)
                 except KeyboardInterrupt:
                     pass
+            if watcher is not None:
+                watcher.close()
             server.close()
             stats = server.cluster_stats
 
@@ -291,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transport", default="shm", choices=["shm", "tcp"],
                    help="local shard transport: shared-memory rings or loopback TCP "
                         "(ignored when --shards lists addresses)")
+    p.add_argument("--shard-file", metavar="PATH", default=None,
+                   help="watch PATH for the desired shard list (one entry per "
+                        "line: 'local' spawns a worker here, HOST:PORT joins a "
+                        "remote worker; '#' comments) and elastically "
+                        "add/remove shards on the live server to match it")
     p.add_argument("--clients", type=int, default=8, help="closed-loop client threads")
     p.add_argument("--requests", type=int, default=256, help="total requests to serve")
     p.add_argument("--max-batch", type=int, default=8, help="per-worker micro-batch size")

@@ -45,6 +45,13 @@ per-layer timings) can be inspected end to end, lifecycle events land
 in a structured :class:`EventLog`, and ``TelemetryConfig(metrics_port=...)``
 exposes all of it over HTTP (``/metrics`` Prometheus text, ``/healthz``,
 ``/stats``, ``/trace/<id>``, ``/events``).
+
+Cluster membership is **elastic** (:mod:`repro.runtime.membership`):
+``ShardedServer.add_shard`` / ``remove_shard`` grow and drain-shrink a
+live cluster (local spawns or remote ``host:port`` workers), the admin
+server accepts ``POST /shards/add`` / ``POST /shards/<id>/remove``, and
+:class:`ShardFileWatcher` reconciles membership against a watched
+shard-list file.
 """
 
 from repro.runtime.ops import eval_node
@@ -92,6 +99,7 @@ from repro.runtime.transport_tcp import (
     worker_serve,
 )
 from repro.runtime.cluster import ShardedServer, ShardCrashedError
+from repro.runtime.membership import ShardFileWatcher, parse_shard_file
 
 __all__ = [
     "eval_node",
@@ -106,6 +114,8 @@ __all__ = [
     "ShmSlotRing",
     "ShardedServer",
     "ShardCrashedError",
+    "ShardFileWatcher",
+    "parse_shard_file",
     "ResilienceConfig",
     "CircuitBreaker",
     "QueueFullError",

@@ -57,6 +57,20 @@ PatDNN-class runtimes replicate compiled models across execution units:
   graceful :meth:`close` is draining resolves its in-flight futures
   with a typed error immediately instead of letting clients wait out
   the drain timeout.
+* **Elastic membership** — :meth:`ShardedServer.add_shard` joins a new
+  worker to a *live* cluster (a local spawn, or an external
+  ``host:port`` worker — also on an shm cluster, which then serves with
+  mixed transports), and :meth:`ShardedServer.remove_shard` takes one
+  out: routing stops first, in-flight requests settle under the usual
+  deadline/retry machinery (typed errors, never hangs), then the
+  endpoint is torn down and a ``shard_removed`` event is emitted.
+  Membership lives in a generation-stamped shard map — indices are
+  allocated monotonically and never reused, and every reader
+  (routing, crash handling, stats, close) works on a point-in-time
+  snapshot.  The same operations are exposed over the admin server
+  (``POST /shards/add``, ``POST /shards/<id>/remove``) and a watched
+  shard-list file (:class:`~repro.runtime.membership.ShardFileWatcher`,
+  ``python -m repro serve --shard-file``).
 * **Observability** — one :class:`~repro.runtime.telemetry.Telemetry`
   hub per server: the resilience counters live in a
   :class:`~repro.runtime.telemetry.MetricsRegistry` (the same cells
@@ -237,6 +251,9 @@ class _Shard:
         self.ready = threading.Event()
         self.down = False
         self.permanent = False  # down for good: no replacement is coming
+        self.draining = False  # no new routing; in-flight may still settle
+        self.removing = False  # leaving the cluster: no respawn on death
+        self.generation = 0  # membership generation that installed us
         self.fail_reason: str | None = None
         self.spawned_at = time.monotonic()
         self.last_routed_at = self.spawned_at
@@ -358,7 +375,13 @@ class ShardedServer:
         elems = max(prod(spec.input_shape), prod(spec.probe_output_shape()))
         self._slot_bytes = max_request_samples * elems * np.dtype(np.float32).itemsize
         self._launcher = self._make_launcher()
-        self._lock = threading.Lock()  # shard list mutation + down transitions
+        #: per-index launcher overrides: a shard added with an explicit
+        #: address on a cluster whose own launcher is local launches
+        #: (and respawns/reconnects) through the shared address-routed
+        #: TCP launcher instead
+        self._index_launcher: dict[int, ShardLauncher] = {}
+        self._addressed_launcher: RemoteTcpLauncher | None = None
+        self._lock = threading.Lock()  # membership map mutation + down transitions
         self._closed = False
         self._req_ids = itertools.count()
         self._retired_endpoints: list[ShardEndpoint] = []
@@ -386,16 +409,25 @@ class ShardedServer:
         # for sampled attempts in flight (bounded; stale entries evicted)
         self._trace_lock = threading.Lock()
         self._trace_sent: dict[int, tuple] = {}
-        self._shards: list[_Shard] = []
+        #: the membership map: shard index -> live incarnation.  Indices
+        #: are allocated monotonically (`_next_index`) and never reused;
+        #: the map can grow and shrink at runtime, so nothing may assume
+        #: dense indices.  Readers take a point-in-time snapshot (the
+        #: `_shards` property) and identity-check against the map before
+        #: acting on a shard; every membership change (add / remove /
+        #: respawn) bumps `_generation`.
+        self._shard_map: dict[int, _Shard] = {}
+        self._generation = 0
+        self._next_index = num_shards
         try:
             for i in range(num_shards):
-                self._shards.append(self._spawn_shard(i))
+                self._shard_map[i] = self._spawn_shard(i)
         except BaseException:
             # don't leak already-spawned workers/segments when a later
             # spawn fails (e.g. /dev/shm exhausted): nothing can call
             # close() on an object whose constructor raised
             self._closed = True  # recv threads must not respawn what we reap
-            for shard in self._shards:
+            for shard in self._shard_map.values():
                 shard.endpoint.kill()
                 shard.endpoint.join(timeout=5.0)
                 self._retire_endpoint(shard.endpoint)
@@ -451,6 +483,18 @@ class ShardedServer:
     def _count(self, key: str, n: int = 1) -> None:
         self._counters[key].inc(n)
 
+    @property
+    def _shards(self) -> list[_Shard]:
+        """Point-in-time membership snapshot, ordered by shard index.
+
+        A copied list, never the map itself: membership can change
+        between any two calls (add/remove/respawn), so iteration must
+        not race the map.  Act-on-a-shard paths re-check
+        ``self._shard_map.get(shard.index) is shard`` under the lock
+        before mutating membership."""
+        with self._lock:
+            return [self._shard_map[i] for i in sorted(self._shard_map)]
+
     # ------------------------------------------------------------------
     # Trace bookkeeping (sampled attempts only)
     # ------------------------------------------------------------------
@@ -504,7 +548,8 @@ class ShardedServer:
     # Spawning / crash handling
     # ------------------------------------------------------------------
     def _spawn_shard(self, index: int) -> _Shard:
-        endpoint = self._launcher.launch(index)
+        launcher = self._index_launcher.get(index, self._launcher)
+        endpoint = launcher.launch(index)
         events = self._telemetry.events
         breaker = CircuitBreaker(
             self.resilience.breaker_threshold,
@@ -601,7 +646,8 @@ class ShardedServer:
         submits.  The retired list retries at shutdown, when no request
         threads can be touching the transport anymore."""
         endpoint.close()
-        self._retired_endpoints.append(endpoint)
+        if endpoint not in self._retired_endpoints:  # idempotent: no double dispose
+            self._retired_endpoints.append(endpoint)
 
     def _handle_shard_down(self, shard: _Shard, reason: str) -> None:
         """Rehome or fail a dead shard's in-flight requests; respawn
@@ -621,6 +667,7 @@ class ShardedServer:
                 return
             shard.down = True
             closing = self._closed
+            removing = shard.removing
             lifetime = time.monotonic() - shard.spawned_at
             # a reported build failure is an early death no matter how
             # long the spawn+build took — respawning it cannot help
@@ -636,45 +683,18 @@ class ShardedServer:
             "shard_down", shard=shard.index, reason=detail,
             in_flight=len(doomed), early=early,
         )
-        self._trace_drop(doomed.keys())
-        rehome: list[_InFlight] = []
-        failed = 0
-        for inflight in doomed.values():
-            if inflight.done:
-                continue  # e.g. a hedge winner already delivered
-            if inflight.expired():
-                if inflight.resolve_exception(
-                    DeadlineExceededError("deadline passed with the request in flight")
-                ):
-                    self._count("timed_out")
-                continue
-            if not closing and inflight.try_claim_attempt(self.resilience.max_attempts):
-                rehome.append(inflight)
-                continue
-            if inflight.resolve_exception(
-                ShardCrashedError(
-                    f"shard {shard.index} crashed with the request in flight ({detail})"
-                )
-            ):
-                failed += 1
-        if failed:
-            with shard.lock:
-                shard.errors += failed
-        if rehome:
-            self._count("retries", len(rehome))
-            self._telemetry.events.emit(
-                "retry", shard=shard.index, requests=len(rehome), cause="shard_down"
-            )
-            threading.Thread(
-                target=self._redispatch_batch,
-                args=(rehome,),
-                name=f"repro-shard-{shard.index}-rescue",
-                daemon=True,
-            ).start()
+        self._settle_doomed(
+            shard, doomed,
+            f"shard {shard.index} crashed with the request in flight ({detail})",
+            rehome_allowed=not closing, cause="shard_down",
+        )
         shard.endpoint.kill()  # reap the process / sever the connection
         shard.endpoint.join(timeout=5.0)
         self._retire_endpoint(shard.endpoint)  # final disposal at close()
-        if closing:
+        if closing or removing:
+            # a removal in progress owns the rest of the teardown (and
+            # the shard_removed event) — no replacement for a shard
+            # that is on its way out
             return
         if shard.early_deaths >= 2:
             shard.permanent = True
@@ -687,13 +707,14 @@ class ShardedServer:
             )
             return
         with self._lock:
-            if self._closed or self._shards[shard.index] is not shard:
+            if self._closed or self._shard_map.get(shard.index) is not shard:
                 return
         # launch outside the router lock: a TCP reconnect can legally
         # take seconds of backoff, and submits must keep flowing to the
         # surviving shards meanwhile.  No rival writer exists for this
-        # slot — only the installed incarnation's own down-handler (us)
-        # replaces it — so the re-check below only guards close().
+        # index — only the installed incarnation's own down-handler (us)
+        # replaces it — so the re-check below only guards close() and a
+        # concurrent remove_shard().
         try:
             replacement = self._spawn_shard(shard.index)
         except Exception as exc:  # unreachable remote / spawn failure
@@ -710,16 +731,262 @@ class ShardedServer:
         replacement.respawns = shard.respawns + 1
         replacement.early_deaths = shard.early_deaths
         with self._lock:
-            if self._closed or self._shards[shard.index] is not shard:
+            if self._closed or self._shard_map.get(shard.index) is not shard:
                 replacement.endpoint.kill()
                 replacement.endpoint.join(timeout=5.0)
                 self._retire_endpoint(replacement.endpoint)
                 return
-            self._shards[shard.index] = replacement
+            self._shard_map[shard.index] = replacement
+            self._generation += 1
+            replacement.generation = self._generation
         self._telemetry.events.emit(
             "shard_respawn", shard=shard.index, pid=replacement.endpoint.pid,
             respawns=replacement.respawns,
         )
+
+    def _settle_doomed(
+        self,
+        shard: _Shard,
+        doomed: dict[int, _InFlight],
+        message: str,
+        *,
+        rehome_allowed: bool,
+        cause: str,
+    ) -> tuple[int, int]:
+        """Resolve in-flight records whose attempt on ``shard`` can no
+        longer complete (the shard died, or is being removed with the
+        drain window spent): expired ones resolve
+        :class:`~repro.runtime.resilience.DeadlineExceededError`, ones
+        with retry budget left are re-dispatched to healthy shards on a
+        rescue thread (their payloads were retained for exactly this),
+        and the rest fail with :class:`ShardCrashedError` — typed
+        errors, never hangs.  Returns ``(rehomed, failed)``."""
+        self._trace_drop(doomed.keys())
+        rehome: list[_InFlight] = []
+        failed = 0
+        for inflight in doomed.values():
+            if inflight.done:
+                continue  # e.g. a hedge winner already delivered
+            if inflight.expired():
+                if inflight.resolve_exception(
+                    DeadlineExceededError("deadline passed with the request in flight")
+                ):
+                    self._count("timed_out")
+                continue
+            if rehome_allowed and inflight.try_claim_attempt(self.resilience.max_attempts):
+                rehome.append(inflight)
+                continue
+            if inflight.resolve_exception(ShardCrashedError(message)):
+                failed += 1
+        if failed:
+            with shard.lock:
+                shard.errors += failed
+        if rehome:
+            self._count("retries", len(rehome))
+            self._telemetry.events.emit(
+                "retry", shard=shard.index, requests=len(rehome), cause=cause
+            )
+            threading.Thread(
+                target=self._redispatch_batch,
+                args=(rehome,),
+                name=f"repro-shard-{shard.index}-rescue",
+                daemon=True,
+            ).start()
+        return len(rehome), failed
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def _launcher_for(self, index: int, address: str | None) -> ShardLauncher:
+        """Pick (and record) the launcher a new shard index launches
+        through — the cluster's own launcher for local adds, the shared
+        address-routed TCP launcher for ``host:port`` adds.  Called
+        under ``self._lock``."""
+        if address is None:
+            if isinstance(self._launcher, RemoteTcpLauncher):
+                raise ValueError(
+                    "this cluster routes to remote workers by address; "
+                    "add_shard() needs an explicit 'host:port'"
+                )
+            return self._launcher
+        if isinstance(self._launcher, RemoteTcpLauncher):
+            self._launcher.assign(index, address)
+            return self._launcher
+        if self._addressed_launcher is None:
+            self._addressed_launcher = RemoteTcpLauncher(
+                self.spec,
+                [],
+                slots_per_shard=self.slots_per_shard,
+                slot_bytes=self._slot_bytes,
+                fault_plan=self._fault_plan,
+            )
+        self._addressed_launcher.assign(index, address)
+        self._index_launcher[index] = self._addressed_launcher
+        return self._addressed_launcher
+
+    def add_shard(self, address: str | None = None) -> int:
+        """Join one new shard to the live cluster; returns its index.
+
+        With ``address=None`` a local worker is spawned through the
+        cluster's own launcher (shm or loopback TCP — whatever the
+        server was built with).  With ``address="host:port"`` the
+        router connects to an externally started worker
+        (``python -m repro worker --listen HOST:PORT``) — valid on an
+        shm cluster too, which then serves with mixed-transport
+        membership.  The new shard takes traffic as soon as it is
+        installed; crash handling, respawn, breakers, deadlines, and
+        chaos injection apply to it exactly as to founding shards.
+
+        Raises :class:`ShardCrashedError` if the worker dies between
+        launch and install (e.g. its bundle is unreadable there) —
+        a shard that never served is not left behind as a dead member.
+        """
+        if address is not None:
+            parse_hostport(address)  # validate before reserving an index
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardedServer is closed")
+            index = self._next_index
+            self._next_index += 1
+            self._launcher_for(index, address)
+        try:
+            shard = self._spawn_shard(index)
+        except BaseException:
+            with self._lock:
+                self._index_launcher.pop(index, None)
+            raise
+        with self._lock:
+            # a worker that died between launch and install never joins:
+            # its recv thread already ran the down-path (which skipped
+            # respawn — the map has no entry matching it), so installing
+            # it would leave a permanently dead member behind
+            installed = not self._closed and not shard.down
+            if installed:
+                self._generation += 1
+                shard.generation = self._generation
+                self._shard_map[index] = shard
+                self.num_shards = len(self._shard_map)
+        if not installed:
+            if not shard.down:
+                shard.endpoint.kill()
+                shard.endpoint.join(timeout=5.0)
+                self._retire_endpoint(shard.endpoint)
+            with self._lock:
+                self._index_launcher.pop(index, None)
+            if self._closed:
+                raise RuntimeError("ShardedServer is closed")
+            raise ShardCrashedError(
+                f"shard {index} died during launch "
+                f"({shard.fail_reason or 'worker connection lost'})"
+            )
+        self._telemetry.events.emit(
+            "shard_added", shard=index, pid=shard.endpoint.pid,
+            address=address, generation=shard.generation,
+        )
+        return index
+
+    def remove_shard(self, index: int, *, drain: bool = True, timeout: float = 30.0) -> dict:
+        """Take one shard out of the live cluster.
+
+        Routing to the shard stops immediately.  With ``drain=True``
+        the call waits up to ``timeout`` seconds for its in-flight
+        requests to settle — the monitor keeps enforcing deadlines and
+        stall detection on them meanwhile, so a drain is bounded by the
+        existing deadline machinery, not just this window.  Whatever the
+        window leaves behind (or everything, with ``drain=False``) is
+        re-dispatched to healthy shards while retry budget lasts and
+        typed-failed (:class:`ShardCrashedError`) after — never hung.
+        The endpoint is then torn down, the shard leaves the membership
+        map (bumping ``cluster_stats["generation"]``), and a
+        ``shard_removed`` event is emitted.
+
+        Raises ``KeyError`` for an unknown index, ``ValueError`` when
+        the shard is already being removed or is the last routable one.
+        Returns ``{"shard", "drained", "rehomed", "failed",
+        "generation"}`` describing how the removal went.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardedServer is closed")
+            shard = self._shard_map.get(index)
+            if shard is None:
+                raise KeyError(
+                    f"no shard with index {index} (current: {sorted(self._shard_map)})"
+                )
+            if shard.removing:
+                raise ValueError(f"shard {index} is already being removed")
+            rest = [
+                s for i, s in self._shard_map.items()
+                if i != index and not s.down and not s.permanent and not s.removing
+            ]
+            if not rest and not shard.down:
+                raise ValueError(
+                    f"refusing to remove shard {index}: it is the last routable shard"
+                )
+            shard.removing = True
+            shard.draining = True
+        self._telemetry.events.emit(
+            "shard_draining", shard=index, drain=drain, in_flight=shard.outstanding
+        )
+        drained = True
+        if drain:
+            deadline = time.monotonic() + timeout
+            while not shard.down and not self._closed:
+                with shard.lock:
+                    settled = all(f.done for f in shard.pending.values())
+                if settled:
+                    break
+                if time.monotonic() >= deadline:
+                    drained = False
+                    break
+                time.sleep(0.02)
+        else:
+            drained = shard.outstanding == 0
+        rehomed = failed = 0
+        if not self._closed and not shard.down:
+            # mark the shard down *under the membership lock* so the recv
+            # thread's EOF handler (fired by the teardown below) becomes
+            # a no-op instead of a rival crash path
+            with self._lock:
+                already_down = shard.down
+                shard.down = True
+            if not already_down:
+                with shard.lock:
+                    doomed = dict(shard.pending)
+                    shard.pending.clear()
+                live_doomed = {r: f for r, f in doomed.items() if not f.done}
+                if live_doomed:
+                    drained = False
+                    rehomed, failed = self._settle_doomed(
+                        shard, live_doomed,
+                        f"shard {index} removed with the request still in flight",
+                        rehome_allowed=True, cause="shard_removed",
+                    )
+                try:
+                    shard.endpoint.send_stop()  # graceful: worker drains + exits
+                except (TransportClosedError, BrokenPipeError, OSError):
+                    pass
+                shard.endpoint.join(timeout=5.0)
+                if shard.endpoint.alive():
+                    shard.endpoint.kill()
+                    shard.endpoint.join(timeout=5.0)
+                self._retire_endpoint(shard.endpoint)  # final disposal at close()
+                if shard.recv_thread is not None:
+                    shard.recv_thread.join(timeout=5.0)
+        with self._lock:
+            generation = self._generation
+            if self._shard_map.get(index) is shard:
+                del self._shard_map[index]
+                self._index_launcher.pop(index, None)
+                self._generation += 1
+                generation = self._generation
+                self.num_shards = len(self._shard_map)
+        self._telemetry.events.emit(
+            "shard_removed", shard=index, drained=drained,
+            rehomed=rehomed, failed=failed, generation=generation,
+        )
+        return {"shard": index, "drained": drained, "rehomed": rehomed,
+                "failed": failed, "generation": generation}
 
     def _redispatch_batch(self, inflights: list[_InFlight]) -> None:
         """Rescue thread: re-dispatch rehomed requests (attempt already
@@ -761,7 +1028,9 @@ class ShardedServer:
         need a clock: deadline expiry, stall detection (breaker
         failures + retries), and hedging."""
         while not self._stop_monitor.wait(self.health_interval_s):
-            for shard in list(self._shards):
+            # the property is already a snapshot: membership changes
+            # mid-scan are fine, each shard is identity-checked downstream
+            for shard in self._shards:
                 if shard.down:
                     continue
                 if not shard.endpoint.alive():
@@ -999,7 +1268,7 @@ class ShardedServer:
                 shard.endpoint.release(token)
                 return "resolved"
             with shard.lock:
-                if shard.down:
+                if shard.down or shard.draining:
                     shard.endpoint.release(token)
                     continue
                 shard.pending[req_id] = inflight
@@ -1041,12 +1310,14 @@ class ShardedServer:
         compete on :func:`route_score` (expected completion time from
         outstanding count + the worker's own p50/p95), except that a
         half-open breaker's probe takes priority — one request risked
-        now is the fastest road back to full capacity.  Returns ``None``
-        during the transient window where nothing is routable but
-        recovery is still possible (the caller waits); raises only when
-        failure is permanent.
+        now is the fastest road back to full capacity.  A draining
+        shard (being removed) takes no new work but still counts its
+        in-flight requests down.  Returns ``None`` during the transient
+        window where nothing is routable but recovery is still possible
+        (the caller waits); raises only when failure is permanent.
         """
-        live = [s for s in self._shards if not s.down and s is not exclude]
+        shards = self._shards  # snapshot: membership can change under us
+        live = [s for s in shards if not s.down and not s.draining and s is not exclude]
         if live:
             # latency-aware scores are only comparable when every candidate
             # has reported latencies — a stats-less shard (fresh spawn, no
@@ -1073,9 +1344,9 @@ class ShardedServer:
                 if shard.breaker.try_acquire():
                     return shard
             return None  # every breaker open (or probes outstanding): wait
-        if any(not s.permanent for s in self._shards):
+        if any(not s.permanent and not s.removing for s in shards):
             return None
-        reasons = sorted({s.fail_reason for s in self._shards if s.fail_reason})
+        reasons = sorted({s.fail_reason for s in shards if s.fail_reason})
         raise RuntimeError(
             "no live shards to route to" + (f" ({'; '.join(reasons)})" if reasons else "")
         )
@@ -1100,12 +1371,17 @@ class ShardedServer:
         ``router_p50_ms``/``router_p95_ms``/``router_p99_ms``, and the
         resilience counters (``retries``, ``hedges``, ``shed``,
         ``timed_out``, ``corrupt``) — the same registry cells ``/metrics``
-        exports, so the two views can never disagree.
+        exports, so the two views can never disagree.  ``generation``
+        counts membership changes (add/remove/respawn): a consumer that
+        cached shard identities refreshes when it moves.
         """
+        with self._lock:
+            snapshot = [self._shard_map[i] for i in sorted(self._shard_map)]
+            generation = self._generation
         shards = []
         totals = {"requests": 0, "errors": 0, "outstanding": 0, "respawns": 0}
         batches = samples = 0
-        for s in self._shards:
+        for s in snapshot:
             serving = s.worker_stats
             alive = not s.down and s.endpoint.alive()
             entry = {
@@ -1113,6 +1389,7 @@ class ShardedServer:
                 "pid": s.endpoint.pid,
                 "address": getattr(s.endpoint, "address", None),
                 "alive": alive,
+                "draining": s.draining,
                 "requests": s.requests,
                 "errors": s.errors,
                 "outstanding": s.outstanding,
@@ -1136,6 +1413,7 @@ class ShardedServer:
             "shards": shards,
             **totals,
             **resilience_counters,
+            "generation": generation,
             "transport": self._launcher.kind,
             "alive_shards": sum(1 for e in shards if e["alive"]),
             "worker_batches": batches,
@@ -1170,6 +1448,10 @@ class ShardedServer:
         derived.gauge("cluster_alive_shards", help="shards currently serving").set(
             stats["alive_shards"]
         )
+        derived.gauge(
+            "cluster_membership_generation",
+            help="membership changes so far (add/remove/respawn)",
+        ).set(stats["generation"])
         derived.gauge(
             "cluster_outstanding_requests", help="requests in flight right now"
         ).set(stats["outstanding"])
@@ -1218,32 +1500,40 @@ class ShardedServer:
         futures resolve with :class:`ShardCrashedError` immediately, and
         the join below returns as soon as the endpoint is gone, not
         after the full drain timeout.
+
+        Membership is snapshotted *once* under the lock that setting
+        ``_closed`` takes: a respawn (or add_shard) racing close either
+        installs before the snapshot — and is reaped by it — or sees
+        ``_closed`` and reaps its own worker.  Reading ``self._shards``
+        three separate times here used to leave exactly that gap, and a
+        respawned worker could leak past shutdown.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            shards = [self._shard_map[i] for i in sorted(self._shard_map)]
         admin = getattr(self, "admin", None)
         if admin is not None:
             admin.close()  # stop serving scrapes before state is torn down
         self._stop_monitor.set()
         self._monitor.join(timeout=5.0)
         deadline = time.monotonic() + timeout
-        for shard in self._shards:
+        for shard in shards:
             if shard.down:
                 continue
             try:
                 shard.endpoint.send_stop()
             except (TransportClosedError, BrokenPipeError, OSError):
                 pass
-        for shard in self._shards:
+        for shard in shards:
             if shard.down:
                 continue  # its futures were already resolved by the down-path
             shard.endpoint.join(timeout=max(0.0, deadline - time.monotonic()))
             if shard.endpoint.alive():  # drain overran the deadline
                 shard.endpoint.kill()
                 shard.endpoint.join(timeout=5.0)
-        for shard in self._shards:
+        for shard in shards:
             if shard.recv_thread is not None:
                 shard.recv_thread.join(timeout=5.0)
             # workers drained before exiting, so normally nothing is left
@@ -1264,6 +1554,8 @@ class ShardedServer:
             endpoint.dispose()
         self._retired_endpoints.clear()
         self._launcher.close()
+        if self._addressed_launcher is not None:
+            self._addressed_launcher.close()
         self._telemetry.close()
 
     def __enter__(self) -> "ShardedServer":

@@ -1,0 +1,201 @@
+"""Elastic membership: reconcile a live cluster against a shard-list file.
+
+:class:`~repro.runtime.cluster.ShardedServer` exposes runtime
+membership directly (:meth:`~repro.runtime.cluster.ShardedServer.add_shard`
+/ :meth:`~repro.runtime.cluster.ShardedServer.remove_shard`) and over
+HTTP (``POST /shards/add``, ``POST /shards/<id>/remove``).  This module
+adds the file-driven flavour behind ``python -m repro serve
+--shard-file``: an operator — or an autoscaler that only knows how to
+write a file — declares the *desired* shard list, and a watcher thread
+polls the file's mtime and diffs it against live membership.  Additions
+join through the cluster's launcher; removals always drain first.
+
+File format — one desired shard per line::
+
+    # capacity for the evening peak
+    local              # spawn a worker next to the router
+    local
+    10.0.0.5:7070      # join a remote worker (python -m repro worker --listen ...)
+
+Blank lines and ``#`` comments are ignored.  ``local`` may repeat (one
+worker per occurrence); addresses are deduplicated — a worker serves
+one router connection at a time, so listing it twice cannot add
+capacity.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import Counter
+
+from repro.runtime.transport_tcp import parse_hostport
+
+__all__ = ["ShardFileWatcher", "parse_shard_file"]
+
+#: the file entry meaning "spawn a worker through the cluster's own
+#: launcher" (as opposed to a HOST:PORT remote worker address)
+LOCAL = "local"
+
+
+def parse_shard_file(text: str, *, name: str = "<shard-file>") -> list[str]:
+    """Parse shard-list file content into desired entries — ``"local"``
+    (may repeat) or ``"host:port"`` (deduplicated).  Raises
+    ``ValueError`` naming the offending line."""
+    entries: list[str] = []
+    seen: set[str] = set()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.lower() == LOCAL:
+            entries.append(LOCAL)
+            continue
+        try:
+            parse_hostport(line)
+        except ValueError as exc:
+            raise ValueError(f"{name}:{lineno}: {exc}") from None
+        if line not in seen:
+            seen.add(line)
+            entries.append(line)
+    return entries
+
+
+class ShardFileWatcher:
+    """Poll a shard-list file and add/remove shards to match it.
+
+    The watcher owns the mapping from file entries to the shard indices
+    they created.  The server's founding shards are adopted at
+    construction (as ``local``, or as their address for remote
+    clusters), so a shrink below the founding count removes real
+    shards.  Removals drain (``remove_shard(..., drain=True)``).
+
+    The poll thread never raises: a malformed file, an unreachable
+    address, or a refused removal (e.g. the last routable shard) lands
+    on the server's event log as ``shard_file_error`` and the rest of
+    the diff still applies; the failed part is retried when the file
+    changes again.  An absent file expresses no desire and changes
+    nothing.
+    """
+
+    def __init__(
+        self,
+        server,
+        path,
+        *,
+        poll_interval_s: float = 0.5,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        self._server = server
+        self.path = os.fspath(path)
+        self.poll_interval_s = poll_interval_s
+        self.drain_timeout_s = drain_timeout_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-shard-file", daemon=True
+        )
+        self._last_sig: tuple | None = None
+        self._last_content: str | None = None
+        # entry each tracked shard index was created for; founding
+        # shards are adopted so the file governs them too
+        self._assigned: dict[int, str] = {
+            entry["shard"]: entry["address"] or LOCAL
+            for entry in server.cluster_stats["shards"]
+        }
+
+    def start(self) -> "ShardFileWatcher":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            try:
+                self.poll_once()
+            except Exception as exc:  # never kill the poll thread
+                self._server.events.emit(
+                    "shard_file_error", path=self.path,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    def poll_once(self) -> tuple[int, int]:
+        """One poll: re-read the file if its mtime/size moved, reconcile
+        membership against it.  Returns ``(added, removed)`` — public so
+        tests (and callers that want synchronous application) can drive
+        the watcher without the thread."""
+        try:
+            st = os.stat(self.path)
+        except FileNotFoundError:
+            return (0, 0)
+        sig = (st.st_mtime_ns, st.st_size)
+        if sig == self._last_sig:
+            return (0, 0)
+        self._last_sig = sig
+        with open(self.path, encoding="utf-8") as fh:
+            content = fh.read()
+        if content == self._last_content:
+            return (0, 0)  # touched but unchanged
+        try:
+            desired = parse_shard_file(content, name=self.path)
+        except ValueError as exc:
+            self._server.events.emit(
+                "shard_file_error", path=self.path, error=str(exc)
+            )
+            return (0, 0)  # keep serving the last good membership
+        self._last_content = content
+        return self._reconcile(desired)
+
+    def _reconcile(self, desired: list[str]) -> tuple[int, int]:
+        # drop tracked shards the server no longer has (removed via the
+        # admin API or Python API behind our back) before counting
+        live = {e["shard"] for e in self._server.cluster_stats["shards"]}
+        for index in [i for i in self._assigned if i not in live]:
+            del self._assigned[index]
+        want = Counter(desired)
+        have = Counter(self._assigned.values())
+        added = removed = 0
+        # grow first: when the file swaps one entry for another, the
+        # replacement should be serving before any drain starts
+        for entry, count in (want - have).items():
+            for _ in range(count):
+                try:
+                    index = self._server.add_shard(
+                        None if entry == LOCAL else entry
+                    )
+                except Exception as exc:
+                    self._server.events.emit(
+                        "shard_file_error", path=self.path, op="add",
+                        entry=entry, error=f"{type(exc).__name__}: {exc}",
+                    )
+                    break
+                self._assigned[index] = entry
+                added += 1
+        for entry, count in (have - want).items():
+            # newest first: scale-down unwinds the most recent adds
+            indices = sorted(
+                (i for i, e in self._assigned.items() if e == entry),
+                reverse=True,
+            )
+            for index in indices[:count]:
+                try:
+                    self._server.remove_shard(
+                        index, drain=True, timeout=self.drain_timeout_s
+                    )
+                except Exception as exc:
+                    self._server.events.emit(
+                        "shard_file_error", path=self.path, op="remove",
+                        shard=index, error=f"{type(exc).__name__}: {exc}",
+                    )
+                    continue
+                del self._assigned[index]
+                removed += 1
+        if added or removed:
+            self._server.events.emit(
+                "shard_file_applied", path=self.path, added=added,
+                removed=removed, desired=len(desired),
+            )
+        return (added, removed)

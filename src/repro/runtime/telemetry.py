@@ -275,10 +275,27 @@ def _format_value(v) -> str:
     return str(v)
 
 
+def _escape_label_value(v) -> str:
+    """Prometheus text-format label-value escaping (backslash first, or
+    the escapes themselves get re-escaped): ``\\``, ``"`` and newline
+    are the three characters the spec requires escaped — a crash
+    ``fail_reason`` or an ``address`` containing any of them would
+    otherwise render /metrics unparsable."""
+    return str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text) -> str:
+    """HELP-line escaping per the text-format spec: ``\\`` and newline
+    (quotes are legal there)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: dict) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{str(v)}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -305,7 +322,7 @@ def render_prometheus(snapshots: list[tuple[dict, dict]]) -> str:
     lines: list[str] = []
     for name, metric in merged.items():
         if metric["help"]:
-            lines.append(f"# HELP {name} {metric['help']}")
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
         lines.append(f"# TYPE {name} {metric['kind']}")
         for row in metric["series"]:
             labels = row["labels"]
@@ -581,6 +598,16 @@ class AdminServer:
         GET /traces       recent trace ids
         GET /events       the event ring as JSON
 
+    When the provider supports elastic membership (``add_shard`` /
+    ``remove_shard``), two mutating routes join/drain shards at runtime::
+
+        POST /shards/add           body {"address": "host:port"}? ->
+                                   {"shard": <new index>} (no address:
+                                   spawn a local worker)
+        POST /shards/<id>/remove   body {"drain": bool?, "timeout": s?} ->
+                                   the removal outcome dict (404 unknown
+                                   shard; 409 refused, e.g. last shard)
+
     Binds ``host:port`` (``port=0`` picks an ephemeral port, reported
     via :attr:`port`) and serves from a daemon thread until
     :meth:`close`.
@@ -616,6 +643,64 @@ class AdminServer:
                         self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
                     except OSError:
                         pass
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    self._route_post()
+                except BrokenPipeError:  # client went away mid-reply
+                    pass
+                except Exception as exc:  # never kill the admin thread
+                    try:
+                        self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+                    except OSError:
+                        pass
+
+            def _read_json(self) -> dict | None:
+                """Optional JSON-object request body ({} when absent);
+                None means the 400 was already sent."""
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length > 0 else b""
+                if not raw:
+                    return {}
+                try:
+                    body = json.loads(raw)
+                except ValueError:
+                    self._json(400, {"error": "request body must be JSON"})
+                    return None
+                if not isinstance(body, dict):
+                    self._json(400, {"error": "request body must be a JSON object"})
+                    return None
+                return body
+
+            def _route_post(self) -> None:
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                provider = admin.provider
+                body = self._read_json()
+                if body is None:
+                    return
+                parts = path.strip("/").split("/")
+                try:
+                    if path == "/shards/add":
+                        index = provider.add_shard(body.get("address"))
+                        self._json(200, {"shard": index,
+                                         "address": body.get("address")})
+                    elif (len(parts) == 3 and parts[0] == "shards"
+                          and parts[2] == "remove" and parts[1].isdigit()):
+                        self._json(200, provider.remove_shard(
+                            int(parts[1]),
+                            drain=bool(body.get("drain", True)),
+                            timeout=float(body.get("timeout", 30.0)),
+                        ))
+                    else:
+                        self._json(404, {"error": f"unknown path {path!r}",
+                                         "routes": ["POST /shards/add",
+                                                    "POST /shards/<id>/remove"]})
+                except KeyError as exc:  # unknown shard index
+                    self._json(404, {"error": str(exc).strip("'\"")})
+                except (TypeError, ValueError) as exc:  # bad arguments / refused
+                    self._json(409, {"error": str(exc)})
+                except RuntimeError as exc:  # e.g. server closed
+                    self._json(409, {"error": str(exc)})
 
             def _route(self) -> None:
                 path = self.path.split("?", 1)[0].rstrip("/") or "/"

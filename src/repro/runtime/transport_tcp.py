@@ -575,7 +575,12 @@ class RemoteTcpLauncher(ShardLauncher):
     shard index.  A respawn is a reconnect: the worker's accept loop
     survives router disconnects, so bounded connect retries (with
     backoff) bring a blipped shard back; an unreachable one exhausts the
-    budget and is marked permanently failed by the router."""
+    budget and is marked permanently failed by the router.
+
+    Founding shards map onto ``addresses`` by index; shards added to a
+    live cluster are pinned to their address with :meth:`assign` (so
+    ``addresses`` may be empty when every shard is assigned that way —
+    the elastic add-by-address path on an otherwise-local cluster)."""
 
     kind = "tcp"
 
@@ -590,10 +595,11 @@ class RemoteTcpLauncher(ShardLauncher):
         connect_timeout_s: float = 10.0,
         heartbeat_timeout_s: float | None = DEFAULT_HEARTBEAT_TIMEOUT_S,
     ) -> None:
-        if not addresses:
-            raise ValueError("need at least one shard address")
         self.spec = spec
         self.addresses = [parse_hostport(a) and a for a in addresses]  # validate early
+        #: explicit index -> address pins (elastic membership adds);
+        #: indices without a pin fall back to the founding address list
+        self._assigned: dict[int, str] = {}
         self.slots_per_shard = slots_per_shard
         self.slot_bytes = slot_bytes
         self._fault_plan = fault_plan
@@ -615,8 +621,22 @@ class RemoteTcpLauncher(ShardLauncher):
                 self._bundle = None
         return self._bundle
 
+    def assign(self, index: int, address: str) -> None:
+        """Pin one shard index to a worker address; ``launch(index)``
+        (and every relaunch — the respawn/reconnect path) connects
+        there from now on."""
+        parse_hostport(address)
+        self._assigned[index] = address
+
     def launch(self, index: int) -> TcpShardEndpoint:
-        address = self.addresses[index % len(self.addresses)]
+        address = self._assigned.get(index)
+        if address is None:
+            if not self.addresses:
+                raise RuntimeError(
+                    f"shard {index} has no assigned address and the launcher "
+                    "has no founding address list"
+                )
+            address = self.addresses[index % len(self.addresses)]
         host, port = parse_hostport(address)
         last: Exception | None = None
         for attempt in range(CONNECT_RETRIES):

@@ -200,6 +200,30 @@ class TestPrometheusRendering:
         # one TYPE header per metric name, not per snapshot
         assert text.count("# TYPE serving_requests_total counter") == 1
 
+    def test_label_values_are_escaped(self):
+        """Label values containing backslash, quote, or newline must be
+        escaped per the Prometheus text format, or the whole exposition
+        becomes unparseable."""
+        reg = MetricsRegistry()
+        reg.counter("req_total").inc(1)
+        text = render_prometheus(
+            [(reg.snapshot(), {"path": 'C:\\tmp\\"x"\nend'})]
+        )
+        assert 'req_total{path="C:\\\\tmp\\\\\\"x\\"\\nend"} 1' in text
+        # exactly one series line — the raw newline must not split it
+        series = [
+            line for line in text.splitlines()
+            if line.startswith("req_total{")
+        ]
+        assert len(series) == 1
+
+    def test_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", help="line one\nline two \\ done").inc(1)
+        text = render_prometheus([(reg.snapshot(), {})])
+        assert "# HELP odd_total line one\\nline two \\\\ done" in text
+        assert "\nline two" not in text.replace("\\nline two", "")
+
 
 # ----------------------------------------------------------------------
 # Tracing primitives

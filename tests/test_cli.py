@@ -34,6 +34,39 @@ class TestParser:
         assert args.trace_sample == 1.0
         assert args.linger == 5.0
 
+    def test_serve_shard_file_flag(self):
+        args = build_parser().parse_args(["serve", "--shard-file", "plan.txt"])
+        assert args.shard_file == "plan.txt"
+        assert build_parser().parse_args(["serve"]).shard_file is None
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_serve_rejects_nonpositive_shard_count(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--shards", value])
+        assert "shard count must be a positive integer" in capsys.readouterr().err
+
+    def test_serve_rejects_duplicate_addresses(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--shards", "10.0.0.5:7070,10.0.0.6:7070,10.0.0.5:7070"]
+            )
+        err = capsys.readouterr().err
+        assert "duplicate shard address(es): 10.0.0.5:7070" in err
+
+    def test_parse_shards_errors_directly(self):
+        from argparse import ArgumentTypeError
+
+        from repro.cli import _parse_shards
+
+        assert _parse_shards("3") == 3
+        assert _parse_shards("h1:1,h2:2") == ["h1:1", "h2:2"]
+        with pytest.raises(ArgumentTypeError, match="positive integer, got 0"):
+            _parse_shards("0")
+        with pytest.raises(ArgumentTypeError, match="positive integer, got -3"):
+            _parse_shards("-3")
+        with pytest.raises(ArgumentTypeError, match="duplicate shard address"):
+            _parse_shards("h1:1,h1:1")
+
 
 class TestCommands:
     def test_devices(self, capsys):
