@@ -31,10 +31,11 @@ python -m pytest -x -q --timeout 300 "$@"
 # The benchmarks pass below picks up the serving throughput benches
 # (bench_serving_concurrent.py, bench_serving_cluster.py,
 # bench_serving_chaos.py, bench_serving_tcp.py,
-# bench_serving_observability.py, bench_serving_elastic.py) via the
-# glob — the observability bench gates tracing overhead and the elastic
-# bench gates zero-error membership churn even in the disabled fast
-# pass.
+# bench_serving_observability.py, bench_serving_elastic.py,
+# bench_serving_multitenant.py) via the glob — the observability bench
+# gates tracing overhead, the elastic bench gates zero-error membership
+# churn, and the multitenant bench gates bitwise per-model correctness
+# of the consolidated two-model cluster even in the disabled fast pass.
 echo "== serving concurrency + cluster stress tests =="
 python -m pytest tests/runtime/test_serving.py tests/runtime/test_arena.py \
                  tests/runtime/test_metrics.py tests/runtime/test_transport.py \
@@ -58,6 +59,15 @@ python -m pytest tests/runtime/test_chaos.py -q --timeout 300
 # and the admin POST routes that drive the same code paths.
 echo "== elastic membership suite (runtime add/remove, shm + tcp) =="
 python -m pytest tests/runtime/test_membership.py -q --timeout 300
+
+# Multi-tenancy is its own named gate: a two-model registry served
+# concurrently with bitwise per-model correctness, typed unknown-model
+# rejection, hot load-then-serve under live load, drained unload with
+# zero client-visible errors, and mixed-model SIGKILL recovery through
+# the retry budget — on the shm transport and over loopback TCP alike,
+# plus the admin model routes and per-model /metrics labels.
+echo "== multi-tenant suite (model registry, hot load/unload, shm + tcp) =="
+python -m pytest tests/runtime/test_multitenant.py -q --timeout 300
 
 echo "== benchmarks (benchmark-disabled fast pass) =="
 python -m pytest benchmarks/ -q --benchmark-disable --timeout 600 \

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro compile vgg16 --layer L4    # compile one layer, show artifacts
     python -m repro serve --shards 2            # multi-process sharded serving demo
     python -m repro serve --transport tcp       # same demo over loopback TCP
+    python -m repro serve --model small=demo --model big=demo   # multi-tenant registry
     python -m repro serve --metrics-port 9100 --linger 60   # scrape /metrics meanwhile
     python -m repro worker --listen 0.0.0.0:7070        # shard worker for another host
     python -m repro serve --shards host1:7070,host2:7070  # route to remote workers
@@ -58,6 +59,19 @@ def _parse_shards(value: str):
             "hosts exactly one shard (a worker serves one router connection)"
         )
     return addresses
+
+
+def _parse_model_arg(value: str):
+    """``--model`` takes ``NAME=SPEC`` where SPEC is ``demo`` (a demo CNN
+    whose weights are seeded from NAME, so every registered model computes
+    a *different* function) or a path to a JSON spec file."""
+    name, sep, src = value.partition("=")
+    name, src = name.strip(), src.strip()
+    if not sep or not name or not src:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=SPEC (SPEC: 'demo' or a spec .json path), got {value!r}"
+        )
+    return name, src
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -178,37 +192,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
     )
     with tempfile.TemporaryDirectory() as tmp:
-        print(f"== capture: projection-pruned smallcnn ({args.in_size}x{args.in_size}) ==")
-        spec = projected_smallcnn_spec(
-            os.path.join(tmp, "bundle.npz"),
-            in_size=args.in_size,
-            serving_config=ServingConfig(max_batch=args.max_batch),
-        )
-        session = spec.build()
+        specs = {}
+        if args.model:
+            import json
+            import zlib
+
+            from repro.runtime import spec_from_json
+
+            for name, src in args.model:
+                if name in specs:
+                    raise SystemExit(f"duplicate --model name: {name}")
+                if src == "demo":
+                    # per-name seed: each registered model computes a distinct
+                    # function, so the output check below proves requests were
+                    # routed to the model they named
+                    seed = 7 + zlib.crc32(name.encode()) % 1000
+                    print(f"== capture: {name} = projection-pruned smallcnn "
+                          f"({args.in_size}x{args.in_size}, seed {seed}) ==")
+                    specs[name] = projected_smallcnn_spec(
+                        os.path.join(tmp, f"bundle-{name}.npz"),
+                        in_size=args.in_size,
+                        seed=seed,
+                        serving_config=ServingConfig(max_batch=args.max_batch),
+                    )
+                else:
+                    print(f"== capture: {name} = spec file {src} ==")
+                    with open(src) as fh:
+                        specs[name] = spec_from_json(json.load(fh))
+        else:
+            from repro.runtime import DEFAULT_MODEL
+
+            print(f"== capture: projection-pruned smallcnn ({args.in_size}x{args.in_size}) ==")
+            specs[DEFAULT_MODEL] = projected_smallcnn_spec(
+                os.path.join(tmp, "bundle.npz"),
+                in_size=args.in_size,
+                serving_config=ServingConfig(max_batch=args.max_batch),
+            )
+        names = list(specs)
+        # clients round-robin over the registered models; expected outputs
+        # come from a private single-process session per model
+        client_model = [names[i % len(names)] for i in range(args.clients)]
         rng = np.random.default_rng(0)
         samples = [
-            rng.standard_normal((1, 3, args.in_size, args.in_size)).astype(np.float32)
-            for _ in range(args.clients)
+            rng.standard_normal((1, *specs[client_model[i]].input_shape)).astype(np.float32)
+            for i in range(args.clients)
         ]
-        expected = [session.run(s) for s in samples]
-        session.close()
+        expected = [None] * args.clients
+        for name in names:
+            session = specs[name].build()
+            for i in range(args.clients):
+                if client_model[i] == name:
+                    expected[i] = session.run(samples[i])
+            session.close()
 
         per_client = max(1, args.requests // args.clients)
         total = per_client * args.clients
         where = f"at {', '.join(addresses)}" if addresses else f"[{args.transport}]"
-        print(f"== serving {total} requests from {args.clients} closed-loop clients "
-              f"over {num_shards} shard(s) {where} ==")
+        what = f"{len(names)} models ({', '.join(names)})" if len(names) > 1 else "1 model"
+        print(f"== serving {total} requests ({what}) from {args.clients} "
+              f"closed-loop clients over {num_shards} shard(s) {where} ==")
         errors: list[BaseException] = []
         shed = 0
         shed_lock = threading.Lock()
         with ShardedServer(
-            spec, num_shards=num_shards, transport=args.transport, shards=addresses,
+            specs, num_shards=num_shards, transport=args.transport, shards=addresses,
             resilience=resilience, faults=faults, telemetry=telemetry,
         ) as server:
             if server.metrics_port is not None:
                 print(f"admin endpoint: http://127.0.0.1:{server.metrics_port}"
-                      f" (/metrics /healthz /stats /traces /events; "
-                      f"POST /shards/add /shards/<id>/remove)")
+                      f" (/metrics /healthz /stats /traces /events /models; "
+                      f"POST /shards/add /shards/<id>/remove "
+                      f"/models/load /models/<name>/unload)")
             watcher = None
             if args.shard_file:
                 from repro.runtime.membership import ShardFileWatcher
@@ -222,7 +276,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 try:
                     for _ in range(per_client):
                         try:
-                            out = server.submit(samples[i], deadline=deadline).result(timeout=120)
+                            out = server.submit(
+                                samples[i], model=client_model[i], deadline=deadline
+                            ).result(timeout=120)
                         except RuntimeError as exc:
                             if type(exc) is RuntimeError:
                                 raise
@@ -279,6 +335,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{stats['shed']} shed, {stats['timed_out']} timed out, "
               f"{stats['corrupt']} corrupt payloads caught; "
               f"{shed} client-visible typed errors")
+        if len(stats.get("models", {})) > 1:
+            print("\nper-model:")
+            for name in sorted(stats["models"]):
+                m = stats["models"][name]
+                print(f"  {name:>12s} {m['requests']:>7d} requests  "
+                      f"p50 {m['router_p50_ms']:>7.2f} ms  "
+                      f"p95 {m['router_p95_ms']:>7.2f} ms  "
+                      f"worker batches {m['worker_batches']}")
         if stats["injected_faults"] is not None:
             injected = ", ".join(f"{k}={v}" for k, v in stats["injected_faults"].items() if v)
             print(f"injected (router-side decisions): {injected or 'none'}")
@@ -323,6 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transport", default="shm", choices=["shm", "tcp"],
                    help="local shard transport: shared-memory rings or loopback TCP "
                         "(ignored when --shards lists addresses)")
+    p.add_argument("--model", action="append", type=_parse_model_arg,
+                   default=None, metavar="NAME=SPEC",
+                   help="register a model under NAME (repeatable; clients "
+                        "round-robin over the registry). SPEC is 'demo' for a "
+                        "demo CNN seeded from NAME, or a path to a JSON spec "
+                        "file (see repro.runtime.spec_to_json). Default: one "
+                        "demo model")
     p.add_argument("--shard-file", metavar="PATH", default=None,
                    help="watch PATH for the desired shard list (one entry per "
                         "line: 'local' spawns a worker here, HOST:PORT joins a "

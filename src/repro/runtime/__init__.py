@@ -52,6 +52,15 @@ live cluster (local spawns or remote ``host:port`` workers), the admin
 server accepts ``POST /shards/add`` / ``POST /shards/<id>/remove``, and
 :class:`ShardFileWatcher` reconciles membership against a watched
 shard-list file.
+
+Serving is **multi-tenant**: a cluster hosts a ``{name: SessionSpec}``
+model registry — every shard builds one session per model over a shared
+kernel cache and arena, each behind its own micro-batch queue — and
+clients pick a model per request (``submit(x, model=...)``; unknown
+names raise :class:`UnknownModelError`).  The registry is elastic too:
+``load_model`` hot-loads into every live shard, ``unload_model`` drains
+and removes (the last model is refused), and the admin server exposes
+``GET /models`` / ``POST /models/load`` / ``POST /models/<name>/unload``.
 """
 
 from repro.runtime.ops import eval_node
@@ -65,11 +74,18 @@ from repro.runtime.resilience import (
     QueueFullError,
     RequestTimeoutError,
     ResilienceConfig,
+    UnknownModelError,
 )
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.metrics import LatencyReservoir
 from repro.runtime.serving import MicroBatchServer, ServingConfig, ServingStats
-from repro.runtime.session import InferenceSession, SessionSpec
+from repro.runtime.session import (
+    DEFAULT_MODEL,
+    InferenceSession,
+    SessionSpec,
+    spec_from_json,
+    spec_to_json,
+)
 from repro.runtime.shm_ring import ShmSlotRing
 from repro.runtime.telemetry import (
     AdminServer,
@@ -108,6 +124,9 @@ __all__ = [
     "CompiledExecutor",
     "InferenceSession",
     "SessionSpec",
+    "DEFAULT_MODEL",
+    "spec_from_json",
+    "spec_to_json",
     "MicroBatchServer",
     "ServingConfig",
     "ServingStats",
@@ -123,6 +142,7 @@ __all__ = [
     "CorruptedPayloadError",
     "RequestTimeoutError",
     "InjectedFaultError",
+    "UnknownModelError",
     "FaultPlan",
     "FaultInjector",
     "LatencyReservoir",

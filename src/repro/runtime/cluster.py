@@ -106,6 +106,13 @@ Usage::
     with ShardedServer(spec, shards=["10.0.0.5:7070", "10.0.0.6:7070"]) as server:
         ...
 
+    # a model zoo: every shard hosts the whole registry (sessions share
+    # the worker's kernel cache and arena), clients pick per request
+    with ShardedServer(specs={"small": spec_a, "large": spec_b}) as server:
+        fut = server.submit(x, model="small")
+        server.load_model("medium", spec_c)     # hot load, all live shards
+        server.unload_model("large")            # drained removal
+
 Local workers are spawned (not forked) by default: a forked child would
 inherit arbitrary lock/thread state from a serving process mid-flight,
 and the spec is picklable precisely so spawn works.
@@ -131,9 +138,10 @@ from repro.runtime.resilience import (
     QueueFullError,
     RequestTimeoutError,
     ResilienceConfig,
+    UnknownModelError,
     route_score,
 )
-from repro.runtime.session import SessionSpec
+from repro.runtime.session import DEFAULT_MODEL, SessionSpec
 from repro.runtime.telemetry import (
     AdminServer,
     MetricsRegistry,
@@ -141,7 +149,13 @@ from repro.runtime.telemetry import (
     TelemetryConfig,
     render_prometheus,
 )
-from repro.runtime.transport import ShardEndpoint, ShardLauncher, TransportClosedError
+from repro.runtime.transport import (
+    MAX_MODEL_ID_BYTES,
+    ShardEndpoint,
+    ShardLauncher,
+    TransportClosedError,
+    pack_bundle_payload,
+)
 from repro.runtime.transport_shm import ShmShardLauncher
 from repro.runtime.transport_tcp import LocalTcpLauncher, RemoteTcpLauncher, parse_hostport
 
@@ -155,6 +169,17 @@ _FAST_FAIL_S = 5.0
 class ShardCrashedError(RuntimeError):
     """The shard holding this request died before responding (and the
     retry budget, if any, was exhausted)."""
+
+
+def _validate_model_name(name) -> None:
+    """Registry keys travel inside every tensor frame: non-empty str,
+    bounded utf-8 length (the frame encodes it with a one-byte length)."""
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"model names must be non-empty strings, got {name!r}")
+    if len(name.encode("utf-8")) > MAX_MODEL_ID_BYTES:
+        raise ValueError(
+            f"model name {name!r} exceeds {MAX_MODEL_ID_BYTES} utf-8 bytes"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -172,15 +197,17 @@ class _InFlight:
 
     __slots__ = (
         "x", "future", "deadline_at", "attempts", "hedged", "stalled",
-        "done", "lock", "created_at", "last_sent_at", "trace",
+        "done", "lock", "created_at", "last_sent_at", "trace", "model",
     )
 
     def __init__(
-        self, x: np.ndarray, future: Future, deadline_at: float | None, trace=None
+        self, x: np.ndarray, future: Future, deadline_at: float | None, trace=None,
+        model: str = DEFAULT_MODEL,
     ) -> None:
         self.x = x
         self.future = future
         self.deadline_at = deadline_at
+        self.model = model
         self.attempts = 0
         self.hedged = False
         self.stalled = False
@@ -283,11 +310,25 @@ class _Shard:
 
 
 class ShardedServer:
-    """Serve one model from N workers behind a resilient, latency-aware,
-    transport-neutral router.
+    """Serve a registry of models from N workers behind a resilient,
+    latency-aware, transport-neutral router.
+
+    Every shard hosts the **whole registry**: one
+    :class:`~repro.runtime.session.InferenceSession` per model sharing
+    the worker's process-wide kernel cache and buffer arena, each behind
+    its own micro-batch queue.  Clients pick a model per request with
+    ``submit(x, model=...)``; a single-model cluster keeps the PR 2-9
+    behaviour exactly (``model`` may be omitted).  The registry is
+    elastic at runtime: :meth:`load_model` hot-loads a new model into
+    every live shard, :meth:`unload_model` drains and removes one (the
+    last model is refused — a serving cluster never goes empty).
 
     Args:
-        spec: picklable session recipe every worker rebuilds.
+        spec: picklable session recipe every worker rebuilds — a single
+            :class:`~repro.runtime.session.SessionSpec` (served under
+            the model name ``"default"``) or a ``{name: SessionSpec}``
+            registry.  ``specs=`` is an explicit keyword alias for the
+            registry form.
         num_shards: worker count (ignored when ``shards`` is given).
         transport: ``"shm"`` (local processes over shared-memory slot
             rings; the default) or ``"tcp"`` (local loopback workers
@@ -333,9 +374,10 @@ class ShardedServer:
 
     def __init__(
         self,
-        spec: SessionSpec,
+        spec: SessionSpec | dict[str, SessionSpec] | None = None,
         num_shards: int = 2,
         *,
+        specs: dict[str, SessionSpec] | None = None,
         transport: str = "shm",
         shards: list[str] | None = None,
         slots_per_shard: int = 16,
@@ -347,6 +389,18 @@ class ShardedServer:
         worker_env: dict[str, str] | None = None,
         telemetry: TelemetryConfig | None = None,
     ) -> None:
+        if (spec is None) == (specs is None):
+            raise ValueError("pass exactly one of spec (positional) or specs=")
+        if specs is None:
+            specs = spec if isinstance(spec, dict) else {DEFAULT_MODEL: spec}
+        if not specs:
+            raise ValueError("the model registry must hold at least one model")
+        for name, entry in specs.items():
+            _validate_model_name(name)
+            if not isinstance(entry, SessionSpec):
+                raise TypeError(
+                    f"model {name!r}: expected a SessionSpec, got {type(entry).__name__}"
+                )
         if shards is not None:
             if transport not in ("tcp", "shm"):
                 raise ValueError(f"unknown transport {transport!r}")
@@ -360,7 +414,10 @@ class ShardedServer:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if slots_per_shard < 1:
             raise ValueError(f"slots_per_shard must be >= 1, got {slots_per_shard}")
-        self.spec = spec
+        #: the live model registry, shared **by reference** with the
+        #: launchers: every spawn/respawn/reconnect snapshots it at
+        #: launch time, so new incarnations always build the current set
+        self.specs: dict[str, SessionSpec] = dict(specs)
         self.num_shards = num_shards
         self.transport = transport
         self.shard_addresses = list(shards) if shards else None
@@ -372,8 +429,12 @@ class ShardedServer:
         self._injector = FaultInjector(faults) if faults is not None else None
         self._worker_env = dict(worker_env) if worker_env else None
         self._ctx = get_context(mp_start)
-        elems = max(prod(spec.input_shape), prod(spec.probe_output_shape()))
-        self._slot_bytes = max_request_samples * elems * np.dtype(np.float32).itemsize
+        # transport slots are sized once, for the largest model in the
+        # founding registry; load_model() re-checks the fit because live
+        # rings/credits cannot be regrown
+        self._slot_bytes = max(
+            self._spec_slot_bytes(entry) for entry in self.specs.values()
+        )
         self._launcher = self._make_launcher()
         #: per-index launcher overrides: a shard added with an explicit
         #: address on a cluster whose own launcher is local launches
@@ -405,6 +466,16 @@ class ShardedServer:
                 ("corrupt", "payloads that failed checksum verification"),
             )
         }
+        # per-model router stats: request counters live in the hub
+        # registry as model-labelled cells (so /metrics exports them);
+        # each model also gets a router-side latency reservoir
+        self._model_lock = threading.Lock()
+        self._model_stats: dict[str, dict] = {}
+        for name in self.specs:
+            self._model_entry(name)
+        # model load/unload ack mailbox: (shard_index, op, name) -> detail
+        self._ack_cond = threading.Condition()
+        self._model_acks: dict[tuple[int, str, str], str | None] = {}
         # trace bookkeeping: req_id -> (trace, sent_at, shard, attempt)
         # for sampled attempts in flight (bounded; stale entries evicted)
         self._trace_lock = threading.Lock()
@@ -456,7 +527,7 @@ class ShardedServer:
     def _make_launcher(self) -> ShardLauncher:
         if self.shard_addresses is not None:
             return RemoteTcpLauncher(
-                self.spec,
+                self.specs,
                 self.shard_addresses,
                 slots_per_shard=self.slots_per_shard,
                 slot_bytes=self._slot_bytes,
@@ -464,7 +535,7 @@ class ShardedServer:
             )
         if self.transport == "tcp":
             return LocalTcpLauncher(
-                self.spec,
+                self.specs,
                 slots_per_shard=self.slots_per_shard,
                 slot_bytes=self._slot_bytes,
                 ctx=self._ctx,
@@ -472,13 +543,44 @@ class ShardedServer:
                 worker_env=self._worker_env,
             )
         return ShmShardLauncher(
-            self.spec,
+            self.specs,
             slots_per_shard=self.slots_per_shard,
             slot_bytes=self._slot_bytes,
             ctx=self._ctx,
             fault_plan=self._fault_plan,
             worker_env=self._worker_env,
         )
+
+    @property
+    def spec(self) -> SessionSpec:
+        """The sole model's spec — single-model back-compat accessor.
+        Raises on a multi-model registry (callers must name a model)."""
+        if len(self.specs) == 1:
+            return next(iter(self.specs.values()))
+        raise ValueError(
+            f"cluster serves {len(self.specs)} models "
+            f"({sorted(self.specs)}); use .specs instead of .spec"
+        )
+
+    def _spec_slot_bytes(self, spec: SessionSpec) -> int:
+        elems = max(prod(spec.input_shape), prod(spec.probe_output_shape()))
+        return self.max_request_samples * elems * np.dtype(np.float32).itemsize
+
+    def _model_entry(self, name: str) -> dict:
+        """Per-model router stats cell (created on first use)."""
+        with self._model_lock:
+            entry = self._model_stats.get(name)
+            if entry is None:
+                entry = {
+                    "requests": self._telemetry.registry.counter(
+                        "cluster_model_requests_total",
+                        help="requests submitted per model",
+                        model=name,
+                    ),
+                    "latency": LatencyReservoir(),
+                }
+                self._model_stats[name] = entry
+            return entry
 
     def _count(self, key: str, n: int = 1) -> None:
         self._counters[key].inc(n)
@@ -595,7 +697,9 @@ class ShardedServer:
                     continue  # late reply for a request already settled elsewhere
                 if read_err is None:
                     if inflight.resolve_result(out):
-                        self._latency.record((time.monotonic() - inflight.created_at) * 1e3)
+                        latency_ms = (time.monotonic() - inflight.created_at) * 1e3
+                        self._latency.record(latency_ms)
+                        self._model_entry(inflight.model)["latency"].record(latency_ms)
                 else:
                     inflight.resolve_exception(read_err)
             elif kind == "err":
@@ -614,6 +718,24 @@ class ShardedServer:
                         )
                     continue
                 shard.breaker.record_success()  # worker responded: it is alive
+                if code == "unknown_model":
+                    # the worker does not hold this model — a race with a
+                    # hot load/unload (respawns and membership changes can
+                    # briefly lag the registry).  The registry is
+                    # authoritative: retry on another shard while the
+                    # model is still registered, fail typed otherwise.
+                    if inflight is not None:
+                        if inflight.model in self.specs:
+                            self._retry_or_fail(
+                                inflight,
+                                UnknownModelError(f"shard {shard.index}: {text}"),
+                                exclude=shard,
+                            )
+                        else:
+                            inflight.resolve_exception(
+                                UnknownModelError(f"shard {shard.index}: {text}")
+                            )
+                    continue
                 if code == "deadline":
                     # count only if this reply actually resolved the client
                     # (the monitor's deadline scan may have beaten us to it
@@ -629,6 +751,11 @@ class ShardedServer:
                     inflight.resolve_exception(RuntimeError(f"shard {shard.index}: {text}"))
             elif kind == "trace":
                 self._trace_splice(msg[1], msg[2])
+            elif kind == "model":
+                _, op, name, detail = msg
+                with self._ack_cond:
+                    self._model_acks[(shard.index, op, name)] = detail
+                    self._ack_cond.notify_all()
             elif kind == "pong":
                 shard.worker_stats = msg[2]
             elif kind == "bye":
@@ -814,7 +941,7 @@ class ShardedServer:
             return self._launcher
         if self._addressed_launcher is None:
             self._addressed_launcher = RemoteTcpLauncher(
-                self.spec,
+                self.specs,
                 [],
                 slots_per_shard=self.slots_per_shard,
                 slot_bytes=self._slot_bytes,
@@ -988,6 +1115,193 @@ class ShardedServer:
         return {"shard": index, "drained": drained, "rehomed": rehomed,
                 "failed": failed, "generation": generation}
 
+    # ------------------------------------------------------------------
+    # Model registry (hot load / drained unload)
+    # ------------------------------------------------------------------
+    def models(self) -> list[str]:
+        """Currently registered model names, sorted."""
+        with self._lock:
+            return sorted(self.specs)
+
+    def _await_model_acks(
+        self, shards: list[_Shard], op: str, name: str, deadline: float
+    ) -> dict[int, str | None]:
+        """Collect each shard's ``("model", op, name)`` ack (None =
+        success, str = failure detail).  A shard that dies while we wait
+        is excused — its respawn rebuilds from the live registry, which
+        was updated before any control was sent."""
+        results: dict[int, str | None] = {}
+        with self._ack_cond:
+            while True:
+                pending: list[_Shard] = []
+                for shard in shards:
+                    if shard.index in results:
+                        continue
+                    key = (shard.index, op, name)
+                    if key in self._model_acks:
+                        results[shard.index] = self._model_acks.pop(key)
+                    elif shard.down:
+                        results[shard.index] = None  # excused (see docstring)
+                    else:
+                        pending.append(shard)
+                if not pending:
+                    return results
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    for shard in pending:
+                        results[shard.index] = f"no {op} ack within the timeout"
+                    return results
+                self._ack_cond.wait(timeout=min(timeout, 0.1))
+
+    def load_model(self, name: str, spec: SessionSpec, *, timeout: float = 30.0) -> dict:
+        """Hot-load ``spec`` as model ``name`` into every live shard.
+
+        The live registry is updated first — so respawns, reconnects,
+        and elastic :meth:`add_shard` joins build the new model from now
+        on — then a ``load`` control is sent to each live shard and
+        their acks are awaited.  Remote shards (which may not share a
+        filesystem) receive the session-bundle bytes CRC-framed
+        alongside the spec.  The new model takes traffic the moment
+        this returns; a ``model_loaded`` event is emitted.
+
+        Raises ``ValueError`` for a duplicate or wire-unencodable name,
+        or a model whose tensors exceed the transport slots sized at
+        construction (live rings cannot be regrown); ``RuntimeError``
+        when a live shard fails to build the session — the registry
+        change is rolled back so the cluster never advertises a model
+        half the fleet cannot serve.
+        """
+        _validate_model_name(name)
+        if not isinstance(spec, SessionSpec):
+            raise TypeError(f"expected a SessionSpec, got {type(spec).__name__}")
+        needed = self._spec_slot_bytes(spec)
+        if needed > self._slot_bytes:
+            raise ValueError(
+                f"model {name!r} needs {needed}-byte transport slots but this "
+                f"cluster's are {self._slot_bytes} bytes; include the model in "
+                "the founding registry instead"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardedServer is closed")
+            if name in self.specs:
+                raise ValueError(f"model {name!r} is already registered")
+            self.specs[name] = spec
+            shards = [
+                s for s in self._shard_map.values()
+                if not s.down and not s.permanent and not s.removing
+            ]
+        self._model_entry(name)
+        payload = None
+        if any(s.process is None for s in shards):  # remote workers: ship bytes
+            try:
+                with open(spec.bundle_path, "rb") as fh:
+                    payload = pack_bundle_payload(fh.read())
+            except OSError:
+                payload = None  # worker falls back to the spec's own path
+        sent: list[_Shard] = []
+        for shard in shards:
+            msg = ("load", name, spec, payload if shard.process is None else None)
+            try:
+                shard.endpoint.send_control(msg)
+                sent.append(shard)
+            except (TransportClosedError, BrokenPipeError, OSError):
+                pass  # dying shard: its respawn builds from the updated registry
+        acks = self._await_model_acks(sent, "load", name, time.monotonic() + timeout)
+        failures = {
+            idx: detail for idx, detail in acks.items()
+            # "already loaded" = a respawn raced us and built the model
+            # from the updated registry before our control arrived
+            if detail is not None and "already loaded" not in detail
+        }
+        if failures:
+            with self._lock:
+                self.specs.pop(name, None)
+            for shard in sent:
+                if shard.index not in failures and not shard.down:
+                    try:
+                        shard.endpoint.send_control(("unload", name))
+                    except (TransportClosedError, BrokenPipeError, OSError):
+                        pass
+            raise RuntimeError(
+                f"load of model {name!r} failed on shard(s) "
+                + ", ".join(f"{i}: {d}" for i, d in sorted(failures.items()))
+            )
+        self._telemetry.events.emit("model_loaded", model=name, shards=len(sent))
+        return {"model": name, "shards": len(sent)}
+
+    def unload_model(self, name: str, *, drain: bool = True, timeout: float = 30.0) -> dict:
+        """Drain and remove one model from every shard.
+
+        Admission stops immediately — the name leaves the registry, so
+        new ``submit(model=name)`` calls raise
+        :class:`~repro.runtime.resilience.UnknownModelError`.  With
+        ``drain=True`` the call then waits up to ``timeout`` seconds for
+        the model's in-flight requests to settle: the workers still hold
+        the model through the drain window, so live requests complete
+        normally under the usual deadline/retry machinery (and whatever
+        the window leaves behind is still drained worker-side by the
+        micro-batcher's own close).  Only then does the ``unload``
+        control tear the per-model sessions down.  Emits
+        ``model_unloaded``.
+
+        Raises ``KeyError`` for an unknown model and ``ValueError`` for
+        the last registered model — a serving cluster never goes empty.
+        Returns ``{"model", "shards", "drained"}``.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardedServer is closed")
+            if name not in self.specs:
+                raise KeyError(
+                    f"no model named {name!r} (registered: {sorted(self.specs)})"
+                )
+            if len(self.specs) == 1:
+                raise ValueError(
+                    f"refusing to unload {name!r}: it is the last registered model"
+                )
+            del self.specs[name]  # stops admission for this model
+            shards = [
+                s for s in self._shard_map.values()
+                if not s.down and not s.permanent and not s.removing
+            ]
+        self._telemetry.events.emit("model_draining", model=name, drain=drain)
+        drained = True
+        if drain:
+            deadline = time.monotonic() + timeout
+            while not self._closed:
+                busy = False
+                for shard in self._shards:
+                    with shard.lock:
+                        if any(
+                            f.model == name and not f.done
+                            for f in shard.pending.values()
+                        ):
+                            busy = True
+                            break
+                if not busy:
+                    break
+                if time.monotonic() >= deadline:
+                    drained = False
+                    break
+                time.sleep(0.02)
+        sent: list[_Shard] = []
+        for shard in shards:
+            if shard.down:
+                continue
+            try:
+                shard.endpoint.send_control(("unload", name))
+                sent.append(shard)
+            except (TransportClosedError, BrokenPipeError, OSError):
+                pass
+        self._await_model_acks(sent, "unload", name, time.monotonic() + timeout)
+        with self._model_lock:
+            self._model_stats.pop(name, None)
+        self._telemetry.events.emit(
+            "model_unloaded", model=name, shards=len(sent), drained=drained
+        )
+        return {"model": name, "shards": len(sent), "drained": drained}
+
     def _redispatch_batch(self, inflights: list[_InFlight]) -> None:
         """Rescue thread: re-dispatch rehomed requests (attempt already
         claimed) to healthy shards; failures resolve typed errors."""
@@ -1105,6 +1419,7 @@ class ShardedServer:
         self,
         x: np.ndarray,
         *,
+        model: str | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
     ) -> Future:
@@ -1114,6 +1429,11 @@ class ShardedServer:
         with ``1 <= N <= max_request_samples``.
 
         Args:
+            model: which registered model serves this request.  May be
+                omitted on a single-model cluster (the sole model is
+                implied); a multi-model cluster requires it.  An
+                unregistered name raises
+                :class:`~repro.runtime.resilience.UnknownModelError`.
             deadline: latency budget in seconds.  The budget travels
                 with the request through every tier (router queue,
                 transport, worker micro-batcher — re-anchored across
@@ -1156,19 +1476,31 @@ class ShardedServer:
             )
         if self._closed:
             raise RuntimeError("ShardedServer is closed")
+        registered = sorted(self.specs)
+        if model is None:
+            if len(registered) != 1:
+                raise UnknownModelError(
+                    f"cluster serves {registered}; pass model=..."
+                )
+            model = registered[0]
+        elif model not in self.specs:
+            raise UnknownModelError(
+                f"no model named {model!r} (registered: {registered})"
+            )
         deadline_at = None if deadline is None else time.monotonic() + deadline
         if deadline_at is not None and time.monotonic() >= deadline_at:
             self._count("timed_out")
             raise DeadlineExceededError("request deadline already expired at submission")
+        self._model_entry(model)["requests"].inc()
         trace = self._telemetry.tracer.maybe_start()
-        inflight = _InFlight(x, Future(), deadline_at, trace=trace)
+        inflight = _InFlight(x, Future(), deadline_at, trace=trace, model=model)
         inflight.try_claim_attempt(self.resilience.max_attempts)  # first attempt
         status = self._dispatch_attempt(
             inflight, claimed=True, admission_timeout=timeout, sync=True
         )
         if trace is not None:
             # validation + routing + capacity wait, up to the first send
-            trace.add_span("admission", trace.t0, time.monotonic())
+            trace.add_span("admission", trace.t0, time.monotonic(), model=model)
             inflight.future.trace_id = trace.trace_id
         if status == "queue_full":
             self._count("shed")
@@ -1277,6 +1609,7 @@ class ShardedServer:
                 shard.endpoint.send_request(
                     token, req_id, x, inflight.deadline_at,
                     trace_id=0 if trace is None else trace.trace_id,
+                    model=inflight.model,
                 )
                 inflight.last_sent_at = time.monotonic()
                 inflight.stalled = False
@@ -1288,6 +1621,7 @@ class ShardedServer:
                     trace.add_span(
                         "dispatch", dispatch_start, inflight.last_sent_at,
                         shard=shard.index, attempt=attempt_no, kind=kind,
+                        model=inflight.model,
                     )
                     self._trace_register(
                         req_id, trace, inflight.last_sent_at, shard.index, attempt_no
@@ -1373,7 +1707,9 @@ class ShardedServer:
         ``timed_out``, ``corrupt``) — the same registry cells ``/metrics``
         exports, so the two views can never disagree.  ``generation``
         counts membership changes (add/remove/respawn): a consumer that
-        cached shard identities refreshes when it moves.
+        cached shard identities refreshes when it moves.  ``models``
+        breaks requests, router latency percentiles, and worker batch
+        counters down per registered model.
         """
         with self._lock:
             snapshot = [self._shard_map[i] for i in sorted(self._shard_map)]
@@ -1409,8 +1745,30 @@ class ShardedServer:
             key: int(counter.value) for key, counter in self._counters.items()
         }
         injected = dict(self._injector.injected) if self._injector is not None else None
+        with self._lock:
+            model_names = sorted(self.specs)
+        models = {}
+        for name in model_names:
+            entry = self._model_entry(name)
+            reservoir = entry["latency"]
+            worker_batches = worker_samples = 0
+            for shard_entry in shards:
+                serving = shard_entry["serving"] or {}
+                per_model = (serving.get("models") or {}).get(name)
+                if per_model:
+                    worker_batches += per_model.get("batches", 0)
+                    worker_samples += per_model.get("samples", 0)
+            models[name] = {
+                "requests": int(entry["requests"].value),
+                "router_p50_ms": reservoir.p50_ms,
+                "router_p95_ms": reservoir.p95_ms,
+                "router_p99_ms": reservoir.p99_ms,
+                "worker_batches": worker_batches,
+                "worker_samples": worker_samples,
+            }
         return {
             "shards": shards,
+            "models": models,
             **totals,
             **resilience_counters,
             "generation": generation,
@@ -1463,6 +1821,13 @@ class ShardedServer:
                 f"cluster_router_{q}_ms",
                 help=f"router-observed end-to-end {q} latency (ms)",
             ).set(stats[f"router_{q}_ms"])
+        for name, m in stats["models"].items():
+            for q in ("p50", "p95", "p99"):
+                derived.gauge(
+                    f"cluster_model_router_{q}_ms",
+                    help=f"router-observed per-model {q} latency (ms)",
+                    model=name,
+                ).set(m[f"router_{q}_ms"])
         snapshots = [(self._telemetry.registry.snapshot(), {}), (derived.snapshot(), {})]
         for entry in stats["shards"]:
             serving = entry["serving"]

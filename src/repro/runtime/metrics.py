@@ -74,6 +74,14 @@ class LatencyReservoir:
             window = self._ring[:n].copy()
         return float(np.percentile(window, q))
 
+    def window(self) -> np.ndarray:
+        """Copy of the currently held samples (possibly empty) — lets a
+        multi-reservoir owner (one per model) compute aggregate
+        percentiles over the concatenated windows."""
+        with self._lock:
+            n = min(self._count, self._ring.shape[0])
+            return self._ring[:n].copy()
+
     @property
     def p50_ms(self) -> float:
         """Median latency over the sliding window (0.0 = no samples)."""

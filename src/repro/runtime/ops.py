@@ -73,7 +73,13 @@ def eval_node(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
     if op == OpKind.FLATTEN:
         return inputs[0].reshape(inputs[0].shape[0], -1)
     if op == OpKind.LINEAR:
-        out = inputs[0] @ node.params["weight"].T
+        x = inputs[0]
+        w_t = node.params["weight"].T
+        # one sample at a time: BLAS blocks a (N, K) @ (K, M) product
+        # differently per N, so a coalesced serving batch would round
+        # differently than the same request served alone — per-sample
+        # products keep inference bitwise batch-invariant
+        out = np.concatenate([x[i : i + 1] @ w_t for i in range(x.shape[0])])
         bias = node.params.get("bias")
         if bias is not None:
             out = out + bias

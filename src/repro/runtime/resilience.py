@@ -18,6 +18,9 @@ string-matching ``RuntimeError`` messages:
 * :class:`InjectedFaultError` — a deliberate fault from
   :mod:`repro.runtime.faults` (chaos tests assert on this type to
   separate injected failures from real bugs).
+* :class:`UnknownModelError` — the request named a model that is not in
+  the cluster's registry (a client-side mistake or a race with unload,
+  never retried into oblivion: the registry is authoritative).
 
 All subclass ``RuntimeError`` so pre-existing ``except RuntimeError``
 call sites keep working (back-compat is load-bearing for
@@ -52,6 +55,7 @@ __all__ = [
     "CorruptedPayloadError",
     "RequestTimeoutError",
     "InjectedFaultError",
+    "UnknownModelError",
     "ResilienceConfig",
     "CircuitBreaker",
     "route_score",
@@ -81,6 +85,11 @@ class RequestTimeoutError(RuntimeError):
 
 class InjectedFaultError(RuntimeError):
     """A deliberate failure injected by :mod:`repro.runtime.faults`."""
+
+
+class UnknownModelError(RuntimeError):
+    """The request named a model the cluster does not serve — either a
+    typo'd ``submit(..., model=...)`` or a race with a completed unload."""
 
 
 @dataclass(frozen=True)

@@ -142,31 +142,41 @@ class ServingStats:
     increments can never produce torn multi-field views.
     """
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        labels: dict[str, str] | None = None,
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: labels stamped on every serving_* series (a multi-tenant
+        #: worker passes ``{"model": name}`` so per-model stats share one
+        #: registry without colliding)
+        self.labels = dict(labels or {})
         # the registry lock is reentrant by design: holding it around a
         # group of metric ops (each re-acquiring internally) makes the
         # group atomic relative to snapshot()
         self._lock = self.registry._lock
-        reg = self.registry
+        reg, lbl = self.registry, self.labels
         self._requests = reg.counter(
-            "serving_requests_total", "requests resolved by the micro-batch dispatcher")
+            "serving_requests_total", "requests resolved by the micro-batch dispatcher",
+            **lbl)
         self._samples = reg.counter(
-            "serving_samples_total", "input samples executed (batch rows)")
+            "serving_samples_total", "input samples executed (batch rows)", **lbl)
         self._batches = reg.counter(
-            "serving_batches_total", "micro-batches dispatched to the runner")
+            "serving_batches_total", "micro-batches dispatched to the runner", **lbl)
         self._errors = reg.counter(
-            "serving_errors_total", "requests resolved with an execution error")
+            "serving_errors_total", "requests resolved with an execution error", **lbl)
         self._shed = reg.counter(
-            "serving_shed_total", "admission refusals (queue full past timeout)")
+            "serving_shed_total", "admission refusals (queue full past timeout)", **lbl)
         self._timed_out = reg.counter(
-            "serving_timed_out_total", "requests shed after their deadline expired")
+            "serving_timed_out_total", "requests shed after their deadline expired", **lbl)
         self._max_batch_seen = reg.gauge(
-            "serving_max_batch_seen", "largest micro-batch dispatched so far")
+            "serving_max_batch_seen", "largest micro-batch dispatched so far", **lbl)
         self._effective_wait_ms = reg.gauge(
-            "serving_effective_wait_ms", "current adaptive coalescing window (ms)")
+            "serving_effective_wait_ms", "current adaptive coalescing window (ms)", **lbl)
         self._latency_hist = reg.histogram(
-            "serving_request_latency_ms", "submit-to-resolution request latency (ms)")
+            "serving_request_latency_ms", "submit-to-resolution request latency (ms)",
+            **lbl)
         # Sliding-window reservoir of per-request latencies (queue wait +
         # dispatch + kernel time, submit to resolution) — the shared
         # implementation from repro.runtime.metrics, also used by the
@@ -400,6 +410,9 @@ class MicroBatchServer:
             ``stall``/``slow`` delay their dispatch window (``corrupt``
             and ``slot_exhaust`` are transport-level kinds and no-ops
             here).  ``None`` (production) injects nothing.
+        stats: externally built :class:`ServingStats` (a multi-tenant
+            worker passes one per model, labeled, over a shared
+            registry); a private unlabeled one is created when omitted.
 
     The server is a context manager; :meth:`close` drains the queue and
     joins the dispatcher.  ``submit`` after close raises
@@ -411,6 +424,7 @@ class MicroBatchServer:
         runner: Callable[[np.ndarray], np.ndarray],
         config: ServingConfig | None = None,
         faults: FaultPlan | None = None,
+        stats: ServingStats | None = None,
     ) -> None:
         if not callable(runner):
             run = getattr(runner, "run", None)
@@ -419,7 +433,7 @@ class MicroBatchServer:
             runner = run
         self._runner = runner
         self.config = config if config is not None else ServingConfig()
-        self.stats = ServingStats()
+        self.stats = stats if stats is not None else ServingStats()
         self._injector = FaultInjector(faults) if faults is not None else None
         self._fault_seq = itertools.count()
         # effective coalescing window, adapted per dispatch window when

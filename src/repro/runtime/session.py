@@ -37,6 +37,11 @@ from repro.graph.pass_manager import default_pipeline
 from repro.runtime.executor import CompiledExecutor, ReferenceExecutor
 from repro.runtime.serving import MicroBatchServer, ServingConfig
 
+#: registry name a single-model cluster serves under when the caller
+#: never names one — keeps the one-spec construction path and every
+#: pre-multi-tenant suite working unchanged
+DEFAULT_MODEL = "default"
+
 
 @dataclass(frozen=True)
 class SessionSpec:
@@ -111,8 +116,14 @@ class SessionSpec:
             **spec_kwargs,
         )
 
-    def build(self) -> InferenceSession:
-        """Reconstruct the session (registry model + bundle artifacts)."""
+    def build(self, *, kernel_cache=None, arena=None) -> InferenceSession:
+        """Reconstruct the session (registry model + bundle artifacts).
+
+        ``kernel_cache`` / ``arena`` let a multi-tenant worker share one
+        process-wide compile cache and scratch arena across every loaded
+        model's session (both are thread-safe); omitted, the session
+        owns private ones, exactly as before.
+        """
         from repro.models.registry import get_trainable
         from repro.utils.serialize import load_session_bundle
 
@@ -128,6 +139,8 @@ class SessionSpec:
             opt_level=self.opt_level,
             arena_max_bytes=self.arena_max_bytes,
             serving_config=self.serving_config,
+            kernel_cache=kernel_cache,
+            arena=arena,
         )
 
     def probe_output_shape(self) -> tuple[int, ...]:
@@ -139,6 +152,72 @@ class SessionSpec:
 
         model = get_trainable(self.model, **self.model_kwargs)
         return _graph_output_shape(build_graph(model, self.input_shape))
+
+
+def spec_to_json(spec: SessionSpec) -> dict[str, Any]:
+    """JSON-safe dict form of a spec (inverse of :func:`spec_from_json`),
+    for admin-API payloads and on-disk spec files."""
+    out: dict[str, Any] = {
+        "model": spec.model,
+        "input_shape": list(spec.input_shape),
+        "bundle_path": spec.bundle_path,
+        "model_kwargs": dict(spec.model_kwargs),
+        "optimize_graph": spec.optimize_graph,
+        "opt_level": spec.opt_level,
+        "arena_max_bytes": spec.arena_max_bytes,
+        "output_shape": None if spec.output_shape is None else list(spec.output_shape),
+    }
+    if spec.serving_config is not None:
+        sc = spec.serving_config
+        out["serving_config"] = {
+            "max_batch": sc.max_batch,
+            "max_wait_ms": sc.max_wait_ms,
+            "queue_depth": sc.queue_depth,
+            "adaptive_wait": sc.adaptive_wait,
+        }
+    return out
+
+
+def spec_from_json(obj: dict[str, Any]) -> SessionSpec:
+    """Build a :class:`SessionSpec` from a JSON object (the admin
+    ``POST /models/load`` body, or a spec file the CLI points at).
+
+    Required keys: ``model``, ``input_shape``, ``bundle_path``.
+    Optional: ``model_kwargs``, ``optimize_graph``, ``opt_level``,
+    ``arena_max_bytes``, ``output_shape``, ``serving_config`` (a dict of
+    :class:`~repro.runtime.serving.ServingConfig` fields).  Unknown keys
+    raise ``ValueError`` — a typo'd knob must not silently default.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"spec must be a JSON object, got {type(obj).__name__}")
+    known = {
+        "model", "input_shape", "bundle_path", "model_kwargs", "optimize_graph",
+        "opt_level", "arena_max_bytes", "output_shape", "serving_config",
+    }
+    unknown = sorted(set(obj) - known)
+    if unknown:
+        raise ValueError(f"unknown spec key(s): {', '.join(unknown)}")
+    missing = sorted({"model", "input_shape", "bundle_path"} - set(obj))
+    if missing:
+        raise ValueError(f"spec is missing required key(s): {', '.join(missing)}")
+    kwargs: dict[str, Any] = {
+        "model": str(obj["model"]),
+        "input_shape": tuple(int(d) for d in obj["input_shape"]),
+        "bundle_path": str(obj["bundle_path"]),
+    }
+    if "model_kwargs" in obj:
+        kwargs["model_kwargs"] = dict(obj["model_kwargs"])
+    if "optimize_graph" in obj:
+        kwargs["optimize_graph"] = bool(obj["optimize_graph"])
+    if "opt_level" in obj:
+        kwargs["opt_level"] = str(obj["opt_level"])
+    if obj.get("arena_max_bytes") is not None:
+        kwargs["arena_max_bytes"] = int(obj["arena_max_bytes"])
+    if obj.get("output_shape") is not None:
+        kwargs["output_shape"] = tuple(int(d) for d in obj["output_shape"])
+    if obj.get("serving_config") is not None:
+        kwargs["serving_config"] = ServingConfig(**obj["serving_config"])
+    return SessionSpec(**kwargs)
 
 
 def _graph_output_shape(graph) -> tuple[int, ...]:
@@ -171,6 +250,9 @@ class InferenceSession:
             :class:`~repro.runtime.arena.BufferArena`).
         serving_config: batching knobs for the :meth:`run_async`
             front-end (defaults apply when omitted).
+        kernel_cache / arena: share an existing compile cache / scratch
+            arena with other sessions in this process (multi-tenant
+            workers pass the process-wide ones); private when omitted.
     """
 
     def __init__(
@@ -183,6 +265,8 @@ class InferenceSession:
         opt_level: str = "gemm",
         arena_max_bytes: int | None = None,
         serving_config: ServingConfig | None = None,
+        kernel_cache=None,
+        arena=None,
     ) -> None:
         model.eval()
         self.graph = build_graph(model, input_shape)
@@ -208,6 +292,8 @@ class InferenceSession:
                 pattern_set,
                 graph_assignments,
                 opt_level,
+                kernel_cache=kernel_cache,
+                arena=arena,
                 arena_max_bytes=arena_max_bytes,
             )
         else:

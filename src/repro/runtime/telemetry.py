@@ -608,6 +608,17 @@ class AdminServer:
                                    the removal outcome dict (404 unknown
                                    shard; 409 refused, e.g. last shard)
 
+    When the provider serves a model registry (``models`` /
+    ``load_model`` / ``unload_model``), three more routes manage it::
+
+        GET  /models                  {"models": [names...]}
+        POST /models/load             body {"name": ..., "spec": {...}}
+                                      (spec as accepted by
+                                      :func:`~repro.runtime.session.spec_from_json`)
+        POST /models/<name>/unload    body {"drain": bool?, "timeout": s?}
+                                      (404 unknown model; 409 refused —
+                                      the last model never unloads)
+
     Binds ``host:port`` (``port=0`` picks an ephemeral port, reported
     via :attr:`port`) and serves from a daemon thread until
     :meth:`close`.
@@ -691,10 +702,30 @@ class AdminServer:
                             drain=bool(body.get("drain", True)),
                             timeout=float(body.get("timeout", 30.0)),
                         ))
+                    elif path == "/models/load":
+                        from repro.runtime.session import spec_from_json
+
+                        if "name" not in body or "spec" not in body:
+                            self._json(400, {"error":
+                                             'body must carry "name" and "spec"'})
+                            return
+                        self._json(200, provider.load_model(
+                            body["name"], spec_from_json(body["spec"]),
+                            timeout=float(body.get("timeout", 30.0)),
+                        ))
+                    elif (len(parts) == 3 and parts[0] == "models"
+                          and parts[2] == "unload"):
+                        self._json(200, provider.unload_model(
+                            parts[1],
+                            drain=bool(body.get("drain", True)),
+                            timeout=float(body.get("timeout", 30.0)),
+                        ))
                     else:
                         self._json(404, {"error": f"unknown path {path!r}",
                                          "routes": ["POST /shards/add",
-                                                    "POST /shards/<id>/remove"]})
+                                                    "POST /shards/<id>/remove",
+                                                    "POST /models/load",
+                                                    "POST /models/<name>/unload"]})
                 except KeyError as exc:  # unknown shard index
                     self._json(404, {"error": str(exc).strip("'\"")})
                 except (TypeError, ValueError) as exc:  # bad arguments / refused
@@ -728,12 +759,15 @@ class AdminServer:
                         self._json(404, {"error": f"no trace {tid} (sampled traces only)"})
                     else:
                         self._json(200, trace)
+                elif path == "/models":
+                    self._json(200, {"models": provider.models()})
                 elif path == "/events":
                     self._json(200, {"events": provider.events.tail()})
                 else:
                     self._json(404, {"error": f"unknown path {path!r}",
                                      "routes": ["/metrics", "/healthz", "/stats",
-                                                "/traces", "/trace/<id>", "/events"]})
+                                                "/traces", "/trace/<id>", "/events",
+                                                "/models"]})
 
         self.provider = provider
         self._httpd = ThreadingHTTPServer((host, port), Handler)

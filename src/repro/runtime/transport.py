@@ -28,16 +28,20 @@ Normalized router-side events (returned by :meth:`ShardEndpoint.recv`;
 payload reading and token release happen *inside* the endpoint):
 
 ========================================  =====================================
-``("ready", pid)``                        worker built its session
+``("ready", pid)``                        worker built its session(s)
 ``("res", req_id, out, exc)``             reply: ``out`` ndarray, or ``exc``
                                           (``CorruptedPayloadError`` etc.)
-``("err", req_id, code, text)``           worker-side typed failure;
-                                          ``code in {"deadline","corrupt","error"}``
+``("err", req_id, code, text)``           worker-side typed failure; ``code in
+                                          {"deadline","corrupt","unknown_model",
+                                          "error"}``
 ``("pong", seq, stats)``                  health reply + serving-stats snapshot
 ``("bye", stats)``                        worker drained and is exiting
 ``("fatal", text)``                       session build failed (permanent)
 ``("trace", req_id, spans)``              worker-side span timeline for a
                                           sampled (traced) request
+``("model", op, name, detail)``           ack for a hot model ``("load"`` /
+                                          ``"unload")`` control message;
+                                          ``detail`` is an error string or None
 ========================================  =====================================
 
 The byte-level **tensor framing** used by stream transports also lives
@@ -45,12 +49,15 @@ here (:func:`pack_tensor_frame` / :func:`unpack_tensor_frame`) so it can
 be unit-tested without sockets: a frame is a 5-byte ``(length, type)``
 header followed by either a pickled control tuple or a tensor body of
 ``req_id (u64) | trace_id (u64, 0 = untraced) | deadline_remaining_s
-(f64, NaN = none) | crc32 (u32) | ndim (u8) | dims (u32 each) |
-dtype-str (u8 length + ascii) | raw payload bytes``.  Deadlines cross
-host boundaries as *remaining seconds* (absolute ``time.monotonic``
-values are meaningless on another machine) and are re-anchored to the
-receiver's clock; trace ids ride the same prefix so a sampled request
-stays sampled across the wire (see :mod:`repro.runtime.telemetry`).
+(f64, NaN = none) | crc32 (u32) | ndim (u8) | model (u8 length + utf-8,
+empty = the single default model) | dims (u32 each) | dtype-str (u8
+length + ascii) | raw payload bytes``.  Deadlines cross host boundaries
+as *remaining seconds* (absolute ``time.monotonic`` values are
+meaningless on another machine) and are re-anchored to the receiver's
+clock; trace ids ride the same prefix so a sampled request stays
+sampled across the wire (see :mod:`repro.runtime.telemetry`); the model
+id routes the request to the right per-model micro-batch queue inside a
+multi-tenant worker (see :mod:`repro.runtime.worker`).
 """
 
 from __future__ import annotations
@@ -77,12 +84,15 @@ __all__ = [
     "FRAME_TENSOR",
     "FRAME_HEADER",
     "MAX_FRAME_BYTES",
+    "MAX_MODEL_ID_BYTES",
     "pack_control_frame",
     "unpack_control_body",
     "pack_tensor_frame",
     "unpack_tensor_frame",
     "tensor_frame_req_id",
     "tensor_frame_meta",
+    "pack_bundle_payload",
+    "verify_bundle_payload",
 ]
 
 
@@ -111,6 +121,10 @@ MAX_FRAME_BYTES = 1 << 30
 #: (NaN = no deadline), crc32 of the payload bytes, ndim
 _TENSOR_PREFIX = struct.Struct(">QQdIB")
 _MAX_NDIM = 16
+#: the model id is a u8-length-prefixed utf-8 string right after the
+#: fixed prefix — bounded so a corrupt length byte cannot demand a
+#: megabyte name
+MAX_MODEL_ID_BYTES = 255
 
 
 def pack_control_frame(msg: Any) -> bytes:
@@ -128,11 +142,15 @@ def pack_tensor_frame(
     arr: np.ndarray,
     deadline_remaining_s: float | None = None,
     trace_id: int = 0,
+    model: str = "",
 ) -> bytes:
     """Frame one tensor (header + body) for a byte-stream transport.
 
     ``trace_id`` (0 = untraced) propagates request sampling across the
     wire so the worker knows to collect spans for this request.
+    ``model`` ("" = the single default model) names the tenant the
+    request is for; a multi-model worker uses it to pick the right
+    micro-batch queue.
 
     Zero-size tensors are refused up front: an empty request cannot
     produce a row per sample, so framing one is always a caller bug —
@@ -146,12 +164,20 @@ def pack_tensor_frame(
         )
     if arr.ndim > _MAX_NDIM:
         raise ValueError(f"tensor rank {arr.ndim} exceeds the frame limit of {_MAX_NDIM}")
+    model_bytes = model.encode("utf-8")
+    if len(model_bytes) > MAX_MODEL_ID_BYTES:
+        raise ValueError(
+            f"model id {model!r} encodes to {len(model_bytes)} bytes "
+            f"(limit {MAX_MODEL_ID_BYTES})"
+        )
     dtype_str = arr.dtype.str.encode("ascii")
     payload = arr.tobytes()
     remaining = math.nan if deadline_remaining_s is None else float(deadline_remaining_s)
     body = b"".join(
         (
             _TENSOR_PREFIX.pack(req_id, trace_id, remaining, zlib.crc32(payload), arr.ndim),
+            struct.pack(">B", len(model_bytes)),
+            model_bytes,
             struct.pack(f">{arr.ndim}I", *arr.shape),
             struct.pack(">B", len(dtype_str)),
             dtype_str,
@@ -172,25 +198,38 @@ def tensor_frame_req_id(body: bytes) -> int | None:
     return struct.unpack_from(">Q", body)[0]
 
 
-def tensor_frame_meta(body: bytes) -> tuple[int, float | None, int] | None:
-    """``(req_id, deadline_remaining_s, trace_id)`` from a tensor body
-    prefix without decoding (or verifying) the payload — lets a worker
-    route a corrupt frame's typed error to the right request instead of
-    tearing the stream down.  ``None`` when the body is too short to
-    carry even the prefix."""
+def tensor_frame_meta(body: bytes) -> tuple[int, float | None, int, str] | None:
+    """``(req_id, deadline_remaining_s, trace_id, model)`` from a tensor
+    body prefix without decoding (or verifying) the payload — lets a
+    worker route a corrupt frame's typed error to the right request
+    instead of tearing the stream down.  ``None`` when the body is too
+    short to carry even the prefix; the model id degrades to ``""`` when
+    its bytes are cut short or undecodable (the request can still be
+    attributed and failed typed)."""
     if len(body) < 24:
         return None
     req_id, trace_id, remaining = struct.unpack_from(">QQd", body)
-    return req_id, (None if math.isnan(remaining) else remaining), trace_id
+    model = ""
+    if len(body) > _TENSOR_PREFIX.size:
+        (model_len,) = struct.unpack_from(">B", body, _TENSOR_PREFIX.size)
+        raw = body[_TENSOR_PREFIX.size + 1 : _TENSOR_PREFIX.size + 1 + model_len]
+        if len(raw) == model_len:
+            try:
+                model = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                model = ""
+    return req_id, (None if math.isnan(remaining) else remaining), trace_id, model
 
 
-def unpack_tensor_frame(body: bytes) -> tuple[int, float | None, np.ndarray, int]:
+def unpack_tensor_frame(
+    body: bytes,
+) -> tuple[int, float | None, np.ndarray, int, str]:
     """Decode a tensor body into ``(req_id, deadline_remaining_s, array,
-    trace_id)``.
+    trace_id, model)``.
 
     Every structural defect — truncated header, impossible rank, bogus
-    dtype, payload shorter or longer than the dims promise, zero-size
-    payload, checksum mismatch — raises
+    model id or dtype, payload shorter or longer than the dims promise,
+    zero-size payload, checksum mismatch — raises
     :class:`~repro.runtime.resilience.CorruptedPayloadError`: the bytes
     are provably not what :func:`pack_tensor_frame` produced, and the
     router's retry machinery (not the client) should deal with it.
@@ -203,6 +242,17 @@ def unpack_tensor_frame(body: bytes) -> tuple[int, float | None, np.ndarray, int
     if ndim > _MAX_NDIM:
         raise CorruptedPayloadError(f"tensor frame claims rank {ndim} > {_MAX_NDIM}")
     offset = _TENSOR_PREFIX.size
+    if len(body) < offset + 1:
+        raise CorruptedPayloadError("truncated tensor frame: model id cut short")
+    (model_len,) = struct.unpack_from(">B", body, offset)
+    offset += 1
+    if len(body) < offset + model_len:
+        raise CorruptedPayloadError("truncated tensor frame: model id cut short")
+    try:
+        model = body[offset : offset + model_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CorruptedPayloadError(f"tensor frame carries an invalid model id: {exc}") from None
+    offset += model_len
     dims_size = 4 * ndim
     if len(body) < offset + dims_size + 1:
         raise CorruptedPayloadError("truncated tensor frame: header cut short")
@@ -235,7 +285,47 @@ def unpack_tensor_frame(body: bytes) -> tuple[int, float | None, np.ndarray, int
             f"shape {tuple(shape)}, {dtype})"
         )
     arr = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
-    return req_id, (None if math.isnan(remaining) else remaining), arr, trace_id
+    return req_id, (None if math.isnan(remaining) else remaining), arr, trace_id, model
+
+
+# ----------------------------------------------------------------------
+# Bundle payloads (handshake / hot-load shipping of .npz session bundles)
+# ----------------------------------------------------------------------
+def pack_bundle_payload(data: bytes) -> tuple[int, int, bytes]:
+    """Wrap raw bundle bytes as ``(crc32, size, data)`` for shipment in a
+    handshake or a hot ``("load", ...)`` control message."""
+    return zlib.crc32(data), len(data), data
+
+
+def verify_bundle_payload(name: str, payload: tuple) -> bytes:
+    """Check a shipped bundle's size and CRC; returns the verified bytes.
+
+    A truncated or corrupted multi-bundle handshake must fail *typed*
+    (:class:`~repro.runtime.resilience.CorruptedPayloadError` names the
+    offending model) instead of half-loading: the worker reports it as a
+    fatal build failure and the router marks the shard permanently
+    failed rather than serving a model zoo with a silently missing or
+    damaged tenant.
+    """
+    try:
+        crc, size, data = payload
+    except (TypeError, ValueError):
+        raise CorruptedPayloadError(
+            f"bundle payload for model {name!r} is malformed: expected "
+            "(crc32, size, bytes)"
+        ) from None
+    if len(data) != size:
+        raise CorruptedPayloadError(
+            f"bundle for model {name!r} was truncated in transit: "
+            f"{len(data)} bytes arrived but {size} were sent"
+        )
+    got = zlib.crc32(data)
+    if got != crc:
+        raise CorruptedPayloadError(
+            f"bundle for model {name!r} failed checksum "
+            f"(crc {got:#010x} != expected {crc:#010x})"
+        )
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -323,19 +413,26 @@ class ShardEndpoint(ABC):
         x: np.ndarray,
         deadline_at: float | None,
         trace_id: int = 0,
+        model: str = "",
     ) -> None:
         """Frame and send one request tensor.  ``deadline_at`` is an
         absolute local ``time.monotonic`` value (or None); cross-host
         transports convert it to remaining seconds on the wire.
         ``trace_id`` (0 = untraced) marks a sampled request: the worker
         collects spans and ships them back as a ``("trace", ...)``
-        event after the reply."""
+        event after the reply.  ``model`` names the tenant queue the
+        worker should dispatch into ("" = the single default model)."""
 
     @abstractmethod
     def send_ping(self, seq: int) -> None: ...
 
     @abstractmethod
     def send_stop(self) -> None: ...
+
+    def send_control(self, msg: tuple) -> None:
+        """Ship an out-of-band control tuple to the worker (hot model
+        ``("load", name, spec, payload)`` / ``("unload", name)``).
+        Transports without a control channel may ignore it."""
 
     # -- receiving ------------------------------------------------------
     @abstractmethod
@@ -378,12 +475,14 @@ class WorkerTransport(ABC):
     """Worker-side mirror of :class:`ShardEndpoint`, consumed by
     :func:`repro.runtime.worker.run_worker`.
 
-    ``recv`` yields ``("req", req_id, deadline_at, trace_id, handle)``
-    (with ``deadline_at`` already re-anchored to the *worker's* monotonic
-    clock and ``trace_id == 0`` for untraced requests), ``("ping", seq)``
-    or ``("stop",)``; the opaque ``handle`` carries whatever the
-    transport needs to read the payload and route the reply (an shm
-    slot, a decoded TCP frame).
+    ``recv`` yields ``("req", req_id, deadline_at, trace_id, model,
+    handle)`` (with ``deadline_at`` already re-anchored to the *worker's*
+    monotonic clock, ``trace_id == 0`` for untraced requests, and
+    ``model`` naming the tenant queue, ``""`` = default), ``("ping",
+    seq)``, ``("stop",)``, or a hot-model control message ``("load",
+    name, spec, payload)`` / ``("unload", name)``; the opaque ``handle``
+    carries whatever the transport needs to read the payload and route
+    the reply (an shm slot, a decoded TCP frame).
     """
 
     #: largest reply payload the transport can carry (bytes), or None
@@ -416,6 +515,11 @@ class WorkerTransport(ABC):
         router (after the reply for ``req_id``, same ordered channel).
         Default: drop — a transport without a control channel loses
         spans, never requests."""
+
+    def send_model_ack(self, op: str, name: str, detail: str | None) -> None:
+        """Acknowledge a hot model load/unload (``op``) for ``name``;
+        ``detail`` carries the error text on failure, ``None`` on
+        success.  Default: drop, mirroring :meth:`send_trace`."""
 
     @abstractmethod
     def send_ready(self, pid: int) -> None: ...

@@ -9,10 +9,12 @@ per-shard backpressure bound), and only the same tiny control tuples
 cross the ``multiprocessing.Pipe``:
 
     router -> worker: ``("req", req_id, slot, shape, dtype, crc, deadline_at,
-                      trace_id)``, ``("ping", seq)``, ``("stop",)``
+                      trace_id, model)``, ``("ping", seq)``, ``("stop",)``,
+                      ``("load", name, spec, payload)``, ``("unload", name)``
     worker -> router: ``("ready", pid)``, ``("res", req_id, slot, shape, dtype, crc)``,
                       ``("err", req_id, slot, code, text)``,
                       ``("trace", req_id, spans)``,
+                      ``("model", op, name, detail)``,
                       ``("pong", seq, stats)``, ``("bye", stats)``, ``("fatal", text)``
 
 Deadlines cross the boundary as absolute ``time.monotonic`` values,
@@ -87,11 +89,11 @@ class ShmWorkerTransport(WorkerTransport):
         except (EOFError, OSError) as exc:
             raise TransportClosedError(str(exc)) from exc
         if msg[0] == "req":
-            _, req_id, slot, shape, dtype, crc, deadline_at, trace_id = msg
+            _, req_id, slot, shape, dtype, crc, deadline_at, trace_id, model = msg
             # same host, system-wide monotonic clock: the absolute
             # deadline needs no re-anchoring
-            return ("req", req_id, deadline_at, trace_id, (slot, shape, dtype, crc))
-        return msg  # ("ping", seq) / ("stop",)
+            return ("req", req_id, deadline_at, trace_id, model, (slot, shape, dtype, crc))
+        return msg  # ("ping", seq) / ("stop",) / ("load", ...) / ("unload", ...)
 
     def read_payload(self, handle) -> np.ndarray:
         slot, shape, dtype, crc = handle
@@ -111,6 +113,9 @@ class ShmWorkerTransport(WorkerTransport):
 
     def send_trace(self, req_id: int, spans: list[dict]) -> None:
         self._send(("trace", req_id, spans))
+
+    def send_model_ack(self, op: str, name: str, detail: str | None) -> None:
+        self._send(("model", op, name, detail))
 
     def send_ready(self, pid: int) -> None:
         self._send(("ready", pid))
@@ -136,7 +141,7 @@ class ShmWorkerTransport(WorkerTransport):
 
 
 def _shm_worker_main(
-    spec: SessionSpec,
+    specs: dict[str, SessionSpec],
     ring_name: str,
     slots: int,
     slot_bytes: int,
@@ -147,7 +152,7 @@ def _shm_worker_main(
     from repro.runtime.worker import run_worker
 
     ring = ShmSlotRing.attach(ring_name, slots, slot_bytes)
-    run_worker(spec.build, ShmWorkerTransport(conn, ring), fault_plan)
+    run_worker(specs, ShmWorkerTransport(conn, ring), fault_plan)
 
 
 # ----------------------------------------------------------------------
@@ -184,15 +189,19 @@ class ShmShardEndpoint(ShardEndpoint):
         x: np.ndarray,
         deadline_at: float | None,
         trace_id: int = 0,
+        model: str = "",
     ) -> None:
         shape, dtype, crc = self._ring.write(token, x)
-        self._send(("req", req_id, token, shape, dtype, crc, deadline_at, trace_id))
+        self._send(("req", req_id, token, shape, dtype, crc, deadline_at, trace_id, model))
 
     def send_ping(self, seq: int) -> None:
         self._send(("ping", seq))
 
     def send_stop(self) -> None:
         self._send(("stop",))
+
+    def send_control(self, msg: tuple) -> None:
+        self._send(msg)
 
     def _send(self, msg) -> None:
         with self._send_lock:
@@ -263,13 +272,20 @@ class ShmShardEndpoint(ShardEndpoint):
 
 
 class ShmShardLauncher(ShardLauncher):
-    """Spawns local worker processes wired up with a fresh ring + pipe."""
+    """Spawns local worker processes wired up with a fresh ring + pipe.
+
+    ``specs`` is the cluster's **live** model registry (shared by
+    reference, mutated by hot load/unload): every launch — founding
+    shard, respawn after a crash, elastic ``add_shard`` — snapshots the
+    registry at spawn time, so a new incarnation always builds the
+    current model set.
+    """
 
     kind = "shm"
 
     def __init__(
         self,
-        spec: SessionSpec,
+        specs: dict[str, SessionSpec],
         *,
         slots_per_shard: int,
         slot_bytes: int,
@@ -277,7 +293,7 @@ class ShmShardLauncher(ShardLauncher):
         fault_plan: FaultPlan | None = None,
         worker_env: dict[str, str] | None = None,
     ) -> None:
-        self.spec = spec
+        self.specs = specs
         self.slots_per_shard = slots_per_shard
         self.slot_bytes = slot_bytes
         self._ctx = ctx
@@ -289,7 +305,7 @@ class ShmShardLauncher(ShardLauncher):
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shm_worker_main,
-            args=(self.spec, ring.name, self.slots_per_shard, ring.slot_bytes,
+            args=(dict(self.specs), ring.name, self.slots_per_shard, ring.slot_bytes,
                   child_conn, self._fault_plan),
             name=f"repro-shard-{index}",
             daemon=True,

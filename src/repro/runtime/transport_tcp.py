@@ -11,11 +11,16 @@ location irrelevant by speaking that protocol over a socket:
   :func:`~repro.runtime.transport.pack_tensor_frame`).  Payloads are
   checksum-verified on both sides, exactly like the shm slots.
 * **Handshake** — the router opens a connection and sends
-  ``("hello", {spec, bundle, fault_plan, payload_bytes, protocol})``.
-  ``bundle`` carries the raw ``.npz`` session-bundle bytes when the
-  worker may not share a filesystem (remote shards); the worker
-  materializes them to a temp file and rebuilds the session from that —
-  a genuinely self-contained cross-host deploy, not a shared-NFS trick.
+  ``("hello", {specs, bundles, fault_plan, payload_bytes, protocol})``.
+  ``specs`` is the full model registry (``{name: SessionSpec}``);
+  ``bundles`` maps each model to ``(crc32, size, bytes)`` of its raw
+  ``.npz`` session bundle when the worker may not share a filesystem
+  (remote shards) — each is size-checked and CRC-verified before the
+  worker materializes it to a temp file, so a truncated multi-bundle
+  handshake fails typed (``fatal``) instead of half-loading the zoo.
+  A protocol-version mismatch is answered with a ``fatal`` frame naming
+  both versions, so the router surfaces a clear error instead of a
+  silent disconnect.
 * **Deadlines re-anchored** — absolute ``time.monotonic`` values are
   meaningless across hosts, so deadlines travel as *remaining seconds*
   and are converted back to the worker's own clock on arrival.
@@ -58,6 +63,7 @@ import time
 import numpy as np
 
 from repro.runtime.faults import FaultPlan
+from repro.runtime.resilience import CorruptedPayloadError
 from repro.runtime.session import SessionSpec
 from repro.runtime.transport import (
     FRAME_HEADER,
@@ -68,12 +74,14 @@ from repro.runtime.transport import (
     ShardLauncher,
     TransportClosedError,
     WorkerTransport,
+    pack_bundle_payload,
     pack_control_frame,
     pack_tensor_frame,
     tensor_frame_meta,
     tensor_frame_req_id,
     unpack_control_body,
     unpack_tensor_frame,
+    verify_bundle_payload,
 )
 from repro.runtime.transport_shm import spawn_with_env
 
@@ -88,8 +96,10 @@ __all__ = [
 
 #: handshake protocol version (bumped on wire-format changes; v2 added
 #: the trace_id field to the tensor-frame prefix and the ("trace", ...)
-#: control message)
-PROTOCOL_VERSION = 2
+#: control message; v3 added the model id to the tensor frame, the
+#: multi-spec/multi-bundle handshake, and hot model load/unload control
+#: messages)
+PROTOCOL_VERSION = 3
 
 #: a connection that carried no frame (not even a pong) for this long is
 #: considered dead even though the socket never EOF'd (half-open peer).
@@ -174,12 +184,12 @@ class TcpWorkerTransport(WorkerTransport):
             meta = tensor_frame_meta(body)
             if meta is None:  # not even a request id: the stream is gone
                 raise TransportClosedError("tensor frame too short to carry a request id")
-            req_id, remaining, trace_id = meta
+            req_id, remaining, trace_id, model = meta
             # re-anchor the deadline to *this* host's monotonic clock; a
             # budget already spent arrives negative and is shed on submit
             deadline_at = None if remaining is None else time.monotonic() + remaining
-            return ("req", req_id, deadline_at, trace_id, body)
-        return unpack_control_body(body)  # ("ping", seq) / ("stop",)
+            return ("req", req_id, deadline_at, trace_id, model, body)
+        return unpack_control_body(body)  # ping / stop / load / unload
 
     def read_payload(self, handle) -> np.ndarray:
         # full decode deferred to here so a corrupt payload surfaces as
@@ -203,6 +213,9 @@ class TcpWorkerTransport(WorkerTransport):
 
     def send_trace(self, req_id: int, spans: list[dict]) -> None:
         self._send(pack_control_frame(("trace", req_id, spans)))
+
+    def send_model_ack(self, op: str, name: str, detail: str | None) -> None:
+        self._send(pack_control_frame(("model", op, name, detail)))
 
     def send_ready(self, pid: int) -> None:
         self._send(pack_control_frame(("ready", pid)))
@@ -231,31 +244,54 @@ def _serve_connection(conn: socket.socket) -> None:
     """Handshake + serve one router connection until stop/EOF."""
     from repro.runtime.worker import run_worker
 
-    bundle_path: str | None = None
+    bundle_paths: list[str] = []
     try:
         ftype, body = read_frame(conn)
         msg = unpack_control_body(body) if ftype != FRAME_TENSOR else None
         if not (isinstance(msg, tuple) and msg and msg[0] == "hello"):
             raise TransportClosedError("peer did not open with a hello handshake")
         info = msg[1]
-        if info.get("protocol") != PROTOCOL_VERSION:
-            raise TransportClosedError(
-                f"protocol mismatch: router speaks {info.get('protocol')}, "
-                f"worker speaks {PROTOCOL_VERSION}"
-            )
-        spec: SessionSpec = info["spec"]
-        bundle: bytes | None = info.get("bundle")
-        if bundle is not None:
-            # the router may not share our filesystem: materialize the
-            # shipped session bundle locally and rebuild from that
-            fd, bundle_path = tempfile.mkstemp(prefix="repro-bundle-", suffix=".npz")
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(bundle)
-            spec = dataclasses.replace(spec, bundle_path=bundle_path)
         transport = TcpWorkerTransport(
             _configure(conn), payload_capacity=info.get("payload_bytes")
         )
-        run_worker(spec.build, transport, info.get("fault_plan"))
+        if info.get("protocol") != PROTOCOL_VERSION:
+            # answer with a fatal frame so the router sees *why* instead
+            # of an unexplained disconnect (version skew across hosts is
+            # exactly the failure a remote deploy hits first)
+            text = (
+                f"protocol mismatch: router speaks {info.get('protocol')}, "
+                f"worker speaks {PROTOCOL_VERSION}"
+            )
+            try:
+                transport.send_fatal(text)
+            except TransportClosedError:
+                pass
+            raise TransportClosedError(text)
+        specs: dict[str, SessionSpec] = dict(info["specs"])
+        bundles: dict[str, tuple] = info.get("bundles") or {}
+        try:
+            for name, payload in bundles.items():
+                if payload is None or name not in specs:
+                    continue
+                # the router may not share our filesystem: verify the
+                # shipped bundle (size + CRC — a truncated multi-bundle
+                # handshake must fail typed, not half-load the zoo) and
+                # materialize it locally
+                data = verify_bundle_payload(name, payload)
+                fd, path = tempfile.mkstemp(
+                    prefix=f"repro-bundle-{name}-", suffix=".npz"
+                )
+                bundle_paths.append(path)
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                specs[name] = dataclasses.replace(specs[name], bundle_path=path)
+        except CorruptedPayloadError as exc:
+            try:
+                transport.send_fatal(str(exc))
+            except TransportClosedError:
+                pass
+            raise TransportClosedError(str(exc))
+        run_worker(specs, transport, info.get("fault_plan"))
     except (TransportClosedError, EOFError, OSError):
         pass  # router vanished mid-handshake/serve: back to accept()
     finally:
@@ -263,9 +299,9 @@ def _serve_connection(conn: socket.socket) -> None:
             conn.close()
         except OSError:
             pass
-        if bundle_path is not None:
+        for path in bundle_paths:
             try:
-                os.unlink(bundle_path)
+                os.unlink(path)
             except OSError:
                 pass
 
@@ -373,9 +409,10 @@ class TcpShardEndpoint(ShardEndpoint):
         x: np.ndarray,
         deadline_at: float | None,
         trace_id: int = 0,
+        model: str = "",
     ) -> None:
         remaining = None if deadline_at is None else deadline_at - time.monotonic()
-        frame = pack_tensor_frame(req_id, x, remaining, trace_id)
+        frame = pack_tensor_frame(req_id, x, remaining, trace_id, model)
         with self._token_lock:
             self._tokens[req_id] = token  # mapped before send: the reply may race us
         try:
@@ -390,6 +427,9 @@ class TcpShardEndpoint(ShardEndpoint):
 
     def send_stop(self) -> None:
         self._send_control(("stop",))
+
+    def send_control(self, msg: tuple) -> None:
+        self._send_control(msg)
 
     def _send_control(self, msg) -> None:
         try:
@@ -410,7 +450,7 @@ class TcpShardEndpoint(ShardEndpoint):
         self._got_frame = True
         if ftype == FRAME_TENSOR:
             try:
-                req_id, _, out, _ = unpack_tensor_frame(body)
+                req_id, _, out, _, _ = unpack_tensor_frame(body)
                 err: Exception | None = None
             except Exception as exc:  # CorruptedPayloadError: retryable
                 rid = tensor_frame_req_id(body)
@@ -425,7 +465,7 @@ class TcpShardEndpoint(ShardEndpoint):
         msg = unpack_control_body(body)
         if msg[0] == "err":
             self._release_for(msg[1])
-        return msg  # err / ready / pong / bye / fatal
+        return msg  # err / ready / pong / bye / fatal / model
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -473,9 +513,9 @@ class TcpShardEndpoint(ShardEndpoint):
 
 def _handshake(
     sock: socket.socket,
-    spec: SessionSpec,
+    specs: dict[str, SessionSpec],
     *,
-    bundle: bytes | None,
+    bundles: dict[str, tuple] | None,
     fault_plan: FaultPlan | None,
     payload_bytes: int | None,
 ) -> None:
@@ -484,8 +524,8 @@ def _handshake(
         pack_control_frame(
             ("hello", {
                 "protocol": PROTOCOL_VERSION,
-                "spec": spec,
-                "bundle": bundle,
+                "specs": dict(specs),
+                "bundles": dict(bundles) if bundles else {},
                 "fault_plan": fault_plan,
                 "payload_bytes": payload_bytes,
             })
@@ -506,7 +546,7 @@ class LocalTcpLauncher(ShardLauncher):
 
     def __init__(
         self,
-        spec: SessionSpec,
+        specs: dict[str, SessionSpec],
         *,
         slots_per_shard: int,
         slot_bytes: int,
@@ -516,7 +556,7 @@ class LocalTcpLauncher(ShardLauncher):
         connect_timeout_s: float = 30.0,
         heartbeat_timeout_s: float | None = DEFAULT_HEARTBEAT_TIMEOUT_S,
     ) -> None:
-        self.spec = spec
+        self.specs = specs
         self.slots_per_shard = slots_per_shard
         self.slot_bytes = slot_bytes
         self._ctx = ctx
@@ -546,10 +586,10 @@ class LocalTcpLauncher(ShardLauncher):
             sock = _configure(
                 socket.create_connection(("127.0.0.1", port), timeout=self._connect_timeout_s)
             )
-            # local workers share the filesystem: the spec's bundle path
-            # is readable as-is, so build failures surface in the worker
-            # (as "fatal") exactly like the shm transport
-            _handshake(sock, self.spec, bundle=None, fault_plan=self._fault_plan,
+            # local workers share the filesystem: every spec's bundle
+            # path is readable as-is, so build failures surface in the
+            # worker (as "fatal") exactly like the shm transport
+            _handshake(sock, self.specs, bundles=None, fault_plan=self._fault_plan,
                        payload_bytes=self.slot_bytes)
             return TcpShardEndpoint(
                 sock, credits=self.slots_per_shard, process=process,
@@ -586,7 +626,7 @@ class RemoteTcpLauncher(ShardLauncher):
 
     def __init__(
         self,
-        spec: SessionSpec,
+        specs: dict[str, SessionSpec],
         addresses: list[str],
         *,
         slots_per_shard: int,
@@ -595,7 +635,7 @@ class RemoteTcpLauncher(ShardLauncher):
         connect_timeout_s: float = 10.0,
         heartbeat_timeout_s: float | None = DEFAULT_HEARTBEAT_TIMEOUT_S,
     ) -> None:
-        self.spec = spec
+        self.specs = specs
         self.addresses = [parse_hostport(a) and a for a in addresses]  # validate early
         #: explicit index -> address pins (elastic membership adds);
         #: indices without a pin fall back to the founding address list
@@ -605,21 +645,30 @@ class RemoteTcpLauncher(ShardLauncher):
         self._fault_plan = fault_plan
         self._connect_timeout_s = connect_timeout_s
         self._heartbeat_timeout_s = heartbeat_timeout_s
-        self._bundle: bytes | None = None
-        self._bundle_read = False
+        #: bundle_path -> packed (crc32, size, bytes) payload or None,
+        #: read once per path and reused by every (re)connect; keyed by
+        #: path (not model name) so a hot-reloaded model with a new
+        #: bundle ships fresh bytes
+        self._bundle_cache: dict[str, tuple | None] = {}
 
-    def _bundle_bytes(self) -> bytes | None:
-        """Ship the session bundle unless it is unreadable here (then the
-        worker falls back to the spec's own path — and a worker that
-        cannot read it either reports the build failure as fatal)."""
-        if not self._bundle_read:
-            self._bundle_read = True
-            try:
-                with open(self.spec.bundle_path, "rb") as fh:
-                    self._bundle = fh.read()
-            except OSError:
-                self._bundle = None
-        return self._bundle
+    def _bundle_payloads(self, specs: dict[str, SessionSpec]) -> dict[str, tuple]:
+        """Ship each model's session bundle (CRC-framed) unless it is
+        unreadable here (then the worker falls back to the spec's own
+        path — and a worker that cannot read it either reports the build
+        failure as fatal)."""
+        payloads: dict[str, tuple] = {}
+        for name, spec in specs.items():
+            path = spec.bundle_path
+            if path not in self._bundle_cache:
+                try:
+                    with open(path, "rb") as fh:
+                        self._bundle_cache[path] = pack_bundle_payload(fh.read())
+                except OSError:
+                    self._bundle_cache[path] = None
+            payload = self._bundle_cache[path]
+            if payload is not None:
+                payloads[name] = payload
+        return payloads
 
     def assign(self, index: int, address: str) -> None:
         """Pin one shard index to a worker address; ``launch(index)``
@@ -655,7 +704,8 @@ class RemoteTcpLauncher(ShardLauncher):
                 f"attempts: {last}"
             )
         try:
-            _handshake(sock, self.spec, bundle=self._bundle_bytes(),
+            specs = dict(self.specs)  # snapshot the live registry at connect time
+            _handshake(sock, specs, bundles=self._bundle_payloads(specs),
                        fault_plan=self._fault_plan, payload_bytes=self.slot_bytes)
         except BaseException:
             try:

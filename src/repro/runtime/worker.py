@@ -3,19 +3,34 @@
 Exactly one serve loop exists for every transport: a worker process —
 whether it was spawned next to the router and speaks shared memory, or
 runs on another machine behind ``python -m repro worker`` and speaks
-TCP — builds its session, then pulls normalized messages off a
+TCP — builds its sessions, then pulls normalized messages off a
 :class:`~repro.runtime.transport.WorkerTransport` and serves them
-through the in-process micro-batching front-end.  The transport decides
-*how* bytes move; this module decides *what happens to a request*, so
-retries, deadlines, and :class:`~repro.runtime.faults.FaultPlan`
-injection behave identically everywhere.
+through per-model in-process micro-batching front-ends.  The transport
+decides *how* bytes move; this module decides *what happens to a
+request*, so retries, deadlines, and
+:class:`~repro.runtime.faults.FaultPlan` injection behave identically
+everywhere.
+
+Multi-tenancy lives in :class:`ModelHost`: one
+:class:`~repro.runtime.session.InferenceSession` +
+:class:`~repro.runtime.serving.MicroBatchServer` pair per loaded model,
+all sharing the process-wide
+:class:`~repro.compiler.codegen.KernelCache` and
+:class:`~repro.runtime.arena.BufferArena` (both thread-safe), so
+identical layers across tenants compile once and scratch buffers are
+pooled.  Each model's queue batches only its own traffic — tenants
+never co-batch — and its serving stats land in one shared
+:class:`~repro.runtime.telemetry.MetricsRegistry` under a
+``model="<name>"`` label.  Models hot-load and hot-unload via
+``("load", name, spec, payload)`` / ``("unload", name)`` control
+messages, acknowledged with ``("model", op, name, detail)``.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
-from collections.abc import Callable
 from concurrent.futures import Future
 
 import numpy as np
@@ -26,26 +41,199 @@ from repro.runtime.resilience import (
     DeadlineExceededError,
     QueueFullError,
 )
-from repro.runtime.telemetry import SpanCollector
+from repro.runtime.serving import MicroBatchServer, ServingStats
+from repro.runtime.telemetry import MetricsRegistry, SpanCollector
 from repro.runtime.transport import TransportClosedError, WorkerTransport
 
-__all__ = ["run_worker"]
+__all__ = ["ModelHost", "run_worker"]
+
+
+class ModelHost:
+    """The worker's model registry: per-model session + micro-batch queue
+    over shared process-wide compile/scratch resources.
+
+    Args:
+        specs: ``{name: SessionSpec}`` to build at construction.  Build
+            order is sorted by name (deterministic across shards).
+
+    All loaded models share one :class:`KernelCache` and one
+    :class:`BufferArena` — both thread-safe and injectable into
+    :meth:`SessionSpec.build` — so co-resident tenants with identical
+    pruned layers compile them once, which is what makes a two-model
+    cluster competitive with two dedicated ones.  The shared arena's
+    retained-scratch cap is the largest ``arena_max_bytes`` any spec
+    asks for (``None`` = uncapped when none do).
+    """
+
+    def __init__(self, specs: dict) -> None:
+        from repro.compiler.codegen import KernelCache
+        from repro.runtime.arena import BufferArena
+
+        caps = [s.arena_max_bytes for s in specs.values() if s.arena_max_bytes is not None]
+        self.registry = MetricsRegistry()
+        self.kernel_cache = KernelCache()
+        self.arena = BufferArena(max_bytes=max(caps) if caps else None)
+        self._lock = threading.Lock()
+        #: name -> (session, server, stats); mutated only under _lock
+        self._models: dict[str, tuple] = {}
+        try:
+            for name in sorted(specs):
+                self._load_locked(name, specs[name])
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _load_locked(self, name: str, spec) -> None:
+        session = spec.build(kernel_cache=self.kernel_cache, arena=self.arena)
+        stats = ServingStats(self.registry, labels={"model": name})
+        server = MicroBatchServer(session.executor.run, spec.serving_config, stats=stats)
+        self._models[name] = (session, server, stats)
+
+    def load(self, name: str, spec) -> None:
+        """Build and admit one model (hot path; raises on any failure —
+        a duplicate name, a broken bundle — without touching the rest)."""
+        with self._lock:
+            if name in self._models:
+                raise ValueError(f"model {name!r} is already loaded")
+        # build outside the lock: compiling kernels can take a while and
+        # requests for *other* models must keep flowing meanwhile
+        session = spec.build(kernel_cache=self.kernel_cache, arena=self.arena)
+        stats = ServingStats(self.registry, labels={"model": name})
+        server = MicroBatchServer(session.executor.run, spec.serving_config, stats=stats)
+        with self._lock:
+            if name in self._models:  # raced a concurrent load of the same name
+                server.close()
+                raise ValueError(f"model {name!r} is already loaded")
+            self._models[name] = (session, server, stats)
+
+    def unload(self, name: str) -> None:
+        """Drain and drop one model: its queue is closed (queued requests
+        still execute and reply), then the session is released.  The
+        shared cache/arena keep any entries other tenants still use."""
+        with self._lock:
+            entry = self._models.pop(name, None)
+        if entry is None:
+            raise KeyError(f"model {name!r} is not loaded")
+        session, server, _ = entry
+        server.close()
+        session.close()
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def resolve(self, model: str) -> str:
+        """Map a wire model id to a loaded name.  ``""`` means "the sole
+        model" (single-tenant callers never name one); raises ``KeyError``
+        for unknown names or an ambiguous empty id."""
+        with self._lock:
+            if model:
+                if model not in self._models:
+                    raise KeyError(
+                        f"unknown model {model!r}; loaded: {sorted(self._models) or 'none'}"
+                    )
+                return model
+            if len(self._models) == 1:
+                return next(iter(self._models))
+            raise KeyError(
+                f"request named no model but {len(self._models)} are loaded: "
+                f"{sorted(self._models)}"
+            )
+
+    def submit(self, x, *, model: str = "", deadline_at=None, trace=None) -> Future:
+        """Queue one request on its model's micro-batcher (KeyError for
+        an unknown model; typed shed errors pass through)."""
+        name = self.resolve(model)
+        with self._lock:
+            entry = self._models.get(name)
+        if entry is None:  # raced an unload
+            raise KeyError(f"unknown model {name!r}")
+        _, server, _ = entry
+        return server.submit(x, deadline_at=deadline_at, trace=trace)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Merged serving stats: aggregate counters/percentiles across
+        models (the shape the router's health loop always consumed) plus
+        a per-model breakdown under ``"models"``.  The ``"metrics"`` key
+        is the shared registry snapshot, whose serving_* series carry
+        ``model`` labels."""
+        with self._lock:
+            entries = dict(self._models)
+        per_model: dict[str, dict] = {}
+        totals = {k: 0 for k in (
+            "requests", "samples", "batches", "max_batch_seen",
+            "errors", "shed", "timed_out",
+        )}
+        windows = []
+        effective_wait = 0.0
+        for name, (_, _, stats) in sorted(entries.items()):
+            snap = stats.snapshot()
+            snap.pop("metrics", None)  # the shared registry is shipped once, below
+            per_model[name] = snap
+            for key in totals:
+                totals[key] = (
+                    max(totals[key], snap[key]) if key == "max_batch_seen"
+                    else totals[key] + snap[key]
+                )
+            effective_wait = max(effective_wait, snap["effective_wait_ms"])
+            windows.append(stats._latency.window())
+        merged = {**totals, "effective_wait_ms": effective_wait,
+                  "metrics": self.registry.snapshot(), "models": per_model}
+        merged["mean_batch"] = (
+            merged["samples"] / merged["batches"] if merged["batches"] else 0.0
+        )
+        window = np.concatenate(windows) if windows else np.empty(0)
+        if window.size:
+            merged.update(
+                p50_ms=float(np.percentile(window, 50.0)),
+                p95_ms=float(np.percentile(window, 95.0)),
+                p99_ms=float(np.percentile(window, 99.0)),
+                mean_ms=float(window.mean()),
+                max_ms=float(window.max()),
+            )
+        else:
+            merged.update(p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, mean_ms=0.0, max_ms=0.0)
+        return merged
+
+    def drain(self) -> None:
+        """Drain every micro-batch queue — in-flight futures resolve and
+        replies go out — WITHOUT releasing sessions or stats, so a
+        snapshot taken afterwards counts every served sample."""
+        with self._lock:
+            entries = dict(self._models)
+        for _, (_, server, _) in sorted(entries.items()):
+            server.close()
+
+    def close(self) -> None:
+        """Drain every queue and release every session (idempotent)."""
+        with self._lock:
+            entries, self._models = dict(self._models), {}
+        for _, (session, server, _) in sorted(entries.items()):
+            server.close()
+            session.close()
 
 
 def run_worker(
-    build: Callable[[], "object"],
+    specs,
     transport: WorkerTransport,
     fault_plan: FaultPlan | None = None,
 ) -> None:
     """Serve one shard until ``stop`` or the router disappears.
 
-    ``build`` produces the :class:`~repro.runtime.session.InferenceSession`
-    (typically ``spec.build``); a build failure is reported as a
+    ``specs`` is ``{name: SessionSpec}`` (every entry is built into the
+    shared :class:`ModelHost`), or — back-compat for direct callers — a
+    zero-arg callable producing a single session-spec'd build, wrapped
+    under the default model name.  A build failure is reported as a
     ``fatal`` message so the router marks the shard permanently failed
     instead of respawn-looping.  Each ``req`` payload is copied
-    (checksum-verified) off the transport, submitted to the session's
+    (checksum-verified) off the transport, submitted to its model's
     micro-batcher with its deadline, and the reply sent back when the
-    future resolves.  A :class:`FaultPlan` (chaos tests only)
+    future resolves; requests naming a model this worker does not host
+    fail typed (``unknown_model``).  ``("load", ...)`` / ``("unload",
+    ...)`` control messages hot-mutate the model registry and are
+    acknowledged.  A :class:`FaultPlan` (chaos tests only)
     deterministically injects crashes, stalls, slowness, and response
     corruption keyed by request id.
     """
@@ -59,7 +247,10 @@ def run_worker(
             pass
 
     try:
-        session = build()
+        if callable(specs) and not isinstance(specs, dict):
+            host = _CallableHost(specs)
+        else:
+            host = ModelHost(specs)
     except BaseException as exc:  # surface build failures instead of respawn-looping
         _safe(transport.send_fatal, f"{type(exc).__name__}: {exc}")
         transport.close()
@@ -102,7 +293,6 @@ def run_worker(
                 collector.add("reply", t_reply, time.monotonic())
             _ship_trace(req_id, collector)
 
-    stats = None  # the ServingStats object outlives session.close()
     try:
         _safe(transport.send_ready, os.getpid())
         while True:
@@ -114,11 +304,29 @@ def run_worker(
             if kind == "stop":
                 return
             if kind == "ping":
-                stats = session.serving_stats or stats
-                _safe(transport.send_pong, msg[1],
-                      stats.snapshot() if stats is not None else None)
+                _safe(transport.send_pong, msg[1], host.snapshot())
+            elif kind == "load":
+                _, name, spec, payload = msg
+                try:
+                    if payload is not None:
+                        spec = _materialize_bundle(name, spec, payload)
+                    host.load(name, spec)
+                except BaseException as exc:
+                    _safe(transport.send_model_ack, "load", name,
+                          f"{type(exc).__name__}: {exc}")
+                else:
+                    _safe(transport.send_model_ack, "load", name, None)
+            elif kind == "unload":
+                _, name = msg
+                try:
+                    host.unload(name)
+                except BaseException as exc:
+                    _safe(transport.send_model_ack, "unload", name,
+                          f"{type(exc).__name__}: {exc}")
+                else:
+                    _safe(transport.send_model_ack, "unload", name, None)
             elif kind == "req":
-                _, req_id, deadline_at, trace_id, handle = msg
+                _, req_id, deadline_at, trace_id, model, handle = msg
                 # a nonzero trace id means the router sampled this request:
                 # collect worker-side spans (t0 = receipt on *this* clock;
                 # the router rebases the batch at the attempt's send time)
@@ -136,9 +344,14 @@ def run_worker(
                     _safe(transport.send_error, req_id, handle, "corrupt", str(exc))
                     _ship_trace(req_id, collector)
                     continue
-                stats = session.serving_stats or stats
                 try:
-                    fut = session.submit(x, deadline_at=deadline_at, trace=collector)
+                    fut = host.submit(x, model=model, deadline_at=deadline_at,
+                                      trace=collector)
+                except KeyError as exc:
+                    _safe(transport.send_error, req_id, handle, "unknown_model",
+                          str(exc).strip("'\""))
+                    _ship_trace(req_id, collector)
+                    continue
                 except DeadlineExceededError as exc:  # dead on arrival
                     _safe(transport.send_error, req_id, handle, "deadline", str(exc))
                     _ship_trace(req_id, collector)
@@ -156,7 +369,54 @@ def run_worker(
                     tc=collector: _reply(r, h, f, c, tc)
                 )
     finally:
-        stats = session.serving_stats or stats
-        session.close()  # graceful drain: in-flight futures resolve, replies go out
-        _safe(transport.send_bye, stats.snapshot() if stats is not None else None)
+        host.drain()  # graceful: in-flight futures resolve, replies go out
+        stats = host.snapshot()  # AFTER the drain so every sample is counted
+        host.close()
+        _safe(transport.send_bye, stats)
         transport.close()
+
+
+def _materialize_bundle(name: str, spec, payload) -> "object":
+    """Verify a hot-load's shipped bundle bytes and write them to a local
+    temp file, returning the spec repointed at it (mirrors the TCP
+    handshake's bundle materialization; see
+    :func:`~repro.runtime.transport.verify_bundle_payload`)."""
+    import dataclasses
+    import tempfile
+
+    from repro.runtime.transport import verify_bundle_payload
+
+    data = verify_bundle_payload(name, payload)
+    fd, path = tempfile.mkstemp(prefix=f"repro-bundle-{name}-", suffix=".npz")
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(data)
+    return dataclasses.replace(spec, bundle_path=path)
+
+
+class _CallableHost:
+    """Adapter keeping ``run_worker(spec.build, transport)`` working for
+    direct (single-model, pre-registry) callers: one anonymous session,
+    every request resolves to it."""
+
+    def __init__(self, build) -> None:
+        self._session = build()
+
+    def names(self) -> list[str]:
+        return []
+
+    def load(self, name: str, spec) -> None:
+        raise ValueError("this worker was started with a bare session builder; "
+                         "hot model load needs a spec registry")
+
+    def unload(self, name: str) -> None:
+        raise KeyError(f"model {name!r} is not loaded")
+
+    def submit(self, x, *, model: str = "", deadline_at=None, trace=None) -> Future:
+        return self._session.submit(x, deadline_at=deadline_at, trace=trace)
+
+    def snapshot(self) -> dict | None:
+        stats = self._session.serving_stats
+        return stats.snapshot() if stats is not None else None
+
+    def close(self) -> None:
+        self._session.close()

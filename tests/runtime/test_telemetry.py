@@ -543,8 +543,10 @@ class TestAdminServer:
                 for e in server.cluster_stats["shards"]
             ))
             _, text = _get(base + "/metrics")
-            assert 'serving_requests_total{shard="0"}' in text
-            assert 'serving_requests_total{shard="1"}' in text
+            # worker series carry the model label (single-model clusters
+            # serve under the default name) plus the router's shard label
+            assert 'serving_requests_total{model="default",shard="0"}' in text
+            assert 'serving_requests_total{model="default",shard="1"}' in text
 
             # traces are browsable
             status, text = _get(base + "/traces")

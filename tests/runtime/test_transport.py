@@ -20,13 +20,16 @@ from repro.runtime.transport import (
     FRAME_HEADER,
     FRAME_TENSOR,
     MAX_FRAME_BYTES,
+    MAX_MODEL_ID_BYTES,
     CreditGate,
+    pack_bundle_payload,
     pack_control_frame,
     pack_tensor_frame,
     tensor_frame_meta,
     tensor_frame_req_id,
     unpack_control_body,
     unpack_tensor_frame,
+    verify_bundle_payload,
 )
 
 
@@ -51,18 +54,18 @@ class TestTensorFrameRoundTrip:
             arr = rng.standard_normal((2, 3, 8, 8)).astype(dtype)
         else:
             arr = rng.integers(-128, 128, size=(2, 3, 8, 8), dtype=dtype)
-        req_id, remaining, out, trace_id = unpack_tensor_frame(
+        req_id, remaining, out, trace_id, model = unpack_tensor_frame(
             _body(pack_tensor_frame(17, arr))
         )
-        assert req_id == 17 and remaining is None and trace_id == 0
+        assert req_id == 17 and remaining is None and trace_id == 0 and model == ""
         assert out.dtype == arr.dtype and out.flags.writeable
         np.testing.assert_array_equal(out, arr)
 
     def test_deadline_survives_as_remaining_seconds(self):
         arr = np.ones((1, 4), np.float32)
-        _, remaining, _, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, 0.25)))
+        _, remaining, _, _, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, 0.25)))
         assert remaining == pytest.approx(0.25)
-        _, remaining, _, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, None)))
+        _, remaining, _, _, _ = unpack_tensor_frame(_body(pack_tensor_frame(0, arr, None)))
         assert remaining is None
 
     def test_trace_id_rides_the_frame(self):
@@ -70,10 +73,26 @@ class TestTensorFrameRoundTrip:
         unsampled, the overwhelmingly common case)."""
         arr = np.ones((1, 4), np.float32)
         tid = 0xDEADBEEFCAFEF00D
-        req_id, _, _, trace_id = unpack_tensor_frame(
+        req_id, _, _, trace_id, _ = unpack_tensor_frame(
             _body(pack_tensor_frame(3, arr, None, trace_id=tid))
         )
         assert req_id == 3 and trace_id == tid
+
+    def test_model_id_rides_the_frame(self):
+        """The model id names which session a multi-tenant worker should
+        run; it must survive the wire exactly, including non-ASCII."""
+        arr = np.ones((1, 4), np.float32)
+        for name in ["alpha", "résnet-50", "m" * MAX_MODEL_ID_BYTES]:
+            req_id, _, out, _, model = unpack_tensor_frame(
+                _body(pack_tensor_frame(8, arr, model=name))
+            )
+            assert req_id == 8 and model == name
+            np.testing.assert_array_equal(out, arr)
+        assert tensor_frame_meta(
+            _body(pack_tensor_frame(8, arr, 0.5, model="beta"))
+        ) == (8, pytest.approx(0.5), 0, "beta")
+        with pytest.raises(ValueError, match="model id"):
+            pack_tensor_frame(0, arr, model="x" * (MAX_MODEL_ID_BYTES + 1))
 
     def test_meta_peeks_without_verifying(self):
         """A worker must be able to attribute a corrupt frame to its
@@ -81,7 +100,7 @@ class TestTensorFrameRoundTrip:
         frame = pack_tensor_frame(99, np.ones((2, 2), np.float32), 1.5, trace_id=42)
         body = bytearray(_body(frame))
         body[-1] ^= 0xFF  # corrupt the payload
-        assert tensor_frame_meta(bytes(body)) == (99, pytest.approx(1.5), 42)
+        assert tensor_frame_meta(bytes(body)) == (99, pytest.approx(1.5), 42, "")
         assert tensor_frame_req_id(bytes(body)) == 99
         with pytest.raises(CorruptedPayloadError, match="checksum"):
             unpack_tensor_frame(bytes(body))
@@ -92,7 +111,7 @@ class TestTensorFrameRoundTrip:
     def test_noncontiguous_input_is_framed_contiguously(self):
         arr = np.arange(64, dtype=np.float32).reshape(8, 8)[:, ::2]
         assert not arr.flags.c_contiguous
-        _, _, out, _ = unpack_tensor_frame(_body(pack_tensor_frame(1, arr)))
+        _, _, out, _, _ = unpack_tensor_frame(_body(pack_tensor_frame(1, arr)))
         np.testing.assert_array_equal(out, arr)
 
     def test_control_frame_roundtrip(self):
@@ -118,9 +137,9 @@ class TestFramingRejections:
         never produces one."""
         frame = pack_tensor_frame(5, np.ones((2, 2), np.float32))
         body = bytearray(_body(frame))
-        # zero out the dims (offset 29 = 8 req_id + 8 trace_id + 8 deadline
-        # + 4 crc + 1 ndim)
-        body[29:37] = b"\x00" * 8
+        # zero out the dims (offset 30 = 8 req_id + 8 trace_id + 8 deadline
+        # + 4 crc + 1 ndim + 1 empty-model length byte)
+        body[30:38] = b"\x00" * 8
         with pytest.raises(CorruptedPayloadError, match="zero-size"):
             unpack_tensor_frame(bytes(body))
 
@@ -173,8 +192,8 @@ class TestFramingRejections:
     def test_invalid_dtype_raises_corrupted(self):
         frame = pack_tensor_frame(7, np.ones(4, np.float32))
         body = bytearray(_body(frame))
-        # dtype string starts after prefix(29) + dims(4) + len byte(1)
-        body[34:37] = b"\xff\xff\xff"
+        # dtype string starts after prefix(29) + model len(1) + dims(4) + len byte(1)
+        body[35:38] = b"\xff\xff\xff"
         with pytest.raises(CorruptedPayloadError, match="dtype|truncated"):
             unpack_tensor_frame(bytes(body))
 
@@ -184,6 +203,32 @@ class TestFramingRejections:
         body[-1] ^= 0x01
         with pytest.raises(CorruptedPayloadError, match="checksum"):
             unpack_tensor_frame(bytes(body))
+
+
+# ----------------------------------------------------------------------
+# Bundle payloads: handshake/hot-load shipping of session bundles
+# ----------------------------------------------------------------------
+class TestBundlePayload:
+    def test_roundtrip(self):
+        data = b"\x00npz-bytes" * 100
+        assert verify_bundle_payload("alpha", pack_bundle_payload(data)) == data
+
+    def test_truncation_fails_typed_naming_the_model(self):
+        """A half-shipped multi-bundle handshake must not half-load: the
+        error is typed and says *which* model's bundle was damaged."""
+        crc, size, data = pack_bundle_payload(b"x" * 512)
+        with pytest.raises(CorruptedPayloadError, match="'beta'.*truncated"):
+            verify_bundle_payload("beta", (crc, size, data[:100]))
+
+    def test_bitflip_fails_checksum(self):
+        crc, size, data = pack_bundle_payload(b"y" * 512)
+        flipped = bytes([data[0] ^ 0x01]) + data[1:]
+        with pytest.raises(CorruptedPayloadError, match="'gamma'.*checksum"):
+            verify_bundle_payload("gamma", (crc, size, flipped))
+
+    def test_malformed_tuple_fails_typed(self):
+        with pytest.raises(CorruptedPayloadError, match="malformed"):
+            verify_bundle_payload("delta", ("not", "a-bundle"))
 
 
 # ----------------------------------------------------------------------
